@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the measured-vs-paper comparison (run pytest with ``-s`` to see the
+tables inline; they are also echoed into the captured output).
+
+The fleet scale is configurable through ``REPRO_BENCH_SCALE`` (default
+0.35 — large enough for stable statistics, small enough to finish the
+whole suite in a few minutes; use 1.0 to reproduce the paper's dataset
+magnitude exactly).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def context():
+    """One shared experiment context: dataset + split + fitted models."""
+    return ExperimentContext(scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+def emit(text: str) -> None:
+    """Print a result table (visible with ``pytest -s``)."""
+    print("\n" + text)

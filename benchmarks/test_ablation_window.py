@@ -1,0 +1,38 @@
+"""Ablation A2 — prediction-window size around the last UER row.
+
+The paper derives the +/-64-row window from the Figure 4 chi-square peak
+at 128 rows.  This bench sweeps the half-window and reports where coverage
+(recall/ICR) stops paying for extra isolated rows.
+"""
+
+from conftest import emit
+from repro.core.features import CrossRowWindow
+from repro.core.pipeline import Cordial
+
+
+def run_sweep(context):
+    rows = {}
+    train, test = context.split
+    for half in (32, 64, 128):
+        model = Cordial(model_name="LightGBM",
+                        window=CrossRowWindow(half_window=half,
+                                              block_rows=8),
+                        random_state=0)
+        model.fit(context.dataset, train)
+        evaluation = model.evaluate(context.dataset, test)
+        rows[half] = (evaluation.block_scores.f1, evaluation.icr.icr,
+                      evaluation.icr.spared_rows)
+    return rows
+
+
+def test_ablation_window(benchmark, context):
+    rows = benchmark.pedantic(run_sweep, args=(context,),
+                              rounds=1, iterations=1)
+    lines = ["Ablation A2 — half-window sweep (paper: 64 rows -> "
+             "128-row range)",
+             f"{'half':>6}{'block F1':>10}{'ICR':>8}{'rows spared':>13}"]
+    for half, (f1, icr, spared) in rows.items():
+        lines.append(f"{half:>6}{f1:>10.3f}{icr:>8.2%}{spared:>13}")
+    emit("\n".join(lines))
+    for half, (f1, icr, _) in rows.items():
+        assert icr > 0.05, f"half={half}"

@@ -1,0 +1,63 @@
+"""Extension — are the cross-row probabilities calibrated?
+
+Thresholding assumes meaningful probabilities; this bench measures Brier
+score / ECE of the raw block probabilities and after Platt / isotonic
+calibration.  Calibrators must see *out-of-sample* probabilities (the
+model interpolates its own training blocks), so they are fitted on one
+half of the test banks and scored on the other.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.core.pipeline import collect_triggers
+from repro.ml.calibration import (IsotonicCalibrator, PlattCalibrator,
+                                  brier_score, expected_calibration_error)
+
+
+def run(context):
+    model = context.model("Random Forest")
+    predictor = model.predictor
+
+    def blocks(banks):
+        xs, ys = [], []
+        for trig in collect_triggers(context.dataset, banks):
+            truth = context.dataset.bank_truth[trig.bank_key]
+            if not truth.pattern.is_aggregation:
+                continue
+            X, y = predictor.build_samples(
+                trig.history, trig.uer_rows[-1], trig.timestamp,
+                truth.future_uer_rows(trig.timestamp))
+            xs.append(X)
+            ys.append(y)
+        return np.vstack(xs), np.concatenate(ys)
+
+    _, test = context.split
+    half = len(test) // 2
+    X_cal, y_cal = blocks(test[:half])
+    X_eval, y_eval = blocks(test[half:])
+    p_cal = predictor.predict_proba_matrix(X_cal)
+    p_eval = predictor.predict_proba_matrix(X_eval)
+
+    platt = PlattCalibrator().fit(p_cal, y_cal)
+    isotonic = IsotonicCalibrator().fit(p_cal, y_cal)
+    out = {}
+    for label, probs in (("raw", p_eval),
+                         ("platt", platt.transform(p_eval)),
+                         ("isotonic", isotonic.transform(p_eval))):
+        out[label] = (brier_score(probs, y_eval),
+                      expected_calibration_error(probs, y_eval))
+    return out
+
+
+def test_crossrow_calibration(benchmark, context):
+    results = benchmark.pedantic(run, args=(context,), rounds=1,
+                                 iterations=1)
+    emit("Extension — cross-row probability calibration (test blocks)\n"
+         + "\n".join(f"  {k:<9} brier={b:.4f} ece={e:.4f}"
+                     for k, (b, e) in results.items()))
+    # calibration never blows up the Brier score (small calibration sets
+    # cost a little; divergence would cost orders of magnitude)
+    raw = results["raw"][0]
+    assert results["platt"][0] < raw * 1.5
+    assert results["isotonic"][0] < raw * 1.5

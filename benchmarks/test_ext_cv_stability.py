@@ -1,0 +1,48 @@
+"""Extension — is the Table III model ordering split luck?
+
+Re-evaluates pattern classification over group-aware folds and reports
+per-fold weighted F1 for each model family.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.core.classifier import FailurePatternClassifier
+from repro.core.pipeline import collect_triggers
+from repro.ml.cv import GroupKFold
+from repro.ml.metrics import precision_recall_f1, weighted_average
+
+
+def run(context, n_splits=4):
+    triggers = collect_triggers(context.dataset,
+                                context.dataset.uer_banks)
+    histories = [t.history for t in triggers]
+    labels = [context.dataset.bank_truth[t.bank_key].pattern
+              for t in triggers]
+    groups = [t.bank_key for t in triggers]
+    results = {}
+    for model_name in ("LightGBM", "XGBoost", "Random Forest"):
+        fold_scores = []
+        for train_idx, test_idx in GroupKFold(n_splits, seed=0).split(groups):
+            clf = FailurePatternClassifier(model_name, random_state=0)
+            clf.fit([histories[i] for i in train_idx],
+                    [labels[i] for i in train_idx])
+            predicted = [p.value for p in clf.predict_many(
+                [histories[i] for i in test_idx])]
+            truth = [labels[i].value for i in test_idx]
+            fold_scores.append(
+                weighted_average(precision_recall_f1(truth, predicted)).f1)
+        results[model_name] = (float(np.mean(fold_scores)),
+                               float(np.std(fold_scores)))
+    return results
+
+
+def test_cv_stability(benchmark, context):
+    results = benchmark.pedantic(run, args=(context,), rounds=1,
+                                 iterations=1)
+    emit("Extension — cross-validated pattern F1 (mean +/- std over folds)\n"
+         + "\n".join(f"  {k:<14} {m:.3f} +/- {s:.3f}"
+                     for k, (m, s) in results.items()))
+    for mean, std in results.values():
+        assert mean > 0.7
+        assert std < 0.1

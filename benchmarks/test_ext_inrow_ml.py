@@ -1,0 +1,35 @@
+"""Extension — a Calchas-style ML in-row predictor vs the Table I ceiling.
+
+However well an in-row model ranks the rows it can see, its coverage of
+all UER rows is capped by the row-level predictable ratio (paper: 4.39 %)
+— the quantitative argument for Cordial's cross-row paradigm.
+"""
+
+from conftest import emit
+from repro.core.inrow_ml import HierarchicalInRowPredictor
+
+
+def run(context):
+    train, test = context.split
+    predictor = HierarchicalInRowPredictor(model_name="LightGBM",
+                                           random_state=0)
+    predictor.fit(context.dataset, train)
+    return predictor.evaluate(context.dataset, test)
+
+
+def test_inrow_ml_ceiling(benchmark, context):
+    result = benchmark.pedantic(run, args=(context,), rounds=1,
+                                iterations=1)
+    s = result.candidate_scores
+    emit("Extension — hierarchical in-row predictor\n"
+         f"  candidate rows:        {result.n_candidates}\n"
+         f"  candidate P/R/F1:      {s.precision:.3f}/{s.recall:.3f}/{s.f1:.3f}\n"
+         f"  UER-row coverage:      {result.uer_row_coverage:.2%}\n"
+         f"  coverage ceiling:      {result.coverage_ceiling:.2%} "
+         "(paper row-level ratio: 4.39%)")
+    # the paradigm cap: even a perfect in-row model covers < 12 % of rows
+    assert result.coverage_ceiling < 0.12
+    assert result.uer_row_coverage <= result.coverage_ceiling + 1e-9
+    # Cordial's ICR (Table IV bench) sits far above this coverage
+    cordial_icr = context.evaluation("LightGBM").icr.icr
+    assert cordial_icr > result.uer_row_coverage * 1.5

@@ -1,0 +1,46 @@
+"""Extension — tree models vs a linear baseline on pattern classification.
+
+The paper picks tree models for their fit to tabular error features; this
+bench quantifies the gap against an L2 logistic regression trained on the
+identical features.
+"""
+
+from conftest import emit
+from repro.core.features import BankPatternFeaturizer
+from repro.core.pipeline import collect_triggers
+from repro.ml.linear import LogisticRegressionClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import precision_recall_f1, weighted_average
+
+
+def run(context):
+    train, test = context.split
+    featurizer = BankPatternFeaturizer()
+    train_triggers = collect_triggers(context.dataset, train)
+    test_triggers = collect_triggers(context.dataset, test)
+    X_train = featurizer.extract_many([t.history for t in train_triggers])
+    y_train = [context.dataset.bank_truth[t.bank_key].pattern.value
+               for t in train_triggers]
+    X_test = featurizer.extract_many([t.history for t in test_triggers])
+    y_test = [context.dataset.bank_truth[t.bank_key].pattern.value
+              for t in test_triggers]
+    results = {}
+    for label, model in (
+            ("logistic", LogisticRegressionClassifier(reg_lambda=1.0)),
+            ("random forest", RandomForestClassifier(n_estimators=150,
+                                                     max_depth=12,
+                                                     class_weight="balanced",
+                                                     random_state=0))):
+        model.fit(X_train, y_train)
+        scores = precision_recall_f1(y_test, model.predict(X_test))
+        results[label] = weighted_average(scores).f1
+    return results
+
+
+def test_linear_baseline(benchmark, context):
+    results = benchmark.pedantic(run, args=(context,), rounds=1,
+                                 iterations=1)
+    emit("Extension — linear baseline on pattern classification\n"
+         + "\n".join(f"  {k:<14} weighted F1 = {v:.3f}"
+                     for k, v in results.items()))
+    assert results["random forest"] >= results["logistic"] - 0.02

@@ -1,0 +1,40 @@
+"""Extension — Table I sensitivity to the observation-window length.
+
+DESIGN.md documents that "sudden" only makes sense relative to an in-row
+predictor's observation window; this bench sweeps the lookback and shows
+the row-level ratio is insensitive while device levels saturate as the
+window grows (why the paper's exact definition matters).
+"""
+
+from conftest import emit
+from repro.analysis.sudden import compute_sudden_uer_table
+from repro.hbm.address import MicroLevel
+
+
+def run(context):
+    results = {}
+    for lookback in (0.1, 0.25, 1.0, None):
+        table = compute_sudden_uer_table(context.dataset.store,
+                                         lookback_days=lookback)
+        results[lookback] = (table[MicroLevel.NPU].predictable_ratio,
+                             table[MicroLevel.BANK].predictable_ratio,
+                             table[MicroLevel.ROW].predictable_ratio)
+    return results
+
+
+def test_lookback_sensitivity(benchmark, context):
+    results = benchmark.pedantic(run, args=(context,), rounds=1,
+                                 iterations=1)
+    lines = ["Extension — Table I vs observation window",
+             f"{'lookback':<12}{'NPU':>8}{'Bank':>8}{'Row':>8}"]
+    for lookback, (npu, bank, row) in results.items():
+        label = "unbounded" if lookback is None else f"{lookback:g} d"
+        lines.append(f"{label:<12}{npu:>8.2%}{bank:>8.2%}{row:>8.2%}")
+    emit("\n".join(lines))
+    # ratios grow monotonically with the window at every level
+    ordered = list(results.values())
+    for a, b in zip(ordered, ordered[1:]):
+        assert all(x <= y + 0.02 for x, y in zip(a, b))
+    # row level stays far below device level regardless of window
+    for npu, bank, row in results.values():
+        assert row < bank < npu + 0.02

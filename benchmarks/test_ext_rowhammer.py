@@ -1,0 +1,60 @@
+"""Extension — read-disturbance (RowHammer) robustness.
+
+The paper's related work flags read disturbance as an HBM reliability
+issue outside Cordial's taxonomy.  This bench injects RowHammer episodes
+and checks the operationally right thing happens: the ultra-tight victim
+clusters are classified as an aggregation pattern (row-sparable), not
+scattered (which would waste a whole bank).
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.faults.disturbance import RowHammerProcess, mitigation_refresh_rate
+from repro.telemetry.events import ErrorRecord
+
+
+def run(context):
+    model = context.model("Random Forest")
+    process = RowHammerProcess()
+    rng = np.random.default_rng(7)
+    template = next(iter(context.dataset.store)).address
+    outcomes = {"aggregation": 0, "scattered": 0, "skipped": 0}
+    for _ in range(60):
+        episode = process.realize(rng)
+        if len(episode.uer_row_sequence) < 3:
+            outcomes["skipped"] += 1
+            continue
+        history = []
+        for seq, event in enumerate(episode.events):
+            address = template.with_cell(row=event.row, column=event.column)
+            history.append(ErrorRecord(
+                timestamp=event.time, sequence=seq, address=address,
+                error_type=event.kind))
+        # snapshot at the third distinct UER row, like the collector would
+        uer_rows = []
+        cut = len(history)
+        for i, record in enumerate(history):
+            if record.error_type.value == "UER" and record.row not in uer_rows:
+                uer_rows.append(record.row)
+                if len(uer_rows) == 3:
+                    cut = i + 1
+                    break
+        pattern = model.classifier.predict(history[:cut])
+        key = "aggregation" if pattern.is_aggregation else "scattered"
+        outcomes[key] += 1
+    return outcomes
+
+
+def test_rowhammer_robustness(benchmark, context):
+    outcomes = benchmark.pedantic(run, args=(context,), rounds=1,
+                                  iterations=1)
+    rate = mitigation_refresh_rate(RowHammerProcess().params)
+    emit("Extension — RowHammer episodes through Cordial's classifier\n"
+         f"  classified aggregation (row-sparable): {outcomes['aggregation']}\n"
+         f"  classified scattered (bank-spared):    {outcomes['scattered']}\n"
+         f"  episodes below 3 UERs in-window:       {outcomes['skipped']}\n"
+         f"  targeted-refresh mitigation rate:      {rate:.3f}/day")
+    judged = outcomes["aggregation"] + outcomes["scattered"]
+    assert judged >= 20
+    assert outcomes["aggregation"] / judged > 0.7

@@ -1,0 +1,14 @@
+"""Benchmark E5 — regenerate Figure 3(a) (example bank error maps)."""
+
+from conftest import emit
+from repro.experiments import fig3
+
+
+def test_fig3a_pattern_examples(benchmark, context):
+    result = benchmark.pedantic(fig3.run, args=(context,),
+                                rounds=1, iterations=1)
+    emit(result.format_examples())
+    # One example per observable mechanism, with plotted error addresses.
+    assert len(result.examples) == 5
+    for label, points in result.examples.items():
+        assert len(points) >= 3, label

@@ -1,0 +1,13 @@
+"""Benchmark E6 — regenerate Figure 3(b) (bank failure-pattern mix)."""
+
+from conftest import emit
+from repro.experiments import fig3
+
+
+def test_fig3b_pattern_distribution(benchmark, context):
+    result = benchmark.pedantic(fig3.run, args=(context,),
+                                rounds=1, iterations=1)
+    emit(result.format())
+    assert result.distribution["Single-row Clustering"] > 0.55
+    assert 0.70 < result.aggregation_share() < 0.90
+    assert result.max_abs_error() < 0.08

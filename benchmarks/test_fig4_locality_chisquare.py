@@ -1,0 +1,15 @@
+"""Benchmark E7 — regenerate Figure 4 (chi-square locality curve)."""
+
+from conftest import emit
+from repro.experiments import fig4
+
+
+def test_fig4_locality_chisquare(benchmark, context):
+    result = benchmark.pedantic(fig4.run, args=(context,),
+                                rounds=1, iterations=1)
+    emit(result.format())
+    # The paper's design-defining finding: significance peaks at 128 rows.
+    assert result.curve.peak_threshold == 128
+    curve = result.curve.as_dict()
+    assert curve[128] > curve[2048]
+    assert curve[128] > curve[4]

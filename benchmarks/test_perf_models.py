@@ -1,0 +1,55 @@
+"""Microbenchmarks — inference hot paths.
+
+Deployment latency questions: how long does one trigger take end to end
+(featurise + classify + predict blocks)? How fast is bulk block scoring?
+Measured with repeated rounds on the shared fitted Random Forest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import collect_triggers
+
+
+@pytest.fixture(scope="module")
+def fitted(context):
+    return context.model("Random Forest")
+
+
+@pytest.fixture(scope="module")
+def triggers(context):
+    return collect_triggers(context.dataset, context.split[1])[:50]
+
+
+def test_perf_trigger_decision_latency(benchmark, fitted, triggers):
+    """Full per-trigger decision: classify pattern + score 16 blocks."""
+    def decide():
+        decisions = 0
+        for trigger in triggers:
+            pattern = fitted.classifier.predict(trigger.history)
+            if pattern.is_aggregation:
+                fitted.predictor.predict(trigger.history,
+                                         trigger.uer_rows[-1])
+            decisions += 1
+        return decisions
+
+    n = benchmark.pedantic(decide, rounds=3, iterations=1)
+    assert n == len(triggers)
+
+
+def test_perf_pattern_featurisation(benchmark, fitted, triggers):
+    featurizer = fitted.classifier.featurizer
+    histories = [t.history for t in triggers]
+    matrix = benchmark.pedantic(
+        lambda: featurizer.extract_many(histories), rounds=5, iterations=1)
+    assert matrix.shape[0] == len(histories)
+
+
+def test_perf_bulk_block_scoring(benchmark, fitted, triggers):
+    featurizer = fitted.predictor.featurizer
+    X = np.vstack([featurizer.extract_blocks(t.history, t.uer_rows[-1])
+                   for t in triggers])
+    probs = benchmark.pedantic(
+        lambda: fitted.predictor.predict_proba_matrix(X),
+        rounds=5, iterations=1)
+    assert probs.shape[0] == X.shape[0]

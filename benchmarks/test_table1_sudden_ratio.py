@@ -1,0 +1,15 @@
+"""Benchmark E1 — regenerate Table I (in-row predictable ratio of UERs)."""
+
+from conftest import emit
+from repro.experiments import table1
+
+
+def test_table1_sudden_ratio(benchmark, context):
+    result = benchmark.pedantic(table1.run, args=(context,),
+                                rounds=1, iterations=1)
+    emit(result.format())
+    # Shape: predictability collapses towards row level (paper: 41.9% -> 4.4%)
+    assert result.is_monotone_decreasing()
+    rows = result.rows
+    assert rows["Row"][2] < 0.12
+    assert rows["NPU"][2] > rows["Row"][2] + 0.15

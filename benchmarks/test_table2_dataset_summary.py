@@ -1,0 +1,16 @@
+"""Benchmark E2 — regenerate Table II (dataset summary per micro-level)."""
+
+from conftest import emit
+from repro.experiments import table2
+
+
+def test_table2_dataset_summary(benchmark, context):
+    result = benchmark.pedantic(table2.run, args=(context,),
+                                rounds=1, iterations=1)
+    emit(result.format())
+    # Bank/Row counts track the (scaled) paper; coarser levels scale
+    # sub-linearly (see Table2Result.max_relative_error) and are printed
+    # for inspection only below scale 1.
+    assert result.max_relative_error(levels=("Bank", "Row")) < 0.30
+    if result.scale >= 0.9:
+        assert result.max_relative_error(levels=result.rows.keys()) < 0.35

@@ -1,0 +1,20 @@
+"""Benchmark E3 — regenerate Table III (failure-pattern classification)."""
+
+from conftest import emit
+from repro.experiments import table3
+
+
+def test_table3_pattern_classification(benchmark, context):
+    result = benchmark.pedantic(table3.run, args=(context,),
+                                rounds=1, iterations=1)
+    emit(result.format())
+    for model in ("LightGBM", "XGBoost", "Random Forest"):
+        scores = result.scores[model]
+        single = scores["Single-row Clustering"][2]
+        # Paper shape: single-row is classified (near-)best and double-row
+        # worst.  Our scattered class runs close to single-row (see
+        # EXPERIMENTS.md), so allow a statistical tie at bench scale.
+        assert single > 0.80, model
+        assert single >= scores["Double-row Clustering"][2], model
+        assert single >= scores["Scattered Pattern"][2] - 0.05, model
+        assert result.weighted_f1(model) > 0.70, model

@@ -1,0 +1,58 @@
+"""What-if capacity planning across fleet scenarios.
+
+Run:  python examples/capacity_planning.py
+
+A platform team sizing spare capacity and deciding whether Cordial earns
+its keep needs answers under futures, not just the calibrated present.
+This example trains one Cordial model on the baseline fleet, then replays
+it against named what-if scenarios (an aged fleet, a packaging regression
+that doubles scattered faults, a sudden-error-heavy fleet, compressed
+failure timelines) and prices each outcome with the cost model.
+"""
+
+from repro.core.costmodel import CostParams, price_result
+from repro.core.pipeline import Cordial, evaluate_neighbor_baseline
+from repro.datasets import generate_fleet_dataset
+from repro.faults.scenarios import SCENARIOS
+from repro.ml.selection import train_test_split_groups
+
+SCALE = 0.15
+COSTS = CostParams()
+
+# -- train once, on the calibrated baseline --------------------------------
+print("Training Cordial on the baseline fleet...")
+base_dataset = generate_fleet_dataset(SCENARIOS["baseline"](SCALE), seed=0)
+train_banks, _ = train_test_split_groups(base_dataset.uer_banks, 0.3,
+                                         seed=7)
+cordial = Cordial(model_name="LightGBM", random_state=0)
+cordial.fit(base_dataset, train_banks)
+
+# -- replay against each scenario --------------------------------------------
+rows = []
+for name in ("baseline", "aged-fleet", "tsv-dominant", "sudden-heavy",
+             "fast-failing"):
+    dataset = generate_fleet_dataset(SCENARIOS[name](SCALE), seed=99)
+    banks = dataset.uer_banks
+    evaluation = cordial.evaluate(dataset, banks)
+    baseline_eval = evaluate_neighbor_baseline(dataset, banks)
+    cost = price_result(evaluation.icr, COSTS)
+    base_cost = price_result(baseline_eval.icr, COSTS)
+    rows.append((name, evaluation.icr.icr, baseline_eval.icr.icr,
+                 evaluation.icr.spared_rows, evaluation.icr.spared_banks,
+                 cost.net_benefit - base_cost.net_benefit))
+
+print(f"\n{'Scenario':<14}{'Cordial ICR':>12}{'baseline ICR':>14}"
+      f"{'rows':>7}{'banks':>7}{'net benefit vs baseline':>26}")
+for name, icr, base_icr, spared_rows, spared_banks, delta in rows:
+    print(f"{name:<14}{icr:>12.2%}{base_icr:>14.2%}{spared_rows:>7}"
+          f"{spared_banks:>7}{delta:>+26,.0f}")
+
+print(
+    "\nReading: the model was trained on the baseline distribution only.\n"
+    "Coverage collapses under 'sudden-heavy' (precursor signals vanish —\n"
+    "the regime the paper's sudden-error study warns about), to the point\n"
+    "where Cordial no longer out-earns the simple baseline. The spatial\n"
+    "what-ifs are kinder: 'tsv-dominant' shifts mitigation from row\n"
+    "sparing to bank sparing (watch the banks column) and 'fast-failing'\n"
+    "holds up because re-prediction keeps pace with the shortened\n"
+    "timelines.")

@@ -1,0 +1,75 @@
+"""Compare isolation policies: coverage vs cost.
+
+Run:  python examples/sparing_policy_comparison.py
+
+Table IV reports coverage (ICR); an operator also cares what each policy
+*spends* — spare rows are scarce (post-package repair budgets) and bank
+retirement sacrifices capacity.  This example replays the same test fleet
+under four policies and reports both sides:
+
+  * Neighbor Rows  — the industrial baseline (+/-4 rows per observed UER),
+  * In-row         — spare a row only after it already misbehaved (CE/UEO),
+  * Cordial        — pattern classification + cross-row block prediction,
+  * Oracle         — isolate exactly the true future UER rows at trigger
+                     time (the coverage ceiling given the 3-UER trigger).
+"""
+
+from repro.core.baselines import InRowPredictor, NeighborRowsBaseline
+from repro.core.isolation import IsolationReplay
+from repro.core.pipeline import Cordial, collect_triggers
+from repro.datasets import FleetGenConfig, generate_fleet_dataset
+from repro.ml.selection import train_test_split_groups
+from repro.telemetry.events import ErrorType
+
+dataset = generate_fleet_dataset(FleetGenConfig(scale=0.25), seed=5)
+train_banks, test_banks = train_test_split_groups(
+    dataset.uer_banks, test_fraction=0.3, seed=17)
+truth_rows = {bank: dataset.bank_truth[bank].uer_row_sequence
+              for bank in test_banks
+              if dataset.bank_truth[bank].uer_row_sequence}
+
+results = {}
+
+# -- Neighbor Rows -------------------------------------------------------------
+baseline = NeighborRowsBaseline()
+env = baseline.replay({bank: dataset.store.bank_events(bank)
+                       for bank in test_banks})
+results["Neighbor Rows"] = env.result(truth_rows)
+
+# -- In-row (spare a row after its first CE/UEO) ---------------------------------
+env = IsolationReplay()
+in_row = InRowPredictor(min_precursors=1)
+for bank in test_banks:
+    for record in dataset.store.bank_events(bank):
+        if record.error_type in (ErrorType.CE, ErrorType.UEO):
+            env.isolate_rows(bank, [record.row], record.timestamp)
+results["In-row"] = env.result(truth_rows)
+
+# -- Cordial ----------------------------------------------------------------------
+print("Training Cordial...")
+cordial = Cordial(model_name="Random Forest", random_state=0)
+cordial.fit(dataset, train_banks)
+results["Cordial (RF)"] = cordial.evaluate(dataset, test_banks).icr
+
+# -- Oracle (ceiling) ----------------------------------------------------------------
+env = IsolationReplay(spares_per_bank=64)
+for trigger in collect_triggers(dataset, test_banks):
+    truth = dataset.bank_truth[trigger.bank_key]
+    future = [row for _, row in truth.future_uer_rows(trigger.timestamp)]
+    env.isolate_rows(trigger.bank_key, future, trigger.timestamp)
+results["Oracle @trigger"] = env.result(truth_rows)
+
+# -- report ---------------------------------------------------------------------------
+print(f"\n{'Policy':<18}{'ICR':>8}{'rows spared':>13}{'banks retired':>15}"
+      f"{'rows / covered row':>20}")
+for name, r in results.items():
+    efficiency = (r.spared_rows / r.covered_rows if r.covered_rows
+                  else float("inf"))
+    print(f"{name:<18}{r.icr:>8.2%}{r.spared_rows:>13}"
+          f"{r.spared_banks:>15}{efficiency:>20.1f}")
+
+print("\nReading: the oracle shows how much of the miss is *irreducible* "
+      "(rows that fail\nbefore the trigger can never be preempted); Cordial "
+      "closes a large part of the\nremaining gap at moderate sparing cost, "
+      "while the reactive baseline spends its\nrows next to failures that "
+      "rarely recur within +/-4 rows.")

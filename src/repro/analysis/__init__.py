@@ -1,0 +1,41 @@
+"""The paper's empirical study (Section III), as library code.
+
+Three analyses motivate Cordial's design, plus the dataset summary:
+
+* :mod:`repro.analysis.sudden` — sudden vs non-sudden UER ratios per
+  micro-level (Table I): why in-row prediction fails;
+* :mod:`repro.analysis.summary` — entity counts per micro-level (Table II);
+* :mod:`repro.analysis.patterns_dist` — bank failure-pattern distribution
+  and example error maps (Figure 3): why aggregation makes cross-row
+  prediction feasible;
+* :mod:`repro.analysis.locality` — chi-square significance of cross-row
+  locality vs distance threshold (Figure 4): why the 128-row window.
+"""
+
+from repro.analysis.sudden import LevelSuddenStats, compute_sudden_uer_table
+from repro.analysis.summary import LevelSummary, compute_dataset_summary
+from repro.analysis.patterns_dist import (
+    compute_pattern_distribution,
+    example_bank_maps,
+)
+from repro.analysis.locality import LocalityCurve, compute_locality_chisquare
+from repro.analysis.temporal import (InterArrivalStats, bootstrap_ratio_ci,
+                                     uer_acceleration)
+from repro.analysis.spatial import (bank_spatial_stats,
+                                    fleet_spatial_profile)
+
+__all__ = [
+    "LevelSuddenStats",
+    "compute_sudden_uer_table",
+    "LevelSummary",
+    "compute_dataset_summary",
+    "compute_pattern_distribution",
+    "example_bank_maps",
+    "LocalityCurve",
+    "compute_locality_chisquare",
+    "InterArrivalStats",
+    "bootstrap_ratio_ci",
+    "uer_acceleration",
+    "bank_spatial_stats",
+    "fleet_spatial_profile",
+]

@@ -1,0 +1,95 @@
+"""Cross-row UER locality analysis (Figure 4).
+
+Section III-C quantifies how close a subsequent UER lands to the current
+UER row: for each distance threshold ``d`` (4 ... 2048 rows), compare the
+observed number of consecutive-UER pairs within ``d`` rows against the
+expectation under a no-locality null (the next UER row uniform over the
+bank), and report the chi-square statistic.  The paper finds the strongest
+significance at ``d = 128``, which fixes Cordial's prediction window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.telemetry.store import ErrorStore
+
+
+@dataclass(frozen=True)
+class LocalityCurve:
+    """Chi-square statistic per row-distance threshold (Figure 4's series)."""
+
+    thresholds: Tuple[int, ...]
+    chi_squared: Tuple[float, ...]
+    n_pairs: int
+
+    @property
+    def peak_threshold(self) -> int:
+        """Threshold with the strongest statistical significance."""
+        return self.thresholds[int(np.argmax(self.chi_squared))]
+
+    def as_dict(self) -> Dict[int, float]:
+        """``{threshold: chi_square}`` mapping."""
+        return dict(zip(self.thresholds, self.chi_squared))
+
+
+def consecutive_uer_distances(store: ErrorStore,
+                              bank_keys: Optional[Sequence[tuple]] = None
+                              ) -> np.ndarray:
+    """|row difference| between consecutive distinct UER rows, per bank,
+    pooled over ``bank_keys`` (default: every bank with >= 2 UER rows)."""
+    if bank_keys is None:
+        bank_keys = store.banks_with_min_uer_rows(2)
+    distances: List[int] = []
+    for key in bank_keys:
+        rows = [record.row for record in store.uer_rows_of_bank(key)]
+        for previous, current in zip(rows, rows[1:]):
+            distances.append(abs(current - previous))
+    return np.asarray(distances, dtype=np.int64)
+
+
+def chi_square_within_threshold(distances: np.ndarray, threshold: int,
+                                total_rows: int) -> float:
+    """Chi-square of observed-vs-expected pairs within ``threshold`` rows.
+
+    Null hypothesis: the next UER row is uniform over the bank's rows, so a
+    pair lands within ``threshold`` with probability
+    ``p = min(1, 2 * threshold / total_rows)``.  One degree of freedom:
+
+        chi2 = (O - E)^2 / E + ((N - O) - (N - E))^2 / (N - E)
+    """
+    n = distances.size
+    if n == 0:
+        return 0.0
+    p = min(1.0, 2.0 * threshold / total_rows)
+    expected = n * p
+    observed = float(np.count_nonzero(distances <= threshold))
+    if expected <= 0 or expected >= n:
+        return 0.0
+    return ((observed - expected) ** 2 / expected
+            + (observed - expected) ** 2 / (n - expected))
+
+
+def compute_locality_chisquare(store: ErrorStore,
+                               thresholds: Sequence[int] = (
+                                   4, 8, 16, 32, 64, 128, 256, 512, 1024,
+                                   2048),
+                               total_rows: int = 32768) -> LocalityCurve:
+    """The Figure 4 curve: chi-square per distance threshold."""
+    distances = consecutive_uer_distances(store)
+    chi = tuple(chi_square_within_threshold(distances, t, total_rows)
+                for t in thresholds)
+    return LocalityCurve(thresholds=tuple(thresholds), chi_squared=chi,
+                         n_pairs=int(distances.size))
+
+
+def format_locality_curve(curve: LocalityCurve) -> str:
+    """Plain-text rendering of the Figure 4 series."""
+    lines = [f"{'Row Distance Threshold':<24}{'Chi-Squared Value':>18}"]
+    for threshold, value in zip(curve.thresholds, curve.chi_squared):
+        marker = "  <-- peak" if threshold == curve.peak_threshold else ""
+        lines.append(f"{threshold:<24}{value:>18.1f}{marker}")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Bank failure-pattern distribution and example maps (Figure 3).
+
+Figure 3(b) is the distribution of observable failure patterns over UER
+banks; Figure 3(a) shows one example error map per pattern (error addresses
+as (column, row) scatter points).  Both are reproduced from the generated
+fleet's ground truth; an observational cross-check against the heuristic
+labeller of :mod:`repro.core.patterns` is provided by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.faults.types import FIG3B_SLICE_LABELS, FaultType
+from repro.telemetry.events import ErrorType
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.datasets
+    from repro.datasets.fleetgen import FleetDataset
+
+
+def compute_pattern_distribution(dataset: "FleetDataset",
+                                 min_uer_rows: int = 1) -> Dict[str, float]:
+    """Fraction of UER banks per Figure 3(b) slice.
+
+    Args:
+        min_uer_rows: restrict to banks with at least this many distinct
+            UER rows (1 = every UER bank, as in the paper's figure).
+    """
+    counts: Dict[str, int] = {label: 0 for label in
+                              FIG3B_SLICE_LABELS.values()}
+    total = 0
+    for truth in dataset.bank_truth.values():
+        if truth.fault_type is FaultType.CELL_FAULT:
+            continue
+        if len(truth.uer_row_sequence) < min_uer_rows:
+            continue
+        counts[FIG3B_SLICE_LABELS[truth.fault_type]] += 1
+        total += 1
+    if total == 0:
+        return {label: 0.0 for label in counts}
+    return {label: count / total for label, count in counts.items()}
+
+
+def bank_error_map(dataset: "FleetDataset", bank_key: tuple
+                   ) -> List[Tuple[int, int, str]]:
+    """(column, row, error_type) scatter points of one bank — the raw data
+    behind a Figure 3(a) panel."""
+    points = []
+    for record in dataset.store.bank_events(bank_key):
+        points.append((record.column, record.row, record.error_type.value))
+    return points
+
+
+def example_bank_maps(dataset: "FleetDataset",
+                      min_uer_rows: int = 3
+                      ) -> Dict[str, List[Tuple[int, int, str]]]:
+    """One representative error map per Figure 3(b) slice.
+
+    Picks, for each fault mechanism, the UER bank with the most events
+    (the paper's figure likewise shows richly populated examples).
+    """
+    best: Dict[FaultType, Tuple[int, tuple]] = {}
+    for key, truth in dataset.bank_truth.items():
+        if truth.fault_type is FaultType.CELL_FAULT:
+            continue
+        if len(truth.uer_row_sequence) < min_uer_rows:
+            continue
+        n_events = len(dataset.store.bank_events(key))
+        current = best.get(truth.fault_type)
+        if current is None or n_events > current[0]:
+            best[truth.fault_type] = (n_events, key)
+    return {FIG3B_SLICE_LABELS[fault_type]: bank_error_map(dataset, key)
+            for fault_type, (_, key) in best.items()}
+
+
+def format_distribution(distribution: Dict[str, float],
+                        reference: Optional[Dict[str, float]] = None) -> str:
+    """Plain-text rendering of Figure 3(b), optionally vs the paper."""
+    lines = [f"{'Pattern':<28}{'Measured':>10}"
+             + (f"{'Paper':>10}" if reference else "")]
+    for label, fraction in distribution.items():
+        line = f"{label:<28}{fraction:>9.1%}"
+        if reference:
+            line += f"{reference.get(label, 0.0):>9.1%}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def ascii_bank_map(points: List[Tuple[int, int, str]], rows: int = 32768,
+                   columns: int = 128, height: int = 24,
+                   width: int = 64) -> str:
+    """Coarse ASCII rendering of a bank error map (for CLI examples).
+
+    UERs render as ``#``, UEOs as ``o``, CEs as ``.``; cells aggregate by
+    severity (UER wins).
+    """
+    rank = {ErrorType.CE.value: 1, ErrorType.UEO.value: 2,
+            ErrorType.UER.value: 3}
+    glyph = {1: ".", 2: "o", 3: "#"}
+    grid = [[0] * width for _ in range(height)]
+    for column, row, kind in points:
+        r = min(height - 1, row * height // rows)
+        c = min(width - 1, column * width // columns)
+        grid[r][c] = max(grid[r][c], rank[kind])
+    lines = ["".join(glyph.get(cell, " ") for cell in line_cells)
+             for line_cells in grid]
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Per-pattern spatial statistics of failing banks.
+
+Deeper quantitative companions to Figure 3: how wide are the clusters,
+how concentrated are errors on columns, how far do UERs sit from their
+bank's error centroid per pattern.  These statistics validated the
+generator's fault physics during calibration and are exposed for studies
+on real logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.patterns import cluster_rows
+from repro.telemetry.events import ErrorType
+from repro.telemetry.store import ErrorStore
+
+
+@dataclass(frozen=True)
+class BankSpatialStats:
+    """Spatial summary of one bank's UER rows."""
+
+    bank_key: tuple
+    n_uer_rows: int
+    span: int
+    n_clusters: int
+    widest_cluster: int
+    median_consecutive_gap: float
+    column_concentration: float
+
+
+def column_concentration(columns: Sequence[int]) -> float:
+    """How concentrated events are on few columns, in [0, 1].
+
+    Defined as ``1 - H(c) / log(n_distinct_possible)`` is unstable for
+    small samples; we use the simpler max-share statistic: the fraction of
+    events on the single most frequent column.  1.0 = whole-column
+    signature; ~1/128 = uniform.
+    """
+    if not columns:
+        raise ValueError("need at least one column")
+    values, counts = np.unique(np.asarray(columns), return_counts=True)
+    return float(counts.max() / counts.sum())
+
+
+def bank_spatial_stats(store: ErrorStore, bank_key: tuple,
+                       gap_threshold: int = 512
+                       ) -> Optional[BankSpatialStats]:
+    """Spatial summary of one bank (``None`` when it has no UER rows)."""
+    uers = store.uer_rows_of_bank(bank_key)
+    if not uers:
+        return None
+    rows = [r.row for r in uers]
+    columns = [r.column for r in uers]
+    ordered = sorted(rows)
+    gaps = [b - a for a, b in zip(ordered, ordered[1:])]
+    clusters = cluster_rows(rows, gap_threshold)
+    return BankSpatialStats(
+        bank_key=bank_key,
+        n_uer_rows=len(rows),
+        span=ordered[-1] - ordered[0],
+        n_clusters=len(clusters),
+        widest_cluster=max(high - low for low, high, _ in clusters),
+        median_consecutive_gap=float(np.median(gaps)) if gaps else 0.0,
+        column_concentration=column_concentration(columns),
+    )
+
+
+def fleet_spatial_profile(store: ErrorStore,
+                          pattern_of: Optional[Dict[tuple, str]] = None,
+                          min_uer_rows: int = 2
+                          ) -> Dict[str, Dict[str, float]]:
+    """Median spatial statistics per pattern (or pooled).
+
+    Args:
+        pattern_of: optional ``bank_key -> pattern label``; banks missing
+            from it are pooled under ``"unlabelled"``.
+
+    Returns ``{pattern: {statistic: median}}``.
+    """
+    grouped: Dict[str, List[BankSpatialStats]] = {}
+    for bank_key in store.banks_with_min_uer_rows(min_uer_rows):
+        stats = bank_spatial_stats(store, bank_key)
+        if stats is None:
+            continue
+        label = (pattern_of or {}).get(bank_key, "unlabelled")
+        grouped.setdefault(label, []).append(stats)
+    profile: Dict[str, Dict[str, float]] = {}
+    for label, entries in grouped.items():
+        profile[label] = {
+            "banks": float(len(entries)),
+            "median_span": float(np.median([e.span for e in entries])),
+            "median_clusters": float(np.median([e.n_clusters
+                                                for e in entries])),
+            "median_widest_cluster": float(np.median(
+                [e.widest_cluster for e in entries])),
+            "median_gap": float(np.median([e.median_consecutive_gap
+                                           for e in entries])),
+            "median_column_concentration": float(np.median(
+                [e.column_concentration for e in entries])),
+        }
+    return profile
+
+
+def format_spatial_profile(profile: Dict[str, Dict[str, float]]) -> str:
+    """Plain-text table of :func:`fleet_spatial_profile`."""
+    lines = [f"{'Pattern':<26}{'banks':>6}{'span':>8}{'clusters':>9}"
+             f"{'widest':>8}{'gap':>7}{'col-conc':>9}"]
+    for label, stats in sorted(profile.items()):
+        lines.append(
+            f"{label:<26}{stats['banks']:>6.0f}{stats['median_span']:>8.0f}"
+            f"{stats['median_clusters']:>9.1f}"
+            f"{stats['median_widest_cluster']:>8.0f}"
+            f"{stats['median_gap']:>7.0f}"
+            f"{stats['median_column_concentration']:>9.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Sudden vs non-sudden UER analysis (Table I).
+
+Following the paper (Section III-A, after [29]): a unit's UERs are
+*non-sudden* when the unit saw correctable-type signals (CEs or UEOs)
+before its first UER — those are the cases an in-row/in-unit
+history-based predictor could in principle catch.  The *predictable ratio*
+is ``non_sudden / (sudden + non_sudden)`` over all units with at least one
+UER at that micro-level.
+
+Modelling note (see DESIGN.md): a precursor only makes a UER predictable
+if it falls inside the *observation window* an online in-row predictor
+actually watches; we default to a 6-hour lookback
+(``DEFAULT_LOOKBACK_DAYS``).  Pass ``lookback_days=None`` for the
+unbounded full-history definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.hbm.address import MicroLevel
+from repro.telemetry.events import ErrorType
+from repro.telemetry.store import ErrorStore
+
+PRECURSOR_TYPES: Sequence[ErrorType] = (ErrorType.CE, ErrorType.UEO)
+
+#: Observation window of the hypothetical in-row predictor (6 hours).
+DEFAULT_LOOKBACK_DAYS: float = 0.25
+
+_DAY_S = 86400.0
+
+
+@dataclass(frozen=True)
+class LevelSuddenStats:
+    """Sudden/non-sudden counts of one micro-level (one Table I row)."""
+
+    level: MicroLevel
+    sudden: int
+    non_sudden: int
+
+    @property
+    def total(self) -> int:
+        """Units with at least one UER at this level."""
+        return self.sudden + self.non_sudden
+
+    @property
+    def predictable_ratio(self) -> float:
+        """Fraction of UER units an in-unit history predictor could see
+        coming."""
+        return self.non_sudden / self.total if self.total else 0.0
+
+
+def classify_unit_sudden(store: ErrorStore, level: MicroLevel, key: tuple,
+                         lookback_days: Optional[float] = DEFAULT_LOOKBACK_DAYS
+                         ) -> bool:
+    """True when the unit's first UER was *sudden* (no CE/UEO inside the
+    lookback window before it).
+
+    Raises ``ValueError`` when the unit has no UER at all.
+    """
+    first_uer = store.first_event_of(level, key, ErrorType.UER)
+    if first_uer is None:
+        raise ValueError(f"unit {key} at {level.name} has no UER")
+    since = None
+    if lookback_days is not None:
+        since = first_uer.timestamp - lookback_days * _DAY_S
+    return not store.has_event_before(level, key, PRECURSOR_TYPES,
+                                      before=first_uer.timestamp, since=since)
+
+
+def compute_sudden_uer_table(store: ErrorStore,
+                             levels: Sequence[MicroLevel] = (),
+                             lookback_days: Optional[float] =
+                             DEFAULT_LOOKBACK_DAYS
+                             ) -> Dict[MicroLevel, LevelSuddenStats]:
+    """Sudden/non-sudden statistics for every requested micro-level.
+
+    Defaults to the seven levels of the paper's Table I.
+    """
+    levels = tuple(levels) or MicroLevel.paper_levels()
+    table: Dict[MicroLevel, LevelSuddenStats] = {}
+    for level in levels:
+        sudden = 0
+        non_sudden = 0
+        for key in store.units_with(level, ErrorType.UER):
+            if classify_unit_sudden(store, level, key, lookback_days):
+                sudden += 1
+            else:
+                non_sudden += 1
+        table[level] = LevelSuddenStats(level=level, sudden=sudden,
+                                        non_sudden=non_sudden)
+    return table
+
+
+def format_sudden_table(table: Dict[MicroLevel, LevelSuddenStats]) -> str:
+    """Plain-text rendering in the paper's Table I layout."""
+    lines = [f"{'Micro-level':<12}{'Sudden UER':>12}{'Non-sudden UER':>16}"
+             f"{'Predictable Ratio':>20}"]
+    for level, stats in table.items():
+        lines.append(
+            f"{level.label:<12}{stats.sudden:>12}{stats.non_sudden:>16}"
+            f"{stats.predictable_ratio:>19.2%}")
+    return "\n".join(lines)

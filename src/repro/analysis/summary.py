@@ -1,0 +1,53 @@
+"""Dataset summary per micro-level (Table II).
+
+For every micro-level, count the units that saw at least one CE, at least
+one UEO, at least one UER, and at least one event of any type ("Total
+Count" in the paper's Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.hbm.address import MicroLevel
+from repro.telemetry.events import ErrorType
+from repro.telemetry.store import ErrorStore
+
+
+@dataclass(frozen=True)
+class LevelSummary:
+    """One Table II row: unit counts of a micro-level."""
+
+    level: MicroLevel
+    with_ce: int
+    with_ueo: int
+    with_uer: int
+    total: int
+
+
+def compute_dataset_summary(store: ErrorStore,
+                            levels: Sequence[MicroLevel] = ()
+                            ) -> Dict[MicroLevel, LevelSummary]:
+    """Unit counts per micro-level (defaults to Table II's seven levels)."""
+    levels = tuple(levels) or MicroLevel.paper_levels()
+    summary: Dict[MicroLevel, LevelSummary] = {}
+    for level in levels:
+        summary[level] = LevelSummary(
+            level=level,
+            with_ce=len(store.units_with(level, ErrorType.CE)),
+            with_ueo=len(store.units_with(level, ErrorType.UEO)),
+            with_uer=len(store.units_with(level, ErrorType.UER)),
+            total=len(store.units(level)),
+        )
+    return summary
+
+
+def format_summary_table(summary: Dict[MicroLevel, LevelSummary]) -> str:
+    """Plain-text rendering in the paper's Table II layout."""
+    lines = [f"{'Micro-level':<12}{'With CE':>10}{'With UEO':>10}"
+             f"{'With UER':>10}{'Total Count':>13}"]
+    for level, row in summary.items():
+        lines.append(f"{level.label:<12}{row.with_ce:>10}{row.with_ueo:>10}"
+                     f"{row.with_uer:>10}{row.total:>13}")
+    return "\n".join(lines)

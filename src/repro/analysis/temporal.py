@@ -1,0 +1,137 @@
+"""Temporal structure of the error stream: inter-arrival and burstiness.
+
+Complements the spatial empirical study: the paper's temporal features
+(Section IV-B/IV-D) presume that aggregation failures *accelerate* —
+errors arrive in bursts once a fault activates.  These statistics verify
+that property on any store and quantify it, plus a bootstrap
+confidence-interval helper for ICR-style ratio metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.telemetry.events import ErrorType
+from repro.telemetry.store import ErrorStore
+
+
+@dataclass(frozen=True)
+class InterArrivalStats:
+    """Summary of inter-arrival gaps (seconds) of one event population."""
+
+    count: int
+    mean_s: float
+    median_s: float
+    p90_s: float
+    burstiness: float
+
+    @staticmethod
+    def from_gaps(gaps: np.ndarray) -> "InterArrivalStats":
+        """Build from raw gap samples.
+
+        Burstiness uses the Goh-Barabasi coefficient
+        ``B = (sigma - mu) / (sigma + mu)``: 0 for a Poisson process,
+        towards +1 for bursty streams, towards -1 for periodic ones.
+        """
+        if gaps.size == 0:
+            return InterArrivalStats(0, float("nan"), float("nan"),
+                                     float("nan"), float("nan"))
+        mu = float(gaps.mean())
+        sigma = float(gaps.std())
+        burstiness = ((sigma - mu) / (sigma + mu)
+                      if sigma + mu > 0 else 0.0)
+        return InterArrivalStats(
+            count=int(gaps.size), mean_s=mu,
+            median_s=float(np.median(gaps)),
+            p90_s=float(np.quantile(gaps, 0.9)),
+            burstiness=burstiness)
+
+
+def bank_interarrival_gaps(store: ErrorStore,
+                           error_type: Optional[ErrorType] = None
+                           ) -> np.ndarray:
+    """Within-bank inter-arrival gaps pooled over all banks.
+
+    Pooling across banks without the per-bank grouping would measure the
+    fleet's aggregate arrival process instead of per-fault dynamics.
+    """
+    from repro.hbm.address import MicroLevel
+
+    gaps: List[float] = []
+    for bank in store.units(MicroLevel.BANK):
+        events = store.events_for(MicroLevel.BANK, bank, error_type)
+        times = [e.timestamp for e in events]
+        gaps.extend(b - a for a, b in zip(times, times[1:]))
+    return np.asarray(gaps, dtype=np.float64)
+
+
+def uer_acceleration(store: ErrorStore) -> Tuple[float, float]:
+    """(median first gap, median later gap) between a bank's UERs.
+
+    Aggregation faults accelerate: the gap between UER k and k+1 shrinks
+    as k grows.  Returns medians of the first gap (rows 1->2) and of all
+    later gaps, pooled over banks with >= 3 distinct UER rows.
+    """
+    first_gaps: List[float] = []
+    later_gaps: List[float] = []
+    for bank in store.banks_with_min_uer_rows(3):
+        times = [r.timestamp for r in store.uer_rows_of_bank(bank)]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        first_gaps.append(gaps[0])
+        later_gaps.extend(gaps[1:])
+    if not first_gaps or not later_gaps:
+        return float("nan"), float("nan")
+    return float(np.median(first_gaps)), float(np.median(later_gaps))
+
+
+def bootstrap_ratio_ci(numerators: Sequence[int], denominators: Sequence[int],
+                       n_resamples: int = 2000, alpha: float = 0.05,
+                       seed: int = 0) -> Tuple[float, float, float]:
+    """Bootstrap CI for a pooled ratio like the ICR.
+
+    Args:
+        numerators/denominators: per-bank covered and total UER rows;
+            resampling is at bank granularity (banks are the independent
+            units, rows within a bank are not).
+
+    Returns ``(point_estimate, ci_low, ci_high)``.
+    """
+    num = np.asarray(numerators, dtype=np.float64)
+    den = np.asarray(denominators, dtype=np.float64)
+    if num.shape != den.shape or num.ndim != 1:
+        raise ValueError("numerators and denominators must be 1-d aligned")
+    if num.size == 0 or den.sum() == 0:
+        raise ValueError("need non-empty data with a non-zero denominator")
+    point = float(num.sum() / den.sum())
+    rng = np.random.default_rng(seed)
+    estimates = np.empty(n_resamples)
+    n = num.size
+    for i in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        total = den[idx].sum()
+        estimates[i] = num[idx].sum() / total if total > 0 else 0.0
+    low, high = np.quantile(estimates, [alpha / 2, 1 - alpha / 2])
+    return point, float(low), float(high)
+
+
+def format_temporal_report(store: ErrorStore) -> str:
+    """Human-readable temporal summary of a store."""
+    lines = ["Temporal structure (within-bank inter-arrival gaps):"]
+    for error_type in (None, ErrorType.CE, ErrorType.UEO, ErrorType.UER):
+        label = error_type.value if error_type else "all"
+        stats = InterArrivalStats.from_gaps(
+            bank_interarrival_gaps(store, error_type))
+        if stats.count == 0:
+            lines.append(f"  {label:<4} (no gaps)")
+            continue
+        lines.append(
+            f"  {label:<4} n={stats.count:>7} median={stats.median_s / 3600:8.1f}h "
+            f"p90={stats.p90_s / 86400:6.1f}d burstiness={stats.burstiness:+.2f}")
+    first, later = uer_acceleration(store)
+    if not np.isnan(first):
+        lines.append(f"  UER acceleration: median gap rows 1->2 = "
+                     f"{first / 86400:.2f}d, later gaps = {later / 86400:.2f}d")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Cost/benefit model for isolation policies.
+
+The paper's introduction motivates *choosing* between mitigation
+mechanisms: row sparing is cheap but finite, bank sparing "requires
+significantly higher hardware redundancy", and an un-preempted UER crashes
+or slows a training job ([15]-[17]: large revenue loss).  This module
+prices a policy's replay so the ICR can be read in currency instead of
+percent, and recommends row- vs bank-sparing per bank from predicted fault
+rates — the strategy-selection point the paper raises via [21].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.isolation import ICRResult
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Unit costs/prices of mitigation and failure.
+
+    Defaults are deliberately round placeholder magnitudes (documented in
+    currency-free "cost units"): what matters downstream are the ratios.
+
+    Attributes:
+        cost_per_spared_row: amortised cost of consuming one spare row.
+        cost_per_spared_bank: cost of retiring a bank (capacity loss +
+            redundancy), typically orders of magnitude above a row.
+        cost_per_uer_hit: business impact of one *unpreempted* UER row
+            (job crash/restart, diagnosis, node drain).
+        spare_rows_per_bank: hardware budget, for feasibility checks.
+    """
+
+    cost_per_spared_row: float = 1.0
+    cost_per_spared_bank: float = 400.0
+    cost_per_uer_hit: float = 250.0
+    spare_rows_per_bank: int = 64
+
+    def __post_init__(self) -> None:
+        if min(self.cost_per_spared_row, self.cost_per_spared_bank,
+               self.cost_per_uer_hit) < 0:
+            raise ValueError("costs must be non-negative")
+        if self.spare_rows_per_bank < 1:
+            raise ValueError("spare_rows_per_bank must be >= 1")
+
+
+@dataclass(frozen=True)
+class PolicyCost:
+    """Priced outcome of one isolation replay."""
+
+    isolation_cost: float
+    failure_cost: float
+    avoided_failure_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        """Isolation spending plus residual failure impact."""
+        return self.isolation_cost + self.failure_cost
+
+    @property
+    def net_benefit(self) -> float:
+        """Avoided failure impact minus isolation spending."""
+        return self.avoided_failure_cost - self.isolation_cost
+
+
+def price_result(result: ICRResult, params: CostParams = CostParams()
+                 ) -> PolicyCost:
+    """Price an :class:`~repro.core.isolation.ICRResult`.
+
+    Covered rows avoid their UER-hit cost; uncovered rows pay it; every
+    spared row/bank pays its isolation cost.
+    """
+    isolation = (result.spared_rows * params.cost_per_spared_row
+                 + result.spared_banks * params.cost_per_spared_bank)
+    missed = result.total_rows - result.covered_rows
+    return PolicyCost(
+        isolation_cost=isolation,
+        failure_cost=missed * params.cost_per_uer_hit,
+        avoided_failure_cost=result.covered_rows * params.cost_per_uer_hit,
+    )
+
+
+def recommend_mechanism(expected_future_uer_rows: float,
+                        block_hit_rate: float,
+                        params: CostParams = CostParams()) -> str:
+    """Row sparing or bank sparing for one failing bank?
+
+    Args:
+        expected_future_uer_rows: forecast distinct UER rows still to come
+            in the bank.
+        block_hit_rate: probability that a predicted (8-row) block
+            actually catches a future UER row — the predictor's precision
+            for this pattern.
+
+    Returns ``"row-sparing"`` when targeted isolation is expected to be
+    cheaper than retiring the bank, ``"bank-sparing"`` otherwise.  The
+    comparison follows the paper's logic: aggregation patterns (high
+    ``block_hit_rate``) are row-spared; scattered patterns (low hit rate
+    or too many expected rows for the spare budget) are bank-spared.
+    """
+    if expected_future_uer_rows < 0:
+        raise ValueError("expected_future_uer_rows must be >= 0")
+    if not 0.0 <= block_hit_rate <= 1.0:
+        raise ValueError("block_hit_rate must be in [0, 1]")
+
+    if block_hit_rate <= 0.0:
+        return "bank-sparing"
+    # rows spared per covered row ~ 8-row block per hit / hit rate
+    rows_needed = 8.0 * expected_future_uer_rows / block_hit_rate
+    if rows_needed > params.spare_rows_per_bank:
+        return "bank-sparing"
+    covered_value = expected_future_uer_rows * params.cost_per_uer_hit
+    row_cost = rows_needed * params.cost_per_spared_row
+    bank_cost = params.cost_per_spared_bank
+    # Bank sparing covers everything; row sparing covers what it predicts.
+    row_net = covered_value * block_hit_rate_effect(block_hit_rate) - row_cost
+    bank_net = covered_value - bank_cost
+    return "row-sparing" if row_net >= bank_net else "bank-sparing"
+
+
+def block_hit_rate_effect(block_hit_rate: float) -> float:
+    """Fraction of future rows row-sparing is expected to preempt.
+
+    A predicted block either contains the row or not; with hit rate ``h``
+    and re-prediction after every UER, coverage saturates as
+    ``h / (1 - (1 - h) / 2)`` — each miss gets roughly half a retry's
+    worth of another chance.  Kept as a simple closed form; the replay
+    measures the real value.
+    """
+    if not 0.0 <= block_hit_rate <= 1.0:
+        raise ValueError("block_hit_rate must be in [0, 1]")
+    return block_hit_rate / (1.0 - (1.0 - block_hit_rate) / 2.0)

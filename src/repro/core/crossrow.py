@@ -1,0 +1,192 @@
+"""Cross-row failure prediction (Section IV-D).
+
+Stage 3 of Cordial: given a bank classified as an aggregation pattern,
+predict which of the 16 blocks (8 rows each) around the last UER row will
+contain a future UER, and row-spare those blocks.  One binary tree model
+scores all (bank, block) samples; a block is flagged when its probability
+crosses ``threshold``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classifier import make_model
+from repro.core.features import CrossRowFeaturizer, CrossRowWindow
+from repro.telemetry.events import ErrorRecord
+
+
+@dataclass(frozen=True)
+class BlockPrediction:
+    """Per-block outcome of one cross-row prediction.
+
+    Attributes:
+        last_uer_row: anchor of the window.
+        probabilities: per-block UER probability (length ``n_blocks``).
+        flagged: blocks whose probability crossed the threshold.
+        block_ranges: row interval ``[start, end)`` per block.
+    """
+
+    last_uer_row: int
+    probabilities: np.ndarray
+    flagged: np.ndarray
+    block_ranges: Tuple[Tuple[int, int], ...]
+
+    def rows_to_isolate(self) -> List[int]:
+        """All rows of the flagged blocks (the row-sparing request)."""
+        rows: List[int] = []
+        for block, keep in enumerate(self.flagged):
+            if keep:
+                start, end = self.block_ranges[block]
+                rows.extend(range(start, end))
+        return rows
+
+
+class CrossRowPredictor:
+    """Trainable per-block UER predictor.
+
+    Args:
+        model_name: one of the Table III/IV model names.
+        window: prediction-window geometry (paper: +/-64 rows, 8-row
+            blocks).
+        threshold: probability cut-off for flagging a block.
+        random_state: model seed.
+    """
+
+    def __init__(self, model_name: str = "Random Forest",
+                 window: Optional[CrossRowWindow] = None,
+                 threshold: Optional[float] = None,
+                 total_rows: int = 32768,
+                 random_state: Optional[int] = 0) -> None:
+        if threshold is not None and not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1) or None")
+        self.model_name = model_name
+        self.featurizer = CrossRowFeaturizer(window=window,
+                                             total_rows=total_rows)
+        # None = pick the F1-maximising threshold on the training blocks.
+        self.threshold = threshold
+        self._auto_threshold = 0.5
+        self.model = make_model(model_name, random_state, task="blocks")
+        self._fitted = False
+
+    @property
+    def effective_threshold(self) -> float:
+        """The probability cut-off actually applied at prediction time."""
+        return (self.threshold if self.threshold is not None
+                else self._auto_threshold)
+
+    @property
+    def window(self) -> CrossRowWindow:
+        """The prediction-window geometry."""
+        return self.featurizer.window
+
+    def build_samples(self, history: Sequence[ErrorRecord],
+                      last_uer_row: int, trigger_time: float,
+                      future_uer_rows: Sequence[Tuple[float, int]]
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """(features, labels) for one trigger — one row per block."""
+        X = self.featurizer.extract_blocks(history, last_uer_row)
+        y = self.featurizer.block_labels(last_uer_row, trigger_time,
+                                         future_uer_rows)
+        return X, y
+
+    def fit_samples(self, X: np.ndarray, y: np.ndarray
+                    ) -> "CrossRowPredictor":
+        """Train on stacked (bank, block) samples."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y).astype(int)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y must align")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+        if len(np.unique(y)) < 2:
+            raise ValueError("training blocks must contain both classes")
+        # The block task is heavily imbalanced (~1 positive per 16 blocks);
+        # the boosting models get balanced sample weights, while the
+        # Random Forest already balances through its class_weight.
+        from repro.ml.forest import RandomForestClassifier
+        if isinstance(self.model, RandomForestClassifier):
+            sample_weight = None
+        else:
+            n_pos = max(1, int(y.sum()))
+            n_neg = max(1, len(y) - n_pos)
+            weights = np.where(y == 1, len(y) / (2.0 * n_pos),
+                               len(y) / (2.0 * n_neg))
+            sample_weight = weights
+        if self.threshold is None:
+            self._auto_threshold = self._select_threshold(X, y,
+                                                          sample_weight)
+        self.model.fit(X, y, sample_weight=sample_weight)
+        self._fitted = True
+        return self
+
+    def _select_threshold(self, X: np.ndarray, y: np.ndarray,
+                          sample_weight: Optional[np.ndarray]) -> float:
+        """F1-maximising cut-off, estimated out-of-sample.
+
+        A quarter of the training banks (contiguous 16-block groups) is
+        held out; a fresh model trained on the rest scores them, and the
+        best threshold on those *unseen* probabilities is kept.  Selecting
+        on in-sample probabilities would just return whatever the
+        near-interpolating model assigns its own training points.
+        """
+        n_groups = X.shape[0] // self.window.n_blocks
+        if n_groups < 8:
+            return 0.5
+        rng = np.random.default_rng(13)
+        held_out = set(rng.choice(n_groups, size=max(1, n_groups // 4),
+                                  replace=False).tolist())
+        groups = np.arange(X.shape[0]) // self.window.n_blocks
+        val_mask = np.asarray([g in held_out for g in groups])
+        if y[~val_mask].sum() == 0 or y[val_mask].sum() == 0:
+            return 0.5
+        probe = make_model(self.model_name, random_state=29, task="blocks")
+        probe.fit(X[~val_mask], y[~val_mask],
+                  sample_weight=(None if sample_weight is None
+                                 else sample_weight[~val_mask]))
+        proba = probe.predict_proba(X[val_mask])
+        positive_col = int(np.nonzero(probe.classes_ == 1)[0][0])
+        probs = proba[:, positive_col]
+        y = y[val_mask]
+        best_threshold, best_f1 = 0.5, -1.0
+        for threshold in np.arange(0.10, 0.91, 0.05):
+            predicted = probs >= threshold
+            tp = float(np.sum(predicted & (y == 1)))
+            fp = float(np.sum(predicted & (y == 0)))
+            fn = float(np.sum(~predicted & (y == 1)))
+            if tp == 0:
+                continue
+            precision = tp / (tp + fp)
+            recall = tp / (tp + fn)
+            f1 = 2 * precision * recall / (precision + recall)
+            if f1 > best_f1:
+                best_f1, best_threshold = f1, float(threshold)
+        return best_threshold
+
+    def predict(self, history: Sequence[ErrorRecord],
+                last_uer_row: int) -> BlockPrediction:
+        """Score the 16 blocks around ``last_uer_row`` for one bank."""
+        if not self._fitted:
+            raise RuntimeError("predictor is not fitted")
+        X = self.featurizer.extract_blocks(history, last_uer_row)
+        proba = self.model.predict_proba(X)
+        positive_col = int(np.nonzero(self.model.classes_ == 1)[0][0])
+        p = proba[:, positive_col]
+        flagged = p >= self.effective_threshold
+        ranges = tuple(
+            self.window.block_range(last_uer_row, b,
+                                    self.featurizer.total_rows)
+            for b in range(self.window.n_blocks))
+        return BlockPrediction(last_uer_row=last_uer_row, probabilities=p,
+                               flagged=flagged, block_ranges=ranges)
+
+    def predict_proba_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Positive-class probabilities for pre-built block samples."""
+        if not self._fitted:
+            raise RuntimeError("predictor is not fitted")
+        proba = self.model.predict_proba(np.asarray(X, dtype=np.float64))
+        positive_col = int(np.nonzero(self.model.classes_ == 1)[0][0])
+        return proba[:, positive_col]

@@ -1,0 +1,142 @@
+"""Feature-drift monitoring for deployed Cordial models.
+
+A model trained on one fleet regime silently degrades when the fault mix
+shifts (see ``examples/capacity_planning.py``: the sudden-heavy scenario
+halves coverage).  The standard guard is distribution monitoring: compare
+the feature distribution of *live* trigger snapshots against the training
+reference with the Population Stability Index (PSI) and alert when it
+crosses the conventional thresholds (0.1 = drifting, 0.25 = retrain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Conventional PSI bands.
+PSI_STABLE = 0.1
+PSI_RETRAIN = 0.25
+
+
+def population_stability_index(reference: np.ndarray, live: np.ndarray,
+                               n_bins: int = 10) -> float:
+    """PSI between two 1-d samples.
+
+    Bins are reference deciles; both distributions are smoothed with a
+    half-count per bin so empty bins stay finite.
+    """
+    reference = np.asarray(reference, dtype=np.float64).ravel()
+    live = np.asarray(live, dtype=np.float64).ravel()
+    if reference.size < n_bins or live.size == 0:
+        raise ValueError("need at least n_bins reference points and one "
+                         "live point")
+    quantiles = np.quantile(reference, np.linspace(0, 1, n_bins + 1)[1:-1])
+    edges = np.unique(quantiles)
+    ref_counts = np.histogram(reference,
+                              bins=np.concatenate(([-np.inf], edges,
+                                                   [np.inf])))[0]
+    live_counts = np.histogram(live,
+                               bins=np.concatenate(([-np.inf], edges,
+                                                    [np.inf])))[0]
+    ref_share = (ref_counts + 0.5) / (reference.size + 0.5 * len(ref_counts))
+    live_share = (live_counts + 0.5) / (live.size + 0.5 * len(live_counts))
+    return float(np.sum((live_share - ref_share)
+                        * np.log(live_share / ref_share)))
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Per-feature PSI against the training reference."""
+
+    psi_by_feature: Dict[str, float]
+    n_reference: int
+    n_live: int
+
+    @property
+    def worst_feature(self) -> str:
+        """Feature with the highest PSI."""
+        return max(self.psi_by_feature, key=self.psi_by_feature.get)
+
+    @property
+    def worst_psi(self) -> float:
+        """Highest per-feature PSI."""
+        return self.psi_by_feature[self.worst_feature]
+
+    @property
+    def status(self) -> str:
+        """``"stable"``, ``"drifting"`` or ``"retrain"``."""
+        if self.worst_psi < PSI_STABLE:
+            return "stable"
+        if self.worst_psi < PSI_RETRAIN:
+            return "drifting"
+        return "retrain"
+
+    def drifting_features(self,
+                          threshold: float = PSI_STABLE) -> List[str]:
+        """Features whose PSI exceeds ``threshold``, worst first."""
+        return sorted((name for name, psi in self.psi_by_feature.items()
+                       if psi >= threshold),
+                      key=lambda name: -self.psi_by_feature[name])
+
+    def format(self, top: int = 8) -> str:
+        """Plain-text summary of the worst-drifting features."""
+        lines = [f"Drift status: {self.status.upper()} "
+                 f"(worst PSI {self.worst_psi:.3f} on "
+                 f"{self.worst_feature}; reference n={self.n_reference}, "
+                 f"live n={self.n_live})"]
+        ranked = sorted(self.psi_by_feature.items(),
+                        key=lambda item: -item[1])[:top]
+        for name, psi in ranked:
+            band = ("retrain" if psi >= PSI_RETRAIN
+                    else "drifting" if psi >= PSI_STABLE else "stable")
+            lines.append(f"  {name:<32} PSI={psi:6.3f}  [{band}]")
+        return "\n".join(lines)
+
+
+class FeatureDriftMonitor:
+    """Holds the training reference; scores batches of live snapshots.
+
+    Args:
+        reference: training feature matrix (rows = trigger snapshots).
+        feature_names: column labels.
+        n_bins: PSI binning resolution.
+    """
+
+    def __init__(self, reference: np.ndarray,
+                 feature_names: Sequence[str],
+                 n_bins: int = 10) -> None:
+        reference = np.asarray(reference, dtype=np.float64)
+        if reference.ndim != 2:
+            raise ValueError("reference must be 2-dimensional")
+        if reference.shape[1] != len(feature_names):
+            raise ValueError("feature_names must match reference width")
+        if reference.shape[0] < n_bins:
+            raise ValueError("reference needs at least n_bins rows")
+        self.reference = reference
+        self.feature_names = list(feature_names)
+        self.n_bins = n_bins
+
+    def score(self, live: np.ndarray) -> DriftReport:
+        """PSI of a live feature matrix against the reference."""
+        live = np.asarray(live, dtype=np.float64)
+        if live.ndim != 2 or live.shape[1] != self.reference.shape[1]:
+            raise ValueError("live matrix must match the reference width")
+        if live.shape[0] == 0:
+            raise ValueError("live matrix is empty")
+        psi = {
+            name: population_stability_index(self.reference[:, j],
+                                             live[:, j], self.n_bins)
+            for j, name in enumerate(self.feature_names)
+        }
+        return DriftReport(psi_by_feature=psi,
+                           n_reference=self.reference.shape[0],
+                           n_live=live.shape[0])
+
+    @classmethod
+    def from_triggers(cls, featurizer, histories: Sequence,
+                      n_bins: int = 10) -> "FeatureDriftMonitor":
+        """Build a monitor from trigger histories and a featurizer."""
+        matrix = featurizer.extract_many(histories)
+        return cls(matrix, featurizer.feature_names(), n_bins=n_bins)

@@ -1,0 +1,121 @@
+"""Per-decision explanations for cross-row block predictions.
+
+When an operator asks "why is Cordial sparing these 8 rows?", split-gain
+importances are too global.  This module answers locally: for one
+(trigger, block), perturb each feature to its training-median and report
+how much the block's probability moves — a simple, model-agnostic
+sensitivity explanation (a one-feature-at-a-time ablation around the
+sample, in the spirit of LIME but deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.crossrow import CrossRowPredictor
+from repro.telemetry.events import ErrorRecord
+
+
+@dataclass(frozen=True)
+class FeatureContribution:
+    """Sensitivity of one feature on one block's probability.
+
+    ``delta`` = probability(sample) - probability(sample with the feature
+    neutralised to ``baseline_value``): positive means the feature's
+    actual value pushes the block *towards* being flagged.
+    """
+
+    name: str
+    value: float
+    baseline_value: float
+    delta: float
+
+
+@dataclass(frozen=True)
+class BlockExplanation:
+    """Explanation of one block's score."""
+
+    block: int
+    probability: float
+    contributions: Tuple[FeatureContribution, ...]
+
+    def top(self, k: int = 5) -> List[FeatureContribution]:
+        """The k most influential features by |delta|."""
+        return sorted(self.contributions,
+                      key=lambda c: -abs(c.delta))[:k]
+
+    def format(self, k: int = 5) -> str:
+        """Plain-text rendering for operator logs."""
+        lines = [f"block {self.block}: p={self.probability:.3f}"]
+        for c in self.top(k):
+            direction = "+" if c.delta >= 0 else "-"
+            lines.append(
+                f"  {direction} {c.name:<28} value={c.value:10.1f} "
+                f"(baseline {c.baseline_value:10.1f})  "
+                f"dP={c.delta:+.3f}")
+        return "\n".join(lines)
+
+
+class BlockExplainer:
+    """Explains flagged blocks of a fitted cross-row predictor.
+
+    Args:
+        predictor: fitted :class:`~repro.core.crossrow.CrossRowPredictor`.
+        baseline: per-feature neutral values (training medians); computed
+            from ``reference`` block samples when not given.
+    """
+
+    def __init__(self, predictor: CrossRowPredictor,
+                 reference: Optional[np.ndarray] = None,
+                 baseline: Optional[np.ndarray] = None) -> None:
+        if not getattr(predictor, "_fitted", False):
+            raise ValueError("BlockExplainer needs a fitted predictor")
+        self.predictor = predictor
+        n_features = predictor.featurizer.n_features
+        if baseline is not None:
+            baseline = np.asarray(baseline, dtype=np.float64)
+            if baseline.shape != (n_features,):
+                raise ValueError("baseline shape mismatch")
+            self.baseline = baseline
+        elif reference is not None:
+            reference = np.asarray(reference, dtype=np.float64)
+            if reference.ndim != 2 or reference.shape[1] != n_features:
+                raise ValueError("reference shape mismatch")
+            self.baseline = np.median(reference, axis=0)
+        else:
+            raise ValueError("provide reference samples or a baseline")
+
+    def explain(self, history: Sequence[ErrorRecord], last_uer_row: int,
+                block: int) -> BlockExplanation:
+        """Explain one block of one trigger."""
+        featurizer = self.predictor.featurizer
+        if not 0 <= block < featurizer.window.n_blocks:
+            raise ValueError(f"block {block} out of range")
+        X = featurizer.extract_blocks(history, last_uer_row)
+        sample = X[block]
+        names = featurizer.feature_names()
+
+        # one batched prediction: the sample + one row per neutralisation
+        perturbed = np.tile(sample, (len(names) + 1, 1))
+        for j in range(len(names)):
+            perturbed[j + 1, j] = self.baseline[j]
+        probs = self.predictor.predict_proba_matrix(perturbed)
+        base_p = float(probs[0])
+        contributions = tuple(
+            FeatureContribution(name=names[j], value=float(sample[j]),
+                                baseline_value=float(self.baseline[j]),
+                                delta=base_p - float(probs[j + 1]))
+            for j in range(len(names)))
+        return BlockExplanation(block=block, probability=base_p,
+                                contributions=contributions)
+
+    def explain_flagged(self, history: Sequence[ErrorRecord],
+                        last_uer_row: int) -> List[BlockExplanation]:
+        """Explanations for every block the predictor flags."""
+        prediction = self.predictor.predict(history, last_uer_row)
+        return [self.explain(history, last_uer_row, block)
+                for block, flagged in enumerate(prediction.flagged)
+                if flagged]

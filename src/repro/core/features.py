@@ -1,0 +1,402 @@
+"""Feature extraction for both Cordial predictors (Sections IV-B and IV-D).
+
+Both featurizers consume a bank's event history *up to the trigger* (the
+third distinct UER row) — exactly the information available when the
+decision is made; the :class:`~repro.telemetry.collector.BMCCollector`
+hands over precisely this snapshot, making look-ahead structurally
+impossible.
+
+Undefined values (e.g. "min CE row" in a bank that has no CEs) are encoded
+as ``MISSING = -1`` — tree models split on the sentinel naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.telemetry.events import ErrorRecord, ErrorType
+
+MISSING = -1.0
+
+
+def _stats_min_max_avg(values: Sequence[float]) -> Tuple[float, float, float]:
+    if not values:
+        return MISSING, MISSING, MISSING
+    arr = np.asarray(values, dtype=np.float64)
+    return float(arr.min()), float(arr.max()), float(arr.mean())
+
+
+def _consecutive_diffs(values: Sequence[float]) -> List[float]:
+    return [abs(b - a) for a, b in zip(values, values[1:])]
+
+
+class BankPatternFeaturizer:
+    """Failure-pattern features (Section IV-B).
+
+    Spatial features — min/max rows of CEs, UEOs and UERs and the
+    min/max/average row difference between consecutive errors (overall and
+    per type), plus the pairwise gaps of the first three UER rows;
+    temporal features — min/max occurrence-time differences per type;
+    count features — CE/UEO totals before the first UER and at trigger
+    time.
+    """
+
+    def feature_names(self) -> List[str]:
+        """Names aligned with the vectors returned by :meth:`extract`."""
+        names: List[str] = []
+        for kind in ("ce", "ueo", "uer"):
+            names += [f"{kind}_row_min", f"{kind}_row_max",
+                      f"{kind}_row_range", f"{kind}_row_mean"]
+        for kind in ("all", "ce", "ueo", "uer"):
+            names += [f"{kind}_rowdiff_min", f"{kind}_rowdiff_max",
+                      f"{kind}_rowdiff_avg"]
+        names += ["uer_gap_small", "uer_gap_large", "uer_gap_ratio",
+                  "uer_span"]
+        for kind in ("ce", "ueo", "uer"):
+            names += [f"{kind}_timediff_min", f"{kind}_timediff_max"]
+        names += ["uer_time_span", "trigger_to_last_error"]
+        names += ["ce_before_first_uer", "ueo_before_first_uer",
+                  "ce_total", "ueo_total", "uer_events_total",
+                  "events_total"]
+        names += ["ce_near_uer_min", "ce_near_uer_mean"]
+        return names
+
+    @property
+    def n_features(self) -> int:
+        """Length of the feature vector."""
+        return len(self.feature_names())
+
+    def extract(self, history: Sequence[ErrorRecord]) -> np.ndarray:
+        """Feature vector from a bank history snapshot (trigger included)."""
+        if not history:
+            raise ValueError("cannot featurize an empty history")
+        rows = {kind: [] for kind in ErrorType}
+        times = {kind: [] for kind in ErrorType}
+        all_rows: List[float] = []
+        for record in history:
+            rows[record.error_type].append(float(record.row))
+            times[record.error_type].append(record.timestamp)
+            all_rows.append(float(record.row))
+
+        features: List[float] = []
+        # Spatial: row min/max/range/mean per type.
+        for kind in (ErrorType.CE, ErrorType.UEO, ErrorType.UER):
+            r = rows[kind]
+            if r:
+                lo, hi, mean = _stats_min_max_avg(r)
+                features += [lo, hi, hi - lo, mean]
+            else:
+                features += [MISSING] * 4
+        # Spatial: consecutive row differences (time order).
+        for seq in (all_rows, rows[ErrorType.CE], rows[ErrorType.UEO],
+                    rows[ErrorType.UER]):
+            features += list(_stats_min_max_avg(_consecutive_diffs(seq)))
+        # Spatial: the three-UER-row geometry the paper leans on.
+        uer_rows_sorted = sorted(set(rows[ErrorType.UER]))
+        if len(uer_rows_sorted) >= 3:
+            gaps = sorted(b - a for a, b in zip(uer_rows_sorted,
+                                                uer_rows_sorted[1:]))
+            small, large = gaps[0], gaps[-1]
+            ratio = large / (small + 1.0)
+            span = uer_rows_sorted[-1] - uer_rows_sorted[0]
+            features += [small, large, ratio, span]
+        elif len(uer_rows_sorted) == 2:
+            gap = uer_rows_sorted[1] - uer_rows_sorted[0]
+            features += [gap, gap, 1.0, gap]
+        else:
+            features += [MISSING, MISSING, MISSING, 0.0]
+        # Temporal: min/max time differences per type.
+        for kind in (ErrorType.CE, ErrorType.UEO, ErrorType.UER):
+            diffs = _consecutive_diffs(times[kind])
+            lo, hi, _ = _stats_min_max_avg(diffs)
+            features += [lo, hi]
+        uer_times = times[ErrorType.UER]
+        features.append(uer_times[-1] - uer_times[0] if len(uer_times) >= 2
+                        else MISSING)
+        trigger_time = history[-1].timestamp
+        prior = [r.timestamp for r in history[:-1]]
+        features.append(trigger_time - prior[-1] if prior else MISSING)
+        # Counts.
+        first_uer_time = uer_times[0] if uer_times else float("inf")
+        ce_before = sum(1 for r in history
+                        if r.error_type is ErrorType.CE
+                        and r.timestamp < first_uer_time)
+        ueo_before = sum(1 for r in history
+                         if r.error_type is ErrorType.UEO
+                         and r.timestamp < first_uer_time)
+        features += [float(ce_before), float(ueo_before),
+                     float(len(rows[ErrorType.CE])),
+                     float(len(rows[ErrorType.UEO])),
+                     float(len(rows[ErrorType.UER])),
+                     float(len(history))]
+        # CE proximity to UER rows (aggregation CEs hug the cluster).
+        if rows[ErrorType.CE] and uer_rows_sorted:
+            uer_arr = np.asarray(uer_rows_sorted)
+            dists = [float(np.abs(uer_arr - ce_row).min())
+                     for ce_row in rows[ErrorType.CE]]
+            features += [min(dists), float(np.mean(dists))]
+        else:
+            features += [MISSING, MISSING]
+        return np.asarray(features, dtype=np.float64)
+
+    def extract_many(self, histories: Sequence[Sequence[ErrorRecord]]
+                     ) -> np.ndarray:
+        """Stack feature vectors for many bank histories."""
+        return np.vstack([self.extract(history) for history in histories])
+
+    @staticmethod
+    def family_of(name: str) -> str:
+        """Feature family of one feature name (Section IV-B's taxonomy):
+        ``"spatial"``, ``"temporal"`` or ``"count"``."""
+        if ("timediff" in name or "time_span" in name
+                or name == "trigger_to_last_error"):
+            return "temporal"
+        if name.endswith("_total") or name.endswith("before_first_uer"):
+            return "count"
+        return "spatial"
+
+
+class FamilyMaskedFeaturizer:
+    """A :class:`BankPatternFeaturizer` restricted to chosen families.
+
+    Used by the feature-ablation study (which of the paper's three feature
+    families carries the signal).
+    """
+
+    def __init__(self, families: Sequence[str],
+                 base: "BankPatternFeaturizer" = None) -> None:
+        valid = {"spatial", "temporal", "count"}
+        self.families = set(families)
+        if not self.families or not self.families <= valid:
+            raise ValueError(f"families must be a non-empty subset of "
+                             f"{sorted(valid)}")
+        self.base = base or BankPatternFeaturizer()
+        names = self.base.feature_names()
+        self._keep = [i for i, name in enumerate(names)
+                      if BankPatternFeaturizer.family_of(name)
+                      in self.families]
+
+    def feature_names(self) -> List[str]:
+        """Names of the retained features."""
+        names = self.base.feature_names()
+        return [names[i] for i in self._keep]
+
+    @property
+    def n_features(self) -> int:
+        """Number of retained features."""
+        return len(self._keep)
+
+    def extract(self, history: Sequence[ErrorRecord]) -> np.ndarray:
+        """Masked feature vector."""
+        return self.base.extract(history)[self._keep]
+
+    def extract_many(self, histories: Sequence[Sequence[ErrorRecord]]
+                     ) -> np.ndarray:
+        """Masked feature matrix."""
+        return self.base.extract_many(histories)[:, self._keep]
+
+
+@dataclass(frozen=True)
+class CrossRowWindow:
+    """Geometry of the cross-row prediction window (Section IV-D).
+
+    The paper predicts within 128 rows — 64 above and 64 below the last
+    UER row — split into 16 blocks of 8 rows.  Ablations vary both knobs.
+    """
+
+    half_window: int = 64
+    block_rows: int = 8
+
+    def __post_init__(self) -> None:
+        if self.half_window < 1 or self.block_rows < 1:
+            raise ValueError("window parameters must be positive")
+        if (2 * self.half_window) % self.block_rows != 0:
+            raise ValueError("window must divide evenly into blocks")
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of prediction blocks."""
+        return (2 * self.half_window) // self.block_rows
+
+    def block_range(self, last_uer_row: int, block: int,
+                    total_rows: int = 32768) -> Tuple[int, int]:
+        """Row interval ``[start, end)`` of ``block`` (clipped to the bank)."""
+        if not 0 <= block < self.n_blocks:
+            raise ValueError(f"block {block} out of range")
+        start = last_uer_row - self.half_window + block * self.block_rows
+        end = start + self.block_rows
+        return max(0, start), min(total_rows, max(0, end))
+
+    def block_of_row(self, last_uer_row: int, row: int) -> int:
+        """Block index containing ``row``, or -1 when outside the window."""
+        offset = row - (last_uer_row - self.half_window)
+        if offset < 0 or offset >= 2 * self.half_window:
+            return -1
+        return offset // self.block_rows
+
+
+class CrossRowFeaturizer:
+    """Per-block features for cross-row UER prediction (Section IV-D).
+
+    Every (bank, block) sample combines block geometry (index, distance
+    from the last UER row), block-local error history (CE/UEO/UER counts
+    inside the block and its side of the window), and bank-level context
+    (the spatial/temporal/count features of Section IV-D: error row
+    numbers and differences, inter-arrival times, time since last event,
+    per-type totals).
+    """
+
+    def __init__(self, window: CrossRowWindow | None = None,
+                 total_rows: int = 32768) -> None:
+        self.window = window or CrossRowWindow()
+        self.total_rows = total_rows
+
+    def feature_names(self) -> List[str]:
+        """Names aligned with the columns of :meth:`extract_blocks`."""
+        names = [
+            "block_index", "block_center_offset", "block_center_distance",
+            "block_ce_count", "block_ueo_count", "block_uer_count",
+            "side_ce_count", "side_ueo_count", "side_uer_count",
+            "window_ce_count", "window_ueo_count", "window_uer_count",
+            "dist_block_to_nearest_uer", "dist_block_to_nearest_ce",
+            "dist_block_to_uer_centroid",
+            "uer_row_std", "uer_row_span", "uer_gap_small", "uer_gap_large",
+            "last_step_signed", "last_step_abs",
+            "dist_to_forward_step", "dist_to_backward_step",
+            "lattice_residual_last", "lattice_residual_prev",
+            "step_regularity", "steps_same_direction",
+            "uer_timediff_min", "uer_timediff_max", "uer_timediff_mean",
+            "time_since_last_event", "ce_total", "ueo_total", "uer_total",
+            "events_total",
+        ]
+        return names
+
+    @property
+    def n_features(self) -> int:
+        """Length of one block's feature vector."""
+        return len(self.feature_names())
+
+    def extract_blocks(self, history: Sequence[ErrorRecord],
+                       last_uer_row: int) -> np.ndarray:
+        """Feature matrix of shape ``(n_blocks, n_features)``."""
+        if not history:
+            raise ValueError("cannot featurize an empty history")
+        window = self.window
+        rows = {kind: [] for kind in ErrorType}
+        for record in history:
+            rows[record.error_type].append(record.row)
+        uer_rows: List[int] = []
+        seen = set()
+        for record in history:
+            if record.error_type is ErrorType.UER and record.row not in seen:
+                seen.add(record.row)
+                uer_rows.append(record.row)
+        uer_arr = np.asarray(sorted(set(rows[ErrorType.UER])), dtype=float)
+        ce_arr = np.asarray(sorted(rows[ErrorType.CE]), dtype=float)
+        centroid = float(uer_arr.mean()) if uer_arr.size else MISSING
+        uer_std = float(uer_arr.std()) if uer_arr.size else MISSING
+        uer_span = (float(uer_arr.max() - uer_arr.min()) if uer_arr.size
+                    else MISSING)
+        if uer_arr.size >= 2:
+            gaps = np.sort(np.diff(np.sort(uer_arr)))
+            gap_small, gap_large = float(gaps[0]), float(gaps[-1])
+        else:
+            gap_small = gap_large = MISSING
+        if len(uer_rows) >= 2:
+            last_step = float(uer_rows[-1] - uer_rows[-2])
+        else:
+            last_step = 0.0
+        prev_step = (float(uer_rows[-2] - uer_rows[-3])
+                     if len(uer_rows) >= 3 else last_step)
+        step_regularity = (abs(abs(last_step) - abs(prev_step))
+                           if len(uer_rows) >= 3 else MISSING)
+        steps_same_direction = (float(np.sign(last_step)
+                                      == np.sign(prev_step))
+                                if len(uer_rows) >= 3 else MISSING)
+
+        def lattice_residual(distance: float, step: float) -> float:
+            """How far ``distance`` is from the nearest multiple of
+            ``step`` — small when a block sits on the error lattice."""
+            step = abs(step)
+            if step < 1:
+                return MISSING
+            best = min(abs(distance - k * step) for k in range(1, 7))
+            return float(best)
+        uer_times = [r.timestamp for r in history
+                     if r.error_type is ErrorType.UER]
+        tdiffs = _consecutive_diffs(uer_times)
+        t_lo, t_hi, t_mean = _stats_min_max_avg(tdiffs)
+        trigger_time = history[-1].timestamp
+        prior_times = [r.timestamp for r in history[:-1]]
+        since_last = (trigger_time - prior_times[-1]) if prior_times else MISSING
+        totals = [float(len(rows[ErrorType.CE])),
+                  float(len(rows[ErrorType.UEO])),
+                  float(len(rows[ErrorType.UER])), float(len(history))]
+
+        matrix = np.empty((window.n_blocks, self.n_features),
+                          dtype=np.float64)
+        window_lo = last_uer_row - window.half_window
+        window_hi = last_uer_row + window.half_window
+
+        def count_in(kind: ErrorType, lo: float, hi: float) -> float:
+            return float(sum(1 for r in rows[kind] if lo <= r < hi))
+
+        window_counts = [count_in(k, window_lo, window_hi)
+                         for k in (ErrorType.CE, ErrorType.UEO,
+                                   ErrorType.UER)]
+        for block in range(window.n_blocks):
+            start, end = window.block_range(last_uer_row, block,
+                                            self.total_rows)
+            center = (start + end) / 2.0
+            offset = center - last_uer_row
+            below = center < last_uer_row
+            side_lo, side_hi = ((window_lo, last_uer_row) if below
+                                else (last_uer_row, window_hi))
+            block_counts = [count_in(k, start, end)
+                            for k in (ErrorType.CE, ErrorType.UEO,
+                                      ErrorType.UER)]
+            side_counts = [count_in(k, side_lo, side_hi)
+                           for k in (ErrorType.CE, ErrorType.UEO,
+                                     ErrorType.UER)]
+            d_uer = (float(np.abs(uer_arr - center).min()) if uer_arr.size
+                     else MISSING)
+            d_ce = (float(np.abs(ce_arr - center).min()) if ce_arr.size
+                    else MISSING)
+            d_centroid = (abs(center - centroid) if centroid != MISSING
+                          else MISSING)
+            d_forward = abs(center - (last_uer_row + last_step))
+            d_backward = abs(center - (last_uer_row - last_step))
+            matrix[block] = (
+                [float(block), offset, abs(offset)]
+                + block_counts + side_counts + window_counts
+                + [d_uer, d_ce, d_centroid,
+                   uer_std, uer_span, gap_small, gap_large,
+                   last_step, abs(last_step),
+                   d_forward, d_backward,
+                   lattice_residual(abs(offset), last_step),
+                   lattice_residual(abs(offset), prev_step),
+                   step_regularity, steps_same_direction,
+                   t_lo, t_hi, t_mean, since_last]
+                + totals)
+        return matrix
+
+    def block_labels(self, last_uer_row: int, trigger_time: float,
+                     future_uer_rows: Sequence[Tuple[float, int]]
+                     ) -> np.ndarray:
+        """Ground-truth block labels: does a future UER land in each block?
+
+        Args:
+            future_uer_rows: ``(first_uer_time, row)`` pairs with
+                ``first_uer_time > trigger_time``.
+        """
+        labels = np.zeros(self.window.n_blocks, dtype=bool)
+        for when, row in future_uer_rows:
+            if when <= trigger_time:
+                continue
+            block = self.window.block_of_row(last_uer_row, row)
+            if block >= 0:
+                labels[block] = True
+        return labels

@@ -1,0 +1,204 @@
+"""A Calchas-style ML in-row failure predictor (the paradigm Cordial replaces).
+
+Existing frameworks (the paper cites Calchas [5] and the error-bit studies
+[27][29]) predict a row's failure from *that row's own* error history plus
+hierarchical context from its enclosing devices.  This module implements a
+faithful miniature: one sample per (bank, row) that showed a correctable
+signal, featurised from the row's history and its bank/device context,
+labelled by whether the row later suffers a UER.
+
+Its purpose in this reproduction is quantitative: however well it ranks
+its candidate rows, its *coverage of all UER rows* is capped by the
+row-level predictable ratio (4.39 % in the paper's data — Table I),
+which is precisely the gap Cordial's cross-row paradigm closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classifier import make_model
+from repro.datasets.fleetgen import FleetDataset
+from repro.ml.metrics import ClassScores, binary_scores
+from repro.telemetry.events import ErrorRecord, ErrorType
+
+
+@dataclass(frozen=True)
+class InRowSample:
+    """One candidate row at its snapshot time."""
+
+    bank_key: tuple
+    row: int
+    snapshot_time: float
+    features: np.ndarray
+    label: bool
+
+
+FEATURE_NAMES = [
+    "row_ce_count", "row_ueo_count", "row_event_count",
+    "row_time_since_first", "row_time_between_events",
+    "bank_ce_count", "bank_ueo_count", "bank_uer_count",
+    "bank_distinct_error_rows", "bank_time_since_first_event",
+    "row_distance_to_nearest_bank_uer",
+    "row_position_fraction",
+]
+
+
+def _row_samples_of_bank(events: Sequence[ErrorRecord],
+                         future_uer_rows_by_time: Dict[int, float],
+                         total_rows: int,
+                         min_precursors: int) -> List[InRowSample]:
+    """Emit one sample per row at its ``min_precursors``-th CE/UEO event."""
+    samples: List[InRowSample] = []
+    row_counts: Dict[int, Dict[ErrorType, int]] = {}
+    row_first_time: Dict[int, float] = {}
+    bank_counts = {kind: 0 for kind in ErrorType}
+    bank_rows: set = set()
+    bank_uer_rows: List[int] = []
+    bank_first_time: Optional[float] = None
+    emitted: set = set()
+
+    for record in events:
+        if bank_first_time is None:
+            bank_first_time = record.timestamp
+        if record.error_type in (ErrorType.CE, ErrorType.UEO):
+            counts = row_counts.setdefault(
+                record.row, {ErrorType.CE: 0, ErrorType.UEO: 0})
+            counts[record.error_type] += 1
+            row_first_time.setdefault(record.row, record.timestamp)
+            n_events = counts[ErrorType.CE] + counts[ErrorType.UEO]
+            if n_events >= min_precursors and record.row not in emitted:
+                emitted.add(record.row)
+                if bank_uer_rows:
+                    nearest = min(abs(record.row - r)
+                                  for r in bank_uer_rows)
+                else:
+                    nearest = -1.0
+                elapsed = record.timestamp - row_first_time[record.row]
+                features = np.asarray([
+                    counts[ErrorType.CE], counts[ErrorType.UEO], n_events,
+                    elapsed, elapsed / max(n_events - 1, 1),
+                    bank_counts[ErrorType.CE], bank_counts[ErrorType.UEO],
+                    bank_counts[ErrorType.UER], len(bank_rows),
+                    record.timestamp - bank_first_time,
+                    nearest, record.row / total_rows,
+                ], dtype=np.float64)
+                uer_time = future_uer_rows_by_time.get(record.row)
+                label = (uer_time is not None
+                         and uer_time > record.timestamp)
+                samples.append(InRowSample(
+                    bank_key=record.bank_key, row=record.row,
+                    snapshot_time=record.timestamp, features=features,
+                    label=label))
+        bank_counts[record.error_type] += 1
+        bank_rows.add(record.row)
+        if record.error_type is ErrorType.UER:
+            bank_uer_rows.append(record.row)
+    return samples
+
+
+@dataclass
+class InRowEvaluation:
+    """Scores of the in-row predictor.
+
+    Attributes:
+        candidate_scores: P/R/F1 over *candidate* rows (rows that showed a
+            precursor) — how well the model ranks what it can see.
+        uer_row_coverage: flagged-and-correct rows / **all** UER rows —
+            the number comparable to Cordial's ICR reach.
+        coverage_ceiling: candidate UER rows / all UER rows — the hard cap
+            imposed by sudden errors (Table I's row-level ratio).
+        n_candidates: candidate rows in the test split.
+    """
+
+    candidate_scores: ClassScores
+    uer_row_coverage: float
+    coverage_ceiling: float
+    n_candidates: int
+
+
+class HierarchicalInRowPredictor:
+    """Trainable in-row predictor with hierarchical context features.
+
+    Args:
+        model_name: tree family (defaults to the paper's best, RF).
+        min_precursors: CE/UEO events a row must show before it becomes a
+            candidate (snapshot point).
+        threshold: probability cut-off for flagging a candidate row.
+    """
+
+    def __init__(self, model_name: str = "Random Forest",
+                 min_precursors: int = 1, threshold: float = 0.5,
+                 random_state: Optional[int] = 0) -> None:
+        if min_precursors < 1:
+            raise ValueError("min_precursors must be >= 1")
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.min_precursors = min_precursors
+        self.threshold = threshold
+        self.model = make_model(model_name, random_state, task="blocks")
+        self._fitted = False
+
+    # -- sample construction ---------------------------------------------------
+    def build_samples(self, dataset: FleetDataset,
+                      banks: Sequence[tuple]) -> List[InRowSample]:
+        """All candidate-row samples of the given banks."""
+        total_rows = dataset.config.fleet.hbm.rows
+        samples: List[InRowSample] = []
+        for bank_key in banks:
+            events = dataset.store.bank_events(bank_key)
+            truth = dataset.bank_truth.get(bank_key)
+            uer_times = (dict((row, t) for t, row in truth.uer_row_sequence)
+                         if truth else {})
+            samples.extend(_row_samples_of_bank(
+                events, uer_times, total_rows, self.min_precursors))
+        return samples
+
+    # -- train / evaluate ----------------------------------------------------------
+    def fit(self, dataset: FleetDataset,
+            banks: Sequence[tuple]) -> "HierarchicalInRowPredictor":
+        """Train on the candidate rows of the given banks."""
+        samples = self.build_samples(dataset, banks)
+        if not samples:
+            raise ValueError("no candidate rows in the training banks")
+        X = np.vstack([s.features for s in samples])
+        y = np.asarray([s.label for s in samples], dtype=int)
+        if len(np.unique(y)) < 2:
+            raise ValueError("training candidates are single-class")
+        self.model.fit(X, y)
+        self._fitted = True
+        return self
+
+    def predict_samples(self, samples: Sequence[InRowSample]) -> np.ndarray:
+        """Flag decisions for pre-built samples."""
+        if not self._fitted:
+            raise RuntimeError("predictor is not fitted")
+        X = np.vstack([s.features for s in samples])
+        proba = self.model.predict_proba(X)
+        positive = int(np.nonzero(self.model.classes_ == 1)[0][0])
+        return proba[:, positive] >= self.threshold
+
+    def evaluate(self, dataset: FleetDataset,
+                 banks: Sequence[tuple]) -> InRowEvaluation:
+        """Candidate-level scores plus fleet-level UER-row coverage."""
+        samples = self.build_samples(dataset, banks)
+        total_uer_rows = sum(
+            len(dataset.bank_truth[b].uer_row_sequence)
+            for b in banks if dataset.bank_truth.get(b))
+        if not samples:
+            return InRowEvaluation(ClassScores(0, 0, 0, 0), 0.0, 0.0, 0)
+        flagged = self.predict_samples(samples)
+        labels = np.asarray([s.label for s in samples])
+        scores = binary_scores(labels, flagged)
+        hits = int(np.sum(flagged & labels))
+        ceiling = (labels.sum() / total_uer_rows if total_uer_rows else 0.0)
+        coverage = hits / total_uer_rows if total_uer_rows else 0.0
+        return InRowEvaluation(
+            candidate_scores=scores,
+            uer_row_coverage=coverage,
+            coverage_ceiling=float(ceiling),
+            n_candidates=len(samples),
+        )

@@ -1,0 +1,125 @@
+"""Isolation replay and the Isolation Coverage Rate (ICR).
+
+The paper's deployment metric (Section V-A): the proportion of UER rows
+that were preemptively isolated — by row sparing of predicted blocks or by
+bank sparing of scattered banks — strictly *before* their first UER
+occurred.  Rows that fail before any prediction could fire (including the
+three trigger UERs of every bank) stay in the denominator, which is why
+even a good predictor lands near 20 %.
+
+``IsolationReplay`` owns the sparing controllers and the time-aware
+bookkeeping; prediction policies (Cordial, baselines) call
+``isolate_rows`` / ``isolate_bank`` as their decisions fire during the
+stream replay, then ``result`` scores the episode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hbm.sparing import (BankSparingController, RowSparingController,
+                               SparingExhaustedError)
+
+
+@dataclass(frozen=True)
+class ICRResult:
+    """Outcome of one isolation replay.
+
+    Attributes:
+        covered_rows: UER rows isolated strictly before their first UER.
+        total_rows: all distinct UER rows in the evaluated banks.
+        covered_by_bank_sparing: subset of ``covered_rows`` owed to
+            whole-bank isolation.
+        spared_rows: total rows spared (isolation cost).
+        spared_banks: banks retired (isolation cost).
+    """
+
+    covered_rows: int
+    total_rows: int
+    covered_by_bank_sparing: int
+    spared_rows: int
+    spared_banks: int
+
+    @property
+    def icr(self) -> float:
+        """The Isolation Coverage Rate."""
+        return self.covered_rows / self.total_rows if self.total_rows else 0.0
+
+    @property
+    def icr_row_sparing_only(self) -> float:
+        """ICR counting only row-sparing coverage (the strict reading of
+        the paper's "based on our cross-row failure predictions")."""
+        if not self.total_rows:
+            return 0.0
+        return (self.covered_rows - self.covered_by_bank_sparing) / self.total_rows
+
+
+class IsolationReplay:
+    """Time-aware isolation bookkeeping for one evaluation episode."""
+
+    def __init__(self, spares_per_bank: int = 64) -> None:
+        self.row_ctrl = RowSparingController(spares_per_bank=spares_per_bank)
+        self.bank_ctrl = BankSparingController()
+        self._exhausted_requests = 0
+
+    def isolate_rows(self, bank_key: tuple, rows: Iterable[int],
+                     timestamp: float) -> int:
+        """Row-spare ``rows`` at ``timestamp``; returns rows newly spared.
+
+        Budget exhaustion is tolerated (the request is truncated) but
+        counted, so evaluations can report sparing pressure.
+        """
+        rows = list(rows)
+        spared = self.row_ctrl.spare_rows(bank_key, rows, timestamp)
+        if spared < len(rows):
+            remaining = self.row_ctrl.remaining(bank_key)
+            if remaining == 0:
+                self._exhausted_requests += 1
+        return spared
+
+    def isolate_bank(self, bank_key: tuple, timestamp: float) -> bool:
+        """Retire a whole bank at ``timestamp``."""
+        return self.bank_ctrl.spare_bank(bank_key, timestamp)
+
+    def is_row_covered(self, bank_key: tuple, row: int,
+                       first_uer_time: float) -> Tuple[bool, bool]:
+        """(covered, covered_by_bank) for one UER row."""
+        if self.bank_ctrl.is_isolated(bank_key, at_time=first_uer_time):
+            return True, True
+        if self.row_ctrl.is_isolated(bank_key, row, at_time=first_uer_time):
+            return True, False
+        return False, False
+
+    def result(self, uer_rows_by_bank: Dict[tuple,
+                                            Sequence[Tuple[float, int]]]
+               ) -> ICRResult:
+        """Score the episode against the ground-truth UER rows.
+
+        Args:
+            uer_rows_by_bank: per bank, the ``(first_uer_time, row)`` pairs
+                of every distinct UER row (the ICR denominator).
+        """
+        covered = 0
+        total = 0
+        covered_by_bank = 0
+        for bank_key, rows in uer_rows_by_bank.items():
+            for when, row in rows:
+                total += 1
+                is_covered, by_bank = self.is_row_covered(bank_key, row, when)
+                if is_covered:
+                    covered += 1
+                    if by_bank:
+                        covered_by_bank += 1
+        return ICRResult(
+            covered_rows=covered,
+            total_rows=total,
+            covered_by_bank_sparing=covered_by_bank,
+            spared_rows=self.row_ctrl.total_spared_rows(),
+            spared_banks=self.bank_ctrl.spared_bank_count(),
+        )
+
+    @property
+    def exhausted_requests(self) -> int:
+        """Row-sparing requests truncated by budget exhaustion."""
+        return self._exhausted_requests

@@ -1,0 +1,156 @@
+"""Cordial as an online service: one object, one event at a time.
+
+The batch pipeline (:mod:`repro.core.pipeline`) trains and evaluates on
+full traces; a deployment instead feeds events as they arrive and wants a
+decision back the moment a bank becomes actionable.  ``CordialService``
+wraps a fitted :class:`~repro.core.pipeline.Cordial` behind exactly that
+interface, and keeps the isolation ledger so operators can query coverage
+and cost at any point in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.isolation import IsolationReplay
+from repro.core.pipeline import Cordial
+from repro.faults.types import FailurePattern
+from repro.telemetry.collector import BMCCollector
+from repro.telemetry.events import ErrorRecord, ErrorType
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One actionable decision emitted by the service.
+
+    Attributes:
+        timestamp: when the decision fired.
+        bank_key: the bank acted on.
+        pattern: classified failure pattern (set on trigger decisions).
+        action: ``"row-spare"`` or ``"bank-spare"``.
+        rows: rows newly isolated (empty for bank sparing).
+        is_reprediction: True when this came from a post-trigger re-run.
+    """
+
+    timestamp: float
+    bank_key: tuple
+    pattern: Optional[FailurePattern]
+    action: str
+    rows: tuple
+    is_reprediction: bool = False
+
+
+@dataclass
+class ServiceStats:
+    """Running counters of an online session."""
+
+    events_ingested: int = 0
+    triggers_fired: int = 0
+    repredictions: int = 0
+    decisions_by_action: Dict[str, int] = field(default_factory=dict)
+
+    def record_decision(self, decision: Decision) -> None:
+        """Count one decision."""
+        self.decisions_by_action[decision.action] = (
+            self.decisions_by_action.get(decision.action, 0) + 1)
+
+
+class CordialService:
+    """Streaming front-end over a fitted Cordial model.
+
+    Feed MCE events in time order through :meth:`ingest`; it returns the
+    decisions (possibly none) that the event triggered.  Semantics match
+    the batch replay in ``Cordial.evaluate``: classify at the k-th
+    distinct UER row, bank-spare scattered banks, row-spare predicted
+    blocks for aggregation banks, optionally re-predict on every further
+    UER.
+
+    Args:
+        cordial: a *fitted* Cordial pipeline.
+        spares_per_bank: row-sparing budget for the internal ledger.
+    """
+
+    def __init__(self, cordial: Cordial, spares_per_bank: int = 64) -> None:
+        if not getattr(cordial, "_fitted", False):
+            raise ValueError("CordialService requires a fitted Cordial")
+        self.cordial = cordial
+        self.collector = BMCCollector(
+            trigger_uer_rows=cordial.trigger_uer_rows)
+        self.replay = IsolationReplay(spares_per_bank=spares_per_bank)
+        self.stats = ServiceStats()
+        self._pattern_of: Dict[tuple, FailurePattern] = {}
+        self._uer_rows: Dict[tuple, List[int]] = {}
+
+    # -- event path ----------------------------------------------------------
+    def ingest(self, record: ErrorRecord) -> List[Decision]:
+        """Feed one event; returns any decisions it caused."""
+        self.stats.events_ingested += 1
+        decisions: List[Decision] = []
+        trigger = self.collector.ingest(record)
+        if trigger is not None:
+            decisions.extend(self._on_trigger(trigger))
+        elif (record.error_type is ErrorType.UER
+              and record.bank_key in self._pattern_of):
+            decision = self._on_subsequent_uer(record)
+            if decision is not None:
+                decisions.append(decision)
+        for decision in decisions:
+            self.stats.record_decision(decision)
+        return decisions
+
+    def _on_trigger(self, trigger) -> List[Decision]:
+        self.stats.triggers_fired += 1
+        pattern = self.cordial.classifier.predict(trigger.history)
+        self._uer_rows[trigger.bank_key] = list(trigger.uer_rows)
+        if not pattern.is_aggregation:
+            self.replay.isolate_bank(trigger.bank_key, trigger.timestamp)
+            return [Decision(timestamp=trigger.timestamp,
+                             bank_key=trigger.bank_key, pattern=pattern,
+                             action="bank-spare", rows=())]
+        self._pattern_of[trigger.bank_key] = pattern
+        prediction = self.cordial.predictor.predict(trigger.history,
+                                                    trigger.uer_rows[-1])
+        rows = tuple(prediction.rows_to_isolate())
+        self.replay.isolate_rows(trigger.bank_key, rows, trigger.timestamp)
+        return [Decision(timestamp=trigger.timestamp,
+                         bank_key=trigger.bank_key, pattern=pattern,
+                         action="row-spare", rows=rows)]
+
+    def _on_subsequent_uer(self, record: ErrorRecord) -> Optional[Decision]:
+        if not self.cordial.repredict_each_uer:
+            return None
+        rows_seen = self._uer_rows[record.bank_key]
+        if record.row in rows_seen:
+            return None
+        rows_seen.append(record.row)
+        self.stats.repredictions += 1
+        history = self.collector.bank_history(record.bank_key)
+        prediction = self.cordial.predictor.predict(history, record.row)
+        rows = tuple(prediction.rows_to_isolate())
+        self.replay.isolate_rows(record.bank_key, rows, record.timestamp)
+        return Decision(timestamp=record.timestamp,
+                        bank_key=record.bank_key,
+                        pattern=self._pattern_of[record.bank_key],
+                        action="row-spare", rows=rows,
+                        is_reprediction=True)
+
+    # -- queries ------------------------------------------------------------------
+    def is_row_isolated(self, bank_key: tuple, row: int) -> bool:
+        """Whether a row is currently covered by row- or bank-sparing."""
+        return (self.replay.bank_ctrl.is_isolated(bank_key)
+                or self.replay.row_ctrl.is_isolated(bank_key, row))
+
+    def coverage(self, uer_rows_by_bank) -> float:
+        """ICR of this session against the given ground truth."""
+        return self.replay.result(uer_rows_by_bank).icr
+
+    @property
+    def spared_rows(self) -> int:
+        """Total rows spared so far."""
+        return self.replay.row_ctrl.total_spared_rows()
+
+    @property
+    def spared_banks(self) -> int:
+        """Total banks retired so far."""
+        return self.replay.bank_ctrl.spared_bank_count()

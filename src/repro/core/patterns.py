@@ -1,0 +1,101 @@
+"""Heuristic pattern labelling from a *complete* bank history.
+
+The generator knows each bank's true pattern (it planted the fault), but a
+deployment on real logs needs an observational labeller to build training
+labels.  ``label_bank_pattern`` implements the paper's taxonomy over the
+full set of a bank's UER rows: cluster the rows with a gap threshold and
+classify by cluster count and span.  Tests cross-check it against the
+generator's ground truth (it agrees on the overwhelming majority of banks,
+disagreeing only where the realisation genuinely looks like another
+pattern — e.g. a double-row fault whose UERs all landed in one cluster).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faults.types import FailurePattern
+
+#: Rows further apart than this start a new cluster.
+DEFAULT_GAP_THRESHOLD = 512
+#: A cluster wider than this cannot be a "narrow contiguous area".
+DEFAULT_MAX_CLUSTER_SPAN = 1024
+
+
+def cluster_rows(rows: Sequence[int],
+                 gap_threshold: int = DEFAULT_GAP_THRESHOLD
+                 ) -> List[Tuple[int, int, int]]:
+    """Group sorted rows into clusters separated by > ``gap_threshold``.
+
+    Returns ``(min_row, max_row, count)`` per cluster, in row order.
+    """
+    if gap_threshold < 1:
+        raise ValueError("gap_threshold must be >= 1")
+    ordered = sorted(rows)
+    if not ordered:
+        return []
+    clusters: List[Tuple[int, int, int]] = []
+    start = previous = ordered[0]
+    count = 1
+    for row in ordered[1:]:
+        if row - previous > gap_threshold:
+            clusters.append((start, previous, count))
+            start = row
+            count = 0
+        previous = row
+        count += 1
+    clusters.append((start, previous, count))
+    return clusters
+
+
+def label_bank_pattern(uer_rows: Sequence[int],
+                       uer_columns: Optional[Sequence[int]] = None,
+                       gap_threshold: int = DEFAULT_GAP_THRESHOLD,
+                       max_cluster_span: int = DEFAULT_MAX_CLUSTER_SPAN
+                       ) -> FailurePattern:
+    """Label a bank from its complete set of UER coordinates.
+
+    Decision rule (Section III-B's taxonomy):
+
+    * one narrow cluster -> ``SINGLE_ROW``;
+    * two narrow clusters -> ``DOUBLE_ROW`` (covers the half-total-row
+      variant: two clusters a fixed large interval apart);
+    * anything wider or more fragmented -> ``SCATTERED`` — including the
+      whole-column special case, which is detected separately when
+      ``uer_columns`` shows one dominant column across dispersed rows.
+
+    Small clusters of one stray row (outliers) are tolerated: clusters
+    holding < 10 % of the rows are ignored for the cluster count when at
+    least two rows remain elsewhere.
+    """
+    rows = list(uer_rows)
+    if not rows:
+        raise ValueError("cannot label a bank with no UER rows")
+
+    if uer_columns is not None and len(rows) >= 5:
+        columns = list(uer_columns)
+        if len(columns) != len(rows):
+            raise ValueError("uer_columns must align with uer_rows")
+        dominant = max(set(columns), key=columns.count)
+        span = max(rows) - min(rows)
+        if (columns.count(dominant) >= 0.8 * len(columns)
+                and span > 4 * max_cluster_span):
+            return FailurePattern.SCATTERED
+
+    clusters = cluster_rows(rows, gap_threshold)
+    significant = [c for c in clusters if c[2] >= max(1, 0.1 * len(rows))]
+    if len(significant) >= 2 or not significant:
+        major = significant or clusters
+    else:
+        major = significant
+
+    if len(major) == 1:
+        low, high, _ = major[0]
+        if high - low <= max_cluster_span:
+            return FailurePattern.SINGLE_ROW
+        return FailurePattern.SCATTERED
+    if len(major) == 2:
+        if all(high - low <= max_cluster_span for low, high, _ in major):
+            return FailurePattern.DOUBLE_ROW
+        return FailurePattern.SCATTERED
+    return FailurePattern.SCATTERED

@@ -1,0 +1,103 @@
+"""Save/load a fitted Cordial pipeline as one JSON document.
+
+Combines :mod:`repro.ml.persist` (the two tree models) with the pipeline's
+configuration (trigger size, window geometry, threshold), so a model
+trained on historical logs can be shipped to the fleet controller and
+reloaded without retraining — and without pickle.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.features import CrossRowWindow
+from repro.core.pipeline import Cordial
+from repro.ml.persist import (FORMAT_VERSION, ModelPersistenceError,
+                              _DESERIALIZERS, _SERIALIZERS)
+
+PIPELINE_FORMAT = "cordial-pipeline"
+PIPELINE_VERSION = 1
+
+
+def _model_to_obj(model) -> dict:
+    serializer = _SERIALIZERS.get(type(model))
+    if serializer is None:
+        raise ModelPersistenceError(
+            f"unsupported inner model: {type(model).__name__}")
+    return serializer(model)
+
+
+def _model_from_obj(obj: dict):
+    loader = _DESERIALIZERS.get(obj.get("kind"))
+    if loader is None:
+        raise ModelPersistenceError(f"unknown model kind: {obj.get('kind')!r}")
+    model = loader(obj)
+    if hasattr(model, "_fitted"):
+        model._fitted = True
+    return model
+
+
+def save_cordial(cordial: Cordial, destination: Union[str, Path]) -> None:
+    """Serialise a fitted Cordial pipeline to a JSON file."""
+    if not getattr(cordial, "_fitted", False):
+        raise ModelPersistenceError("cannot persist an unfitted Cordial")
+    window = cordial.predictor.window
+    document = {
+        "format": PIPELINE_FORMAT,
+        "version": PIPELINE_VERSION,
+        "ml_version": FORMAT_VERSION,
+        "config": {
+            "model_name": cordial.model_name,
+            "trigger_uer_rows": cordial.trigger_uer_rows,
+            "spares_per_bank": cordial.spares_per_bank,
+            "repredict_each_uer": cordial.repredict_each_uer,
+            "half_window": window.half_window,
+            "block_rows": window.block_rows,
+            "total_rows": cordial.predictor.featurizer.total_rows,
+            "threshold": cordial.predictor.threshold,
+            "auto_threshold": cordial.predictor._auto_threshold,
+        },
+        "classifier": _model_to_obj(cordial.classifier.model),
+        "predictor": _model_to_obj(cordial.predictor.model),
+    }
+    with open(destination, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def load_cordial(source: Union[str, Path]) -> Cordial:
+    """Reload a pipeline saved by :func:`save_cordial`.
+
+    The returned object predicts identically to the saved one; it can be
+    evaluated or served but not re-``fit`` incrementally.
+    """
+    try:
+        with open(source, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ModelPersistenceError(f"invalid pipeline file: {exc}") from exc
+    if document.get("format") != PIPELINE_FORMAT:
+        raise ModelPersistenceError(
+            f"unexpected format: {document.get('format')!r}")
+    if document.get("version") != PIPELINE_VERSION:
+        raise ModelPersistenceError(
+            f"unsupported version: {document.get('version')!r}")
+    config = document["config"]
+    cordial = Cordial(
+        model_name=config["model_name"],
+        window=CrossRowWindow(half_window=config["half_window"],
+                              block_rows=config["block_rows"]),
+        trigger_uer_rows=config["trigger_uer_rows"],
+        threshold=config["threshold"],
+        spares_per_bank=config["spares_per_bank"],
+        repredict_each_uer=config["repredict_each_uer"],
+    )
+    cordial.classifier.model = _model_from_obj(document["classifier"])
+    cordial.classifier._fitted = True
+    cordial.predictor.model = _model_from_obj(document["predictor"])
+    cordial.predictor.featurizer.total_rows = config["total_rows"]
+    cordial.predictor._auto_threshold = config["auto_threshold"]
+    cordial.predictor._fitted = True
+    cordial._fitted = True
+    return cordial

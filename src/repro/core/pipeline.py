@@ -1,0 +1,322 @@
+"""The end-to-end Cordial pipeline (Figure 5) and its evaluation protocol.
+
+Training (on the 70 % bank split):
+
+1. replay the training banks' event streams through the BMC collector;
+   every bank that reaches its third distinct UER row yields a *trigger
+   snapshot* — the only information the method is allowed to see;
+2. fit the failure-pattern classifier on (snapshot, ground-truth pattern);
+3. fit the cross-row predictor on the (bank, block) samples of the
+   aggregation-pattern triggers, labelled by which blocks contain future
+   UER rows.
+
+Evaluation (on the 30 % split) reproduces both Table III (pattern
+classification P/R/F1) and Table IV (cross-row block P/R/F1 + ICR): the
+test streams are replayed; at each trigger the bank is classified;
+scattered banks are bank-spared, aggregation banks get cross-row
+predictions whose flagged blocks are row-spared; the ICR is scored
+time-aware against the ground-truth UER rows of *all* test banks —
+including never-triggered banks and each bank's first three UERs, which no
+method can preempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.baselines import NeighborRowsBaseline
+from repro.core.classifier import FailurePatternClassifier
+from repro.core.crossrow import CrossRowPredictor
+from repro.core.features import CrossRowWindow
+from repro.core.isolation import ICRResult, IsolationReplay
+from repro.datasets.fleetgen import FleetDataset
+from repro.faults.types import FailurePattern
+from repro.ml.metrics import (ClassScores, WeightedScores, binary_scores,
+                              precision_recall_f1, weighted_average)
+from repro.telemetry.collector import BankTrigger, BMCCollector
+from repro.telemetry.events import ErrorRecord, ErrorType
+
+
+@dataclass
+class CordialEvaluation:
+    """Everything the evaluation section reports, for one model.
+
+    Attributes:
+        model_name: which tree family produced these numbers.
+        pattern_scores: per-pattern P/R/F1 (one Table III block).
+        pattern_weighted: support-weighted averages (Table III last row).
+        block_scores: positive-class P/R/F1 over all prediction blocks
+            (Table IV columns 2-4).
+        icr: isolation-coverage replay result (Table IV last column).
+        n_test_triggers: triggered banks in the test split.
+        n_crossrow_banks: banks that received cross-row predictions.
+    """
+
+    model_name: str
+    pattern_scores: Dict[FailurePattern, ClassScores]
+    pattern_weighted: WeightedScores
+    block_scores: ClassScores
+    icr: ICRResult
+    n_test_triggers: int
+    n_crossrow_banks: int
+
+
+def collect_triggers(dataset: FleetDataset, banks: Sequence[tuple],
+                     trigger_uer_rows: int = 3) -> List[BankTrigger]:
+    """Replay the chosen banks' streams and collect their trigger snapshots.
+
+    Replays each bank's own event sequence (bank streams are independent,
+    so per-bank replay equals global replay restricted to these banks).
+    """
+    triggers: List[BankTrigger] = []
+    for bank_key in banks:
+        collector = BMCCollector(trigger_uer_rows=trigger_uer_rows)
+        for record in dataset.store.bank_events(bank_key):
+            trigger = collector.ingest(record)
+            if trigger is not None:
+                triggers.append(trigger)
+    triggers.sort(key=lambda t: t.timestamp)
+    return triggers
+
+
+def collect_snapshots(dataset: FleetDataset, bank_key: tuple,
+                      min_uer_rows: int = 3) -> List[BankTrigger]:
+    """Every per-UER snapshot of one bank, from the trigger onwards.
+
+    The k-th snapshot (k >= ``min_uer_rows``) carries the bank's history
+    up to and including the first UER of its k-th distinct UER row —
+    Cordial re-predicts at each of these as the failure unfolds.
+    """
+    snapshots: List[BankTrigger] = []
+    events = dataset.store.bank_events(bank_key)
+    seen_rows: List[int] = []
+    seen_set: set = set()
+    for index, record in enumerate(events):
+        if (record.error_type is ErrorType.UER
+                and record.row not in seen_set):
+            seen_set.add(record.row)
+            seen_rows.append(record.row)
+            if len(seen_rows) >= min_uer_rows:
+                snapshots.append(BankTrigger(
+                    bank_key=bank_key,
+                    timestamp=record.timestamp,
+                    history=tuple(events[:index + 1]),
+                    uer_rows=tuple(seen_rows),
+                ))
+    return snapshots
+
+
+class Cordial:
+    """The full method: classify the bank, then predict across rows.
+
+    Args:
+        model_name: tree family for both stages (Table IV trains one
+            Cordial variant per family).
+        window: cross-row window geometry (paper: +/-64 rows, 8-row blocks).
+        trigger_uer_rows: UER rows that arm the trigger (paper: 3).
+        threshold: block-flagging probability threshold (``None`` = pick
+            the F1-maximising threshold on held-out training banks).
+        spares_per_bank: row-sparing budget used in the ICR replay.
+        repredict_each_uer: when True (deployment behaviour), the
+            cross-row predictor re-runs at every subsequent UER of an
+            aggregation bank with the window re-anchored on the newest UER
+            row; the Table IV block metrics are still computed only at the
+            trigger snapshot.
+        random_state: seed for both models.
+    """
+
+    def __init__(self, model_name: str = "Random Forest",
+                 window: Optional[CrossRowWindow] = None,
+                 trigger_uer_rows: int = 3,
+                 threshold: Optional[float] = None,
+                 spares_per_bank: int = 64,
+                 repredict_each_uer: bool = True,
+                 random_state: Optional[int] = 0) -> None:
+        self.model_name = model_name
+        self.trigger_uer_rows = trigger_uer_rows
+        self.spares_per_bank = spares_per_bank
+        self.repredict_each_uer = repredict_each_uer
+        self.classifier = FailurePatternClassifier(
+            model_name, random_state=random_state)
+        self.predictor = CrossRowPredictor(
+            model_name, window=window, threshold=threshold,
+            random_state=random_state)
+        self._fitted = False
+
+    # ------------------------------------------------------------------ train
+    def fit(self, dataset: FleetDataset,
+            train_banks: Sequence[tuple]) -> "Cordial":
+        """Train both stages on the given bank split."""
+        triggers = collect_triggers(dataset, train_banks,
+                                    self.trigger_uer_rows)
+        if not triggers:
+            raise ValueError("no bank in the training split ever triggers")
+        histories = [t.history for t in triggers]
+        patterns = [dataset.bank_truth[t.bank_key].pattern for t in triggers]
+        self.classifier.fit(histories, patterns)
+
+        xs: List[np.ndarray] = []
+        ys: List[np.ndarray] = []
+        for trigger, pattern in zip(triggers, patterns):
+            if not pattern.is_aggregation:
+                continue
+            truth = dataset.bank_truth[trigger.bank_key]
+            snapshots = [trigger]
+            if self.repredict_each_uer:
+                snapshots = collect_snapshots(dataset, trigger.bank_key,
+                                              self.trigger_uer_rows)
+            for snapshot in snapshots:
+                X, y = self.predictor.build_samples(
+                    snapshot.history, snapshot.uer_rows[-1],
+                    snapshot.timestamp,
+                    truth.future_uer_rows(snapshot.timestamp))
+                xs.append(X)
+                ys.append(y)
+        if not xs:
+            raise ValueError("no aggregation-pattern triggers to train on")
+        self.predictor.fit_samples(np.vstack(xs), np.concatenate(ys))
+        self._fitted = True
+        return self
+
+    # --------------------------------------------------------------- evaluate
+    def evaluate(self, dataset: FleetDataset,
+                 test_banks: Sequence[tuple]) -> CordialEvaluation:
+        """Score pattern classification, block prediction and ICR."""
+        if not self._fitted:
+            raise RuntimeError("Cordial is not fitted")
+        triggers = collect_triggers(dataset, test_banks,
+                                    self.trigger_uer_rows)
+        replay = IsolationReplay(spares_per_bank=self.spares_per_bank)
+
+        true_patterns: List[str] = []
+        predicted_patterns: List[str] = []
+        y_true_blocks: List[np.ndarray] = []
+        y_pred_blocks: List[np.ndarray] = []
+        n_crossrow = 0
+
+        if triggers:
+            predicted = self.classifier.predict_many(
+                [t.history for t in triggers])
+        else:
+            predicted = []
+        for trigger, prediction in zip(triggers, predicted):
+            truth = dataset.bank_truth[trigger.bank_key]
+            true_patterns.append(truth.pattern.value)
+            predicted_patterns.append(prediction.value)
+            if prediction.is_aggregation:
+                n_crossrow += 1
+                block_pred = self.predictor.predict(
+                    trigger.history, trigger.uer_rows[-1])
+                labels = self.predictor.featurizer.block_labels(
+                    trigger.uer_rows[-1], trigger.timestamp,
+                    truth.future_uer_rows(trigger.timestamp))
+                y_true_blocks.append(labels)
+                y_pred_blocks.append(block_pred.flagged)
+                replay.isolate_rows(trigger.bank_key,
+                                    block_pred.rows_to_isolate(),
+                                    trigger.timestamp)
+                if self.repredict_each_uer:
+                    for snapshot in collect_snapshots(
+                            dataset, trigger.bank_key,
+                            self.trigger_uer_rows)[1:]:
+                        repred = self.predictor.predict(
+                            snapshot.history, snapshot.uer_rows[-1])
+                        replay.isolate_rows(snapshot.bank_key,
+                                            repred.rows_to_isolate(),
+                                            snapshot.timestamp)
+            else:
+                replay.isolate_bank(trigger.bank_key, trigger.timestamp)
+
+        pattern_scores = precision_recall_f1(
+            true_patterns, predicted_patterns,
+            labels=[p.value for p in FailurePattern])
+        pattern_scores = {FailurePattern(k): v
+                          for k, v in pattern_scores.items()}
+        weighted = weighted_average(
+            {k.value: v for k, v in pattern_scores.items()})
+
+        if y_true_blocks:
+            blocks = binary_scores(np.concatenate(y_true_blocks),
+                                   np.concatenate(y_pred_blocks))
+        else:
+            blocks = ClassScores(0.0, 0.0, 0.0, 0)
+
+        icr = replay.result(self._uer_rows_by_bank(dataset, test_banks))
+        return CordialEvaluation(
+            model_name=self.model_name,
+            pattern_scores=pattern_scores,
+            pattern_weighted=weighted,
+            block_scores=blocks,
+            icr=icr,
+            n_test_triggers=len(triggers),
+            n_crossrow_banks=n_crossrow,
+        )
+
+    @staticmethod
+    def _uer_rows_by_bank(dataset: FleetDataset,
+                          banks: Sequence[tuple]
+                          ) -> Dict[tuple, Sequence[Tuple[float, int]]]:
+        rows: Dict[tuple, Sequence[Tuple[float, int]]] = {}
+        for bank_key in banks:
+            truth = dataset.bank_truth.get(bank_key)
+            if truth is not None and truth.uer_row_sequence:
+                rows[bank_key] = truth.uer_row_sequence
+        return rows
+
+
+def evaluate_neighbor_baseline(dataset: FleetDataset,
+                               test_banks: Sequence[tuple],
+                               window: Optional[CrossRowWindow] = None,
+                               trigger_uer_rows: int = 3,
+                               spares_per_bank: int = 64
+                               ) -> CordialEvaluation:
+    """Score the Neighbor-Rows baseline in the same frames as Cordial.
+
+    Block P/R/F1 uses the baseline's footprint mapped onto the 16-block
+    window at every trigger; ICR replays the reactive +/-4-row policy over
+    the full test streams.
+    """
+    window = window or CrossRowWindow()
+    baseline = NeighborRowsBaseline(
+        total_rows=dataset.config.fleet.hbm.rows)
+    triggers = collect_triggers(dataset, test_banks, trigger_uer_rows)
+
+    from repro.core.features import CrossRowFeaturizer
+    featurizer = CrossRowFeaturizer(window=window,
+                                    total_rows=dataset.config.fleet.hbm.rows)
+    y_true_blocks: List[np.ndarray] = []
+    y_pred_blocks: List[np.ndarray] = []
+    for trigger in triggers:
+        truth = dataset.bank_truth[trigger.bank_key]
+        labels = featurizer.block_labels(
+            trigger.uer_rows[-1], trigger.timestamp,
+            truth.future_uer_rows(trigger.timestamp))
+        flagged = baseline.block_prediction(trigger.uer_rows[-1], window)
+        y_true_blocks.append(labels)
+        y_pred_blocks.append(flagged)
+
+    if y_true_blocks:
+        blocks = binary_scores(np.concatenate(y_true_blocks),
+                               np.concatenate(y_pred_blocks))
+    else:
+        blocks = ClassScores(0.0, 0.0, 0.0, 0)
+
+    replay = IsolationReplay(spares_per_bank=spares_per_bank)
+    events_by_bank = {bank: dataset.store.bank_events(bank)
+                      for bank in test_banks}
+    baseline.replay(events_by_bank, replay_env=replay)
+    icr = replay.result(Cordial._uer_rows_by_bank(dataset, test_banks))
+
+    empty_scores = {p: ClassScores(0.0, 0.0, 0.0, 0) for p in FailurePattern}
+    return CordialEvaluation(
+        model_name="Neighbor Rows",
+        pattern_scores=empty_scores,
+        pattern_weighted=WeightedScores(0.0, 0.0, 0.0, 0),
+        block_scores=blocks,
+        icr=icr,
+        n_test_triggers=len(triggers),
+        n_crossrow_banks=len(triggers),
+    )

@@ -1,0 +1,108 @@
+"""Markdown evaluation reports for operators.
+
+Turns a :class:`~repro.core.pipeline.CordialEvaluation` (plus optional
+baseline and cost parameters) into a self-contained markdown document —
+the artefact an operator attaches to a deployment review.  Pure string
+assembly; no I/O besides an optional write helper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.costmodel import CostParams, price_result
+from repro.core.pipeline import CordialEvaluation
+from repro.faults.types import FailurePattern
+
+
+def _pct(value: float) -> str:
+    return f"{value:.2%}"
+
+
+def render_markdown_report(evaluation: CordialEvaluation,
+                           baseline: Optional[CordialEvaluation] = None,
+                           cost_params: Optional[CostParams] = None,
+                           title: str = "Cordial evaluation report") -> str:
+    """Render one evaluation (optionally vs a baseline) as markdown."""
+    lines = [f"# {title}", ""]
+    lines += [f"Model family: **{evaluation.model_name}**",
+              f"Test triggers: {evaluation.n_test_triggers} banks "
+              f"({evaluation.n_crossrow_banks} received cross-row "
+              "predictions)", ""]
+
+    # -- pattern classification ------------------------------------------
+    lines += ["## Failure-pattern classification", "",
+              "| Pattern | Precision | Recall | F1 | Support |",
+              "|---|---|---|---|---|"]
+    for pattern in (FailurePattern.SINGLE_ROW, FailurePattern.DOUBLE_ROW,
+                    FailurePattern.SCATTERED):
+        s = evaluation.pattern_scores[pattern]
+        lines.append(f"| {pattern.label} | {s.precision:.3f} | "
+                     f"{s.recall:.3f} | {s.f1:.3f} | {s.support} |")
+    w = evaluation.pattern_weighted
+    lines.append(f"| **Weighted average** | {w.precision:.3f} | "
+                 f"{w.recall:.3f} | {w.f1:.3f} | {w.support} |")
+    lines.append("")
+
+    # -- cross-row prediction ----------------------------------------------
+    b = evaluation.block_scores
+    lines += ["## Cross-row block prediction", "",
+              f"- precision: **{b.precision:.3f}**",
+              f"- recall: **{b.recall:.3f}**",
+              f"- F1: **{b.f1:.3f}** over {b.support} positive blocks", ""]
+
+    # -- isolation coverage ---------------------------------------------------
+    icr = evaluation.icr
+    lines += ["## Isolation coverage", "",
+              f"- ICR: **{_pct(icr.icr)}** "
+              f"({icr.covered_rows}/{icr.total_rows} UER rows preempted)",
+              f"- via cross-row row sparing: "
+              f"{_pct(icr.icr_row_sparing_only)}",
+              f"- isolation cost: {icr.spared_rows} spare rows, "
+              f"{icr.spared_banks} retired banks", ""]
+    if baseline is not None:
+        base_icr = baseline.icr
+        lines += ["### vs Neighbor-Rows baseline", "",
+                  f"- baseline ICR: {_pct(base_icr.icr)} "
+                  f"(block F1 {baseline.block_scores.f1:.3f})"]
+        if base_icr.icr > 0:
+            improvement = (icr.icr - base_icr.icr) / base_icr.icr
+            lines.append(f"- relative ICR improvement: "
+                         f"**{improvement:+.1%}**")
+        if baseline.block_scores.f1 > 0:
+            f1_gain = (b.f1 - baseline.block_scores.f1) \
+                / baseline.block_scores.f1
+            lines.append(f"- relative F1 improvement: **{f1_gain:+.1%}**")
+        lines.append("")
+
+    # -- economics ------------------------------------------------------------------
+    if cost_params is not None:
+        cost = price_result(icr, cost_params)
+        lines += ["## Cost model", "",
+                  f"- isolation spending: {cost.isolation_cost:,.0f} units",
+                  f"- residual failure impact: "
+                  f"{cost.failure_cost:,.0f} units",
+                  f"- avoided failure impact: "
+                  f"{cost.avoided_failure_cost:,.0f} units",
+                  f"- **net benefit: {cost.net_benefit:,.0f} units**", ""]
+        if baseline is not None:
+            base_cost = price_result(baseline.icr, cost_params)
+            delta = cost.net_benefit - base_cost.net_benefit
+            lines.append(f"Net benefit vs baseline: **{delta:+,.0f} "
+                         "units**")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def write_markdown_report(evaluation: CordialEvaluation,
+                          destination: Union[str, Path],
+                          baseline: Optional[CordialEvaluation] = None,
+                          cost_params: Optional[CostParams] = None,
+                          title: str = "Cordial evaluation report") -> Path:
+    """Render and write the report; returns the path."""
+    path = Path(destination)
+    path.write_text(render_markdown_report(evaluation, baseline,
+                                           cost_params, title),
+                    encoding="utf-8")
+    return path

@@ -1,0 +1,21 @@
+"""Calibrated synthetic fleet datasets.
+
+The paper's evaluation uses proprietary MCE logs from Huawei's LLM-training
+platform.  This package substitutes a synthetic fleet whose error streams
+are calibrated against every statistic the paper publishes (Tables I-II,
+Figures 3-4); see DESIGN.md section 2 for the substitution argument.
+"""
+
+from repro.datasets.config import FleetGenConfig, CalibrationTargets
+from repro.datasets.fleetgen import FleetDataset, BankGroundTruth, generate_fleet_dataset
+from repro.datasets.calibration import CalibrationReport, measure_calibration
+
+__all__ = [
+    "FleetGenConfig",
+    "CalibrationTargets",
+    "FleetDataset",
+    "BankGroundTruth",
+    "generate_fleet_dataset",
+    "CalibrationReport",
+    "measure_calibration",
+]

@@ -1,0 +1,101 @@
+"""Measuring a generated fleet against the paper's published statistics.
+
+``measure_calibration`` runs the full empirical-study battery on a dataset
+and reports measured-vs-target for Table I ratios, Table II counts,
+Figure 3(b) slices and the Figure 4 locality peak.  The calibration tests
+assert these stay inside tolerance bands; the Table I/II benchmarks print
+them side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.analysis.locality import LocalityCurve, compute_locality_chisquare
+from repro.analysis.patterns_dist import compute_pattern_distribution
+from repro.analysis.sudden import compute_sudden_uer_table
+from repro.analysis.summary import compute_dataset_summary
+from repro.datasets.config import CalibrationTargets
+from repro.datasets.fleetgen import FleetDataset
+from repro.hbm.address import MicroLevel
+
+
+@dataclass
+class CalibrationReport:
+    """Measured fleet statistics next to the paper's targets."""
+
+    targets: CalibrationTargets
+    predictable_ratio: Dict[str, float] = field(default_factory=dict)
+    table2_counts: Dict[str, Tuple[int, int, int, int]] = field(
+        default_factory=dict)
+    fig3b_slices: Dict[str, float] = field(default_factory=dict)
+    locality: LocalityCurve = None
+    scale: float = 1.0
+
+    @property
+    def locality_peak(self) -> int:
+        """Measured chi-square peak threshold."""
+        return self.locality.peak_threshold
+
+    def predictable_ratio_errors(self) -> Dict[str, float]:
+        """Absolute error per level vs the Table I targets."""
+        return {
+            level: abs(self.predictable_ratio[level]
+                       - self.targets.predictable_ratio[level])
+            for level in self.targets.predictable_ratio
+            if level in self.predictable_ratio
+        }
+
+    def fig3b_errors(self) -> Dict[str, float]:
+        """Absolute error per slice vs the Figure 3(b) targets."""
+        return {
+            label: abs(self.fig3b_slices.get(label, 0.0) - target)
+            for label, target in self.targets.fig3b_slices.items()
+        }
+
+    def summary_lines(self) -> str:
+        """Human-readable calibration summary."""
+        lines = ["Calibration report (measured vs paper):"]
+        lines.append("  Table I predictable ratio:")
+        for level, target in self.targets.predictable_ratio.items():
+            measured = self.predictable_ratio.get(level, float("nan"))
+            lines.append(f"    {level:<6} measured={measured:6.2%} "
+                         f"paper={target:6.2%}")
+        lines.append("  Figure 3(b) slices:")
+        for label, target in self.targets.fig3b_slices.items():
+            measured = self.fig3b_slices.get(label, 0.0)
+            lines.append(f"    {label:<28} measured={measured:6.1%} "
+                         f"paper={target:6.1%}")
+        lines.append(f"  Figure 4 locality peak: measured="
+                     f"{self.locality_peak} paper="
+                     f"{self.targets.locality_peak_threshold}")
+        return "\n".join(lines)
+
+
+def measure_calibration(dataset: FleetDataset,
+                        targets: CalibrationTargets = None
+                        ) -> CalibrationReport:
+    """Run the empirical-study battery on ``dataset``."""
+    targets = targets or CalibrationTargets()
+    report = CalibrationReport(targets=targets, scale=dataset.config.scale)
+
+    sudden = compute_sudden_uer_table(dataset.store)
+    report.predictable_ratio = {
+        stats.level.label: stats.predictable_ratio
+        for stats in sudden.values()
+    }
+
+    summary = compute_dataset_summary(dataset.store)
+    report.table2_counts = {
+        row.level.label: (row.with_ce, row.with_ueo, row.with_uer, row.total)
+        for row in summary.values()
+    }
+
+    report.fig3b_slices = compute_pattern_distribution(dataset)
+    report.locality = compute_locality_chisquare(
+        dataset.store,
+        thresholds=targets.locality_thresholds,
+        total_rows=dataset.config.fleet.hbm.rows,
+    )
+    return report

@@ -1,0 +1,112 @@
+"""Configuration of the synthetic fleet and the published calibration targets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.faults.processes import FaultProcessParams
+from repro.faults.types import FaultType
+from repro.hbm.geometry import FleetGeometry
+
+
+@dataclass(frozen=True)
+class FleetGenConfig:
+    """Everything that determines a synthetic fleet dataset.
+
+    Attributes:
+        fleet: address-space geometry (paper scale: 1280 nodes x 8 NPUs x
+            8 HBMs = 81,920 HBMs).
+        n_bad_hbms: HBMs receiving UCE-producing faults (421 at full scale,
+            the Table II "HBM with UER" count).
+        extra_banks_mean: Poisson mean of *additional* fault banks per bad
+            HBM (1.55 reproduces the 1074 UER banks / 421 HBMs clustering).
+        n_cell_faults: CE-only background faults (8200 at full scale, so
+            that banks-with-CE lands near Table II's 8557 once UER banks'
+            own CE streams are counted).
+        process: fault error-process parameters (see
+            :class:`repro.faults.processes.FaultProcessParams`).
+        pattern_weights: optional override of the Figure 3(b) fault-type
+            mix (used by what-if scenarios; ``None`` = calibrated mix).
+        scale: multiplies ``n_bad_hbms`` and ``n_cell_faults``; tests run
+            the identical pipeline at ``scale < 1``.
+    """
+
+    fleet: FleetGeometry = field(default_factory=FleetGeometry)
+    n_bad_hbms: int = 421
+    extra_banks_mean: float = 1.55
+    n_cell_faults: int = 8200
+    process: FaultProcessParams = field(default_factory=FaultProcessParams)
+    pattern_weights: Optional[Dict[FaultType, float]] = None
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.n_bad_hbms < 1:
+            raise ValueError("n_bad_hbms must be >= 1")
+
+    @property
+    def scaled_bad_hbms(self) -> int:
+        """Bad-HBM count after applying ``scale``."""
+        return max(1, round(self.n_bad_hbms * self.scale))
+
+    @property
+    def scaled_cell_faults(self) -> int:
+        """Cell-fault count after applying ``scale``."""
+        return max(0, round(self.n_cell_faults * self.scale))
+
+
+@dataclass(frozen=True)
+class CalibrationTargets:
+    """The published statistics the generator is calibrated against.
+
+    Every number here is copied from the paper; tolerances reflect that we
+    reproduce *shapes*, not the exact field data.
+    """
+
+    # Table I — predictable (non-sudden) ratio per micro-level.
+    predictable_ratio: Dict[str, float] = field(default_factory=lambda: {
+        "NPU": 0.4186, "HBM": 0.4156, "SID": 0.4091,
+        "PS-CH": 0.3729, "BG": 0.3673, "Bank": 0.2923, "Row": 0.0439,
+    })
+
+    # Table II — entity counts (full scale).
+    table2_counts: Dict[str, Tuple[int, int, int, int]] = field(
+        default_factory=lambda: {
+            # level: (with CE, with UEO, with UER, total)
+            "NPU": (5497, 327, 418, 5703),
+            "HBM": (5944, 330, 421, 6155),
+            "SID": (6049, 341, 440, 6277),
+            "PS-CH": (6856, 360, 496, 7136),
+            "BG": (7571, 423, 686, 7970),
+            "Bank": (8557, 537, 1074, 9318),
+            "Row": (51518, 4888, 5209, 60693),
+        })
+
+    # Figure 3(b) — disjoint slice percentages (see DESIGN.md section 3).
+    fig3b_slices: Dict[str, float] = field(default_factory=lambda: {
+        "Single-row Clustering": 0.682,
+        "Double-row Clustering": 0.099,
+        "Half Total-row Clustering": 0.021,
+        "Scattered Pattern": 0.125,
+        "Whole Column": 0.073,
+    })
+
+    # Figure 4 — chi-square locality peak.
+    locality_peak_threshold: int = 128
+    locality_thresholds: Tuple[int, ...] = (
+        4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+
+    # Table III / IV headline numbers (for EXPERIMENTS.md comparison).
+    table3_weighted_f1: Dict[str, float] = field(default_factory=lambda: {
+        "LightGBM": 0.837, "XGBoost": 0.813, "Random Forest": 0.854,
+    })
+    table4: Dict[str, Tuple[float, float, float, float]] = field(
+        default_factory=lambda: {
+            # method: (precision, recall, f1, icr)
+            "Neighbor Rows": (0.322, 0.393, 0.347, 0.1331),
+            "Cordial-LGBM": (0.642, 0.504, 0.563, 0.1860),
+            "Cordial-XGB": (0.732, 0.509, 0.591, 0.1887),
+            "Cordial-RF": (0.806, 0.569, 0.662, 0.1958),
+        })

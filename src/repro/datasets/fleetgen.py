@@ -1,0 +1,138 @@
+"""Fleet-scale dataset generation.
+
+``generate_fleet_dataset`` plants faults, realises their error processes,
+merges everything into one time-ordered MCE stream, and returns the stream
+(indexed in an :class:`~repro.telemetry.store.ErrorStore`) together with
+per-bank ground truth for training and for the ICR replay evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.config import FleetGenConfig
+from repro.faults.injector import FaultInjector, PlantedFault
+from repro.faults.processes import FaultProcess
+from repro.faults.types import FailurePattern, FaultType
+from repro.hbm.address import DeviceAddress
+from repro.telemetry.events import Detector, ErrorRecord, ErrorType
+from repro.telemetry.store import ErrorStore
+
+
+@dataclass(frozen=True)
+class BankGroundTruth:
+    """What actually happened in one fault bank (generator's knowledge).
+
+    Attributes:
+        bank_key: the bank.
+        fault_type: planted mechanism.
+        pattern: Cordial class (``None`` for CE-only banks).
+        anchor_rows: cluster centres of aggregation faults.
+        cluster_width: kernel half-width.
+        uer_row_sequence: ``(first_time, row)`` per distinct UER row, in
+            occurrence order.
+    """
+
+    bank_key: tuple
+    fault_type: FaultType
+    pattern: Optional[FailurePattern]
+    anchor_rows: Tuple[int, ...]
+    cluster_width: int
+    uer_row_sequence: Tuple[Tuple[float, int], ...]
+
+    def future_uer_rows(self, after: float) -> List[Tuple[float, int]]:
+        """UER rows whose first UER occurs strictly after ``after``."""
+        return [(t, r) for t, r in self.uer_row_sequence if t > after]
+
+
+@dataclass
+class FleetDataset:
+    """A generated fleet: the event stream plus ground truth."""
+
+    config: FleetGenConfig
+    seed: int
+    store: ErrorStore
+    bank_truth: Dict[tuple, BankGroundTruth]
+
+    @property
+    def uer_banks(self) -> List[tuple]:
+        """Banks with at least one realised UER, sorted."""
+        return sorted(k for k, t in self.bank_truth.items()
+                      if t.uer_row_sequence)
+
+    def pattern_of(self, bank_key: tuple) -> Optional[FailurePattern]:
+        """Ground-truth pattern of a bank (``None`` when unknown/CE-only)."""
+        truth = self.bank_truth.get(bank_key)
+        return truth.pattern if truth else None
+
+
+def _bank_key_to_address(bank_key: tuple, row: int, column: int
+                         ) -> DeviceAddress:
+    node, npu, hbm, sid, ch, psch, bg, bank = bank_key
+    return DeviceAddress(node=node, npu=npu, hbm=hbm, sid=sid, channel=ch,
+                         pseudo_channel=psch, bank_group=bg, bank=bank,
+                         row=row, column=column)
+
+
+def _records_of_fault(fault: PlantedFault) -> List[ErrorRecord]:
+    records = []
+    for event in fault.realization.events:
+        detector = (Detector.PATROL_SCRUB if event.kind is ErrorType.UEO
+                    else Detector.DEMAND_ACCESS)
+        records.append((event.time, fault.bank_key, event.row, event.column,
+                        event.kind, detector))
+    return records
+
+
+def generate_fleet_dataset(config: Optional[FleetGenConfig] = None,
+                           seed: int = 0) -> FleetDataset:
+    """Generate one synthetic fleet dataset.
+
+    Deterministic for a given ``(config, seed)`` pair: all randomness flows
+    through one ``numpy.random.Generator``.
+    """
+    config = config or FleetGenConfig()
+    rng = np.random.default_rng(seed)
+    process = FaultProcess(config.process)
+    injector = FaultInjector(config.fleet, process=process,
+                             pattern_weights=config.pattern_weights)
+
+    uce_faults = injector.plant_uce_faults(
+        n_bad_hbms=config.scaled_bad_hbms,
+        extra_banks_mean=config.extra_banks_mean,
+        rng=rng)
+    cell_faults = injector.plant_cell_faults(
+        n_faults=config.scaled_cell_faults,
+        anchors=uce_faults,
+        rng=rng)
+
+    raw: List[tuple] = []
+    for fault in uce_faults + cell_faults:
+        raw.extend(_records_of_fault(fault))
+    raw.sort(key=lambda item: item[0])
+
+    store = ErrorStore()
+    for sequence, (time, bank_key, row, column, kind, detector) in enumerate(raw):
+        address = _bank_key_to_address(bank_key, row, column)
+        store.append(ErrorRecord(
+            timestamp=time, sequence=sequence, address=address,
+            error_type=kind, bit_count=1 if kind is ErrorType.CE else 4,
+            detector=detector))
+
+    bank_truth: Dict[tuple, BankGroundTruth] = {}
+    for fault in uce_faults + cell_faults:
+        realization = fault.realization
+        bank_truth[fault.bank_key] = BankGroundTruth(
+            bank_key=fault.bank_key,
+            fault_type=fault.fault_type,
+            pattern=realization.pattern,
+            anchor_rows=realization.anchor_rows,
+            cluster_width=realization.cluster_width,
+            uer_row_sequence=tuple(realization.uer_row_sequence),
+        )
+
+    return FleetDataset(config=config, seed=seed, store=store,
+                        bank_truth=bank_truth)

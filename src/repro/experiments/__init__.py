@@ -1,0 +1,20 @@
+"""One entry point per table and figure of the paper's evaluation.
+
+Each module exposes ``run(...)`` returning a structured result object with
+a ``format()`` method that prints the paper-vs-measured comparison; the
+:mod:`repro.experiments.runner` CLI drives all of them and regenerates the
+data behind EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments import (fig3, fig4, table1, table2, table3, table4)
+
+__all__ = [
+    "ExperimentContext",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig3",
+    "fig4",
+]

@@ -1,0 +1,56 @@
+"""Experiment E5/E6 — Figure 3: failure-pattern examples and distribution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.patterns_dist import (ascii_bank_map,
+                                          compute_pattern_distribution,
+                                          example_bank_maps,
+                                          format_distribution)
+from repro.experiments.common import ExperimentContext
+
+
+@dataclass
+class Fig3Result:
+    """Pattern distribution (3b) and example bank maps (3a)."""
+
+    distribution: Dict[str, float]
+    paper: Dict[str, float]
+    examples: Dict[str, List[Tuple[int, int, str]]]
+
+    def format(self) -> str:
+        """Render the Figure 3(b) slices, measured vs paper."""
+        return ("Figure 3(b) — Bank failure-pattern distribution\n"
+                + format_distribution(self.distribution, self.paper))
+
+    def format_examples(self, width: int = 64, height: int = 20) -> str:
+        """ASCII renderings of the Figure 3(a) example maps."""
+        sections = []
+        for label, points in self.examples.items():
+            sections.append(f"--- {label} ({len(points)} events) ---")
+            sections.append(ascii_bank_map(points, height=height,
+                                           width=width))
+        return "\n".join(sections)
+
+    def max_abs_error(self) -> float:
+        """Largest slice deviation from the paper's distribution."""
+        return max(abs(self.distribution.get(label, 0.0) - value)
+                   for label, value in self.paper.items())
+
+    def aggregation_share(self) -> float:
+        """Share of aggregation patterns (paper: 78.1 %-80.2 %, depending
+        on the Fig. 3(b) reading — see DESIGN.md)."""
+        return (self.distribution["Single-row Clustering"]
+                + self.distribution["Double-row Clustering"]
+                + self.distribution["Half Total-row Clustering"])
+
+
+def run(context: ExperimentContext) -> Fig3Result:
+    """Compute the Figure 3 artefacts on the context's fleet."""
+    return Fig3Result(
+        distribution=compute_pattern_distribution(context.dataset),
+        paper=context.targets.fig3b_slices,
+        examples=example_bank_maps(context.dataset),
+    )

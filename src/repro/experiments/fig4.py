@@ -1,0 +1,38 @@
+"""Experiment E7 — Figure 4: chi-square significance of cross-row locality."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.locality import (LocalityCurve, compute_locality_chisquare,
+                                     format_locality_curve)
+from repro.experiments.common import ExperimentContext
+
+
+@dataclass
+class Fig4Result:
+    """The measured chi-square-vs-threshold curve."""
+
+    curve: LocalityCurve
+    paper_peak: int
+
+    def format(self) -> str:
+        """Render the Figure 4 series with the measured peak marked."""
+        return (f"Figure 4 — Cross-row locality (paper peak at "
+                f"{self.paper_peak} rows)\n"
+                + format_locality_curve(self.curve))
+
+    def peak_matches_paper(self) -> bool:
+        """Whether the measured peak lands on the paper's 128-row
+        threshold."""
+        return self.curve.peak_threshold == self.paper_peak
+
+
+def run(context: ExperimentContext) -> Fig4Result:
+    """Compute the locality curve on the context's fleet."""
+    curve = compute_locality_chisquare(
+        context.dataset.store,
+        thresholds=context.targets.locality_thresholds,
+        total_rows=context.dataset.config.fleet.hbm.rows)
+    return Fig4Result(curve=curve,
+                      paper_peak=context.targets.locality_peak_threshold)

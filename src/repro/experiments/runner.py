@@ -1,0 +1,101 @@
+"""CLI driving every experiment: ``cordial-repro [--scale S] [--seed N]``.
+
+Runs E1-E7 in order, prints each paper-vs-measured table, and (with
+``--output``) writes a combined report suitable for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import fig3, fig4, table1, table2, table3, table4
+from repro.experiments.common import ExperimentContext
+
+
+def run_all(context: ExperimentContext, include_models: bool = True,
+            include_examples: bool = False) -> str:
+    """Run every experiment and return the combined report text.
+
+    Args:
+        include_models: also run the (expensive) Table III/IV model
+            training; the analysis-only experiments always run.
+        include_examples: append the ASCII Figure 3(a) maps.
+    """
+    sections: List[str] = []
+
+    def section(title: str, body: str, elapsed: float) -> None:
+        sections.append(f"== {title} ({elapsed:.1f}s) ==\n{body}\n")
+
+    start = time.time()
+    result1 = table1.run(context)
+    section("E1", result1.format(), time.time() - start)
+
+    start = time.time()
+    result2 = table2.run(context)
+    section("E2", result2.format(), time.time() - start)
+
+    start = time.time()
+    result_fig3 = fig3.run(context)
+    body = result_fig3.format()
+    if include_examples:
+        body += "\n" + result_fig3.format_examples()
+    section("E5/E6", body, time.time() - start)
+
+    start = time.time()
+    result_fig4 = fig4.run(context)
+    section("E7", result_fig4.format(), time.time() - start)
+
+    if include_models:
+        start = time.time()
+        result3 = table3.run(context)
+        section("E3", result3.format(), time.time() - start)
+
+        start = time.time()
+        result4 = table4.run(context)
+        section("E4", result4.format(), time.time() - start)
+
+        sections.append(
+            "Headline shape checks:\n"
+            f"  best pattern model: {result3.best_model()} "
+            "(paper: Random Forest)\n"
+            f"  Cordial beats baseline on F1+ICR: "
+            f"{result4.cordial_beats_baseline()}\n"
+            f"  F1 improvement over baseline: "
+            f"{result4.f1_improvement():.1%} (paper: 90.7%)\n"
+            f"  ICR improvement over baseline: "
+            f"{result4.icr_improvement():.1%} (paper: 47.1%)\n")
+    return "\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``cordial-repro`` console script."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce every table and figure of the Cordial paper "
+                    "on a calibrated synthetic fleet.")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="fleet scale (1.0 = paper magnitude)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="generator seed")
+    parser.add_argument("--fast", action="store_true",
+                        help="skip the model-training experiments (E3/E4)")
+    parser.add_argument("--examples", action="store_true",
+                        help="include ASCII Figure 3(a) bank maps")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    context = ExperimentContext(scale=args.scale, seed=args.seed)
+    report = run_all(context, include_models=not args.fast,
+                     include_examples=args.examples)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Experiment E1 — Table I: in-row predictable ratio of UERs per micro-level."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.sudden import compute_sudden_uer_table
+from repro.experiments.common import ExperimentContext
+from repro.hbm.address import MicroLevel
+
+
+@dataclass
+class Table1Result:
+    """Measured sudden/non-sudden counts next to the paper's Table I."""
+
+    rows: Dict[str, Tuple[int, int, float]]  # level -> (sudden, non, ratio)
+    paper: Dict[str, float]
+
+    def format(self) -> str:
+        """Render measured-vs-paper in the paper's Table I layout."""
+        lines = [
+            "Table I — In-row predictable ratio of UERs",
+            f"{'Micro-level':<12}{'Sudden':>9}{'Non-sudden':>12}"
+            f"{'Ratio':>9}{'Paper':>9}",
+        ]
+        for level, (sudden, non_sudden, ratio) in self.rows.items():
+            lines.append(f"{level:<12}{sudden:>9}{non_sudden:>12}"
+                         f"{ratio:>8.2%}{self.paper[level]:>8.2%}")
+        return "\n".join(lines)
+
+    def max_abs_error(self) -> float:
+        """Largest per-level deviation from the paper's ratios."""
+        return max(abs(ratio - self.paper[level])
+                   for level, (_, _, ratio) in self.rows.items())
+
+    def is_monotone_decreasing(self) -> bool:
+        """The paper's headline shape: predictability falls towards rows."""
+        ratios = [ratio for _, _, ratio in self.rows.values()]
+        return all(a >= b - 0.05 for a, b in zip(ratios, ratios[1:]))
+
+
+def run(context: ExperimentContext) -> Table1Result:
+    """Compute Table I on the context's fleet."""
+    table = compute_sudden_uer_table(context.dataset.store)
+    rows = {}
+    for level in MicroLevel.paper_levels():
+        stats = table[level]
+        rows[level.label] = (stats.sudden, stats.non_sudden,
+                             stats.predictable_ratio)
+    return Table1Result(rows=rows, paper=context.targets.predictable_ratio)

@@ -1,0 +1,67 @@
+"""Experiment E2 — Table II: summary of the (synthetic) industrial dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.summary import compute_dataset_summary
+from repro.experiments.common import ExperimentContext
+from repro.hbm.address import MicroLevel
+
+
+@dataclass
+class Table2Result:
+    """Measured entity counts next to the paper's Table II.
+
+    ``scale`` is carried so sub-scale runs can compare against
+    proportionally scaled paper counts.
+    """
+
+    rows: Dict[str, Tuple[int, int, int, int]]
+    paper: Dict[str, Tuple[int, int, int, int]]
+    scale: float
+
+    def format(self) -> str:
+        """Render measured-vs-paper in the paper's Table II layout."""
+        lines = [
+            f"Table II — Dataset summary (scale={self.scale:g}; paper "
+            "counts scaled to match)",
+            f"{'Level':<8}{'With CE':>16}{'With UEO':>16}{'With UER':>16}"
+            f"{'Total':>16}",
+        ]
+        for level, measured in self.rows.items():
+            paper = [round(v * self.scale) for v in self.paper[level]]
+            cells = [f"{m}/{p}" for m, p in zip(measured, paper)]
+            lines.append(f"{level:<8}{cells[0]:>16}{cells[1]:>16}"
+                         f"{cells[2]:>16}{cells[3]:>16}")
+        lines.append("(each cell: measured/paper)")
+        return "\n".join(lines)
+
+    def max_relative_error(self, levels=("Bank", "Row")) -> float:
+        """Largest relative count deviation vs the (scaled) paper values.
+
+        Defaults to the Bank and Row levels: fault counts scale linearly
+        there, whereas distinct-unit counts at NPU/HBM/... scale
+        sub-linearly (the birthday effect), so scaled-paper comparison at
+        coarse levels is only meaningful at ``scale == 1``.
+        """
+        worst = 0.0
+        for level in levels:
+            for m, p in zip(self.rows[level], self.paper[level]):
+                expected = p * self.scale
+                if expected > 0:
+                    worst = max(worst, abs(m - expected) / expected)
+        return worst
+
+
+def run(context: ExperimentContext) -> Table2Result:
+    """Compute Table II on the context's fleet."""
+    summary = compute_dataset_summary(context.dataset.store)
+    rows = {}
+    for level in MicroLevel.paper_levels():
+        entry = summary[level]
+        rows[level.label] = (entry.with_ce, entry.with_ueo, entry.with_uer,
+                             entry.total)
+    return Table2Result(rows=rows, paper=context.targets.table2_counts,
+                        scale=context.scale)

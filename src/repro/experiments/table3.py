@@ -1,0 +1,90 @@
+"""Experiment E3 — Table III: failure-pattern classification performance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.common import PAPER_MODEL_ORDER, ExperimentContext
+from repro.faults.types import FailurePattern
+
+#: Paper's Table III (precision, recall, F1) per model per pattern row.
+PAPER_TABLE3: Dict[str, Dict[str, Tuple[float, float, float]]] = {
+    "LightGBM": {
+        "Double-row Clustering": (0.600, 0.474, 0.529),
+        "Single-row Clustering": (0.921, 0.972, 0.946),
+        "Scattered Pattern": (0.672, 0.629, 0.650),
+        "Weighted Average": (0.833, 0.844, 0.837),
+    },
+    "XGBoost": {
+        "Double-row Clustering": (0.611, 0.289, 0.393),
+        "Single-row Clustering": (0.881, 1.000, 0.937),
+        "Scattered Pattern": (0.698, 0.597, 0.643),
+        "Weighted Average": (0.803, 0.835, 0.813),
+    },
+    "Random Forest": {
+        "Double-row Clustering": (0.633, 0.500, 0.559),
+        "Single-row Clustering": (0.921, 0.981, 0.950),
+        "Scattered Pattern": (0.696, 0.629, 0.661),
+        "Weighted Average": (0.842, 0.859, 0.854),
+    },
+}
+
+_ROW_OF_PATTERN = {
+    FailurePattern.DOUBLE_ROW: "Double-row Clustering",
+    FailurePattern.SINGLE_ROW: "Single-row Clustering",
+    FailurePattern.SCATTERED: "Scattered Pattern",
+}
+
+
+@dataclass
+class Table3Result:
+    """Measured pattern-classification scores next to the paper's."""
+
+    # model -> row label -> (precision, recall, f1)
+    scores: Dict[str, Dict[str, Tuple[float, float, float]]]
+    paper: Dict[str, Dict[str, Tuple[float, float, float]]]
+
+    def format(self) -> str:
+        """Render measured-vs-paper in the paper's Table III layout."""
+        lines = ["Table III — Failure-pattern classification "
+                 "(measured | paper)"]
+        for model in PAPER_MODEL_ORDER:
+            lines.append(f"  {model}:")
+            for row_label, (p, r, f1) in self.scores[model].items():
+                pp, pr, pf = self.paper[model][row_label]
+                lines.append(
+                    f"    {row_label:<24} P={p:.3f}|{pp:.3f} "
+                    f"R={r:.3f}|{pr:.3f} F1={f1:.3f}|{pf:.3f}")
+        return "\n".join(lines)
+
+    def weighted_f1(self, model: str) -> float:
+        """Measured weighted-average F1 of one model."""
+        return self.scores[model]["Weighted Average"][2]
+
+    def best_model(self) -> str:
+        """Model with the highest measured weighted F1 (paper: RF)."""
+        return max(PAPER_MODEL_ORDER, key=self.weighted_f1)
+
+    def single_row_is_best_classified(self, model: str) -> bool:
+        """Paper's shape claim: single-row has the highest per-class F1."""
+        rows = self.scores[model]
+        single = rows["Single-row Clustering"][2]
+        return all(single >= rows[label][2]
+                   for label in ("Double-row Clustering",
+                                 "Scattered Pattern"))
+
+
+def run(context: ExperimentContext) -> Table3Result:
+    """Train/evaluate all three model families on pattern classification."""
+    scores: Dict[str, Dict[str, Tuple[float, float, float]]] = {}
+    for model_name in PAPER_MODEL_ORDER:
+        evaluation = context.evaluation(model_name)
+        rows: Dict[str, Tuple[float, float, float]] = {}
+        for pattern, label in _ROW_OF_PATTERN.items():
+            s = evaluation.pattern_scores[pattern]
+            rows[label] = (s.precision, s.recall, s.f1)
+        w = evaluation.pattern_weighted
+        rows["Weighted Average"] = (w.precision, w.recall, w.f1)
+        scores[model_name] = rows
+    return Table3Result(scores=scores, paper=PAPER_TABLE3)

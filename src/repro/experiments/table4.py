@@ -1,0 +1,90 @@
+"""Experiment E4 — Table IV: cross-row prediction performance and ICR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.common import PAPER_MODEL_ORDER, ExperimentContext
+
+#: Table IV method labels, in paper order.
+METHOD_ORDER = ("Neighbor Rows", "Cordial-LGBM", "Cordial-XGB", "Cordial-RF")
+
+_MODEL_OF_METHOD = {
+    "Cordial-LGBM": "LightGBM",
+    "Cordial-XGB": "XGBoost",
+    "Cordial-RF": "Random Forest",
+}
+
+
+@dataclass
+class Table4Result:
+    """Measured prediction/ICR scores next to the paper's Table IV."""
+
+    # method -> (precision, recall, f1, icr)
+    rows: Dict[str, Tuple[float, float, float, float]]
+    paper: Dict[str, Tuple[float, float, float, float]]
+
+    def format(self) -> str:
+        """Render measured-vs-paper in the paper's Table IV layout."""
+        lines = [
+            "Table IV — Cross-row failure prediction (measured | paper)",
+            f"{'Method':<16}{'Precision':>16}{'Recall':>16}"
+            f"{'F1':>16}{'ICR':>18}",
+        ]
+        for method in METHOD_ORDER:
+            p, r, f1, icr = self.rows[method]
+            pp, pr, pf, picr = self.paper[method]
+            lines.append(
+                f"{method:<16}{f'{p:.3f}|{pp:.3f}':>16}"
+                f"{f'{r:.3f}|{pr:.3f}':>16}"
+                f"{f'{f1:.3f}|{pf:.3f}':>16}"
+                f"{f'{icr:.2%}|{picr:.2%}':>18}")
+        return "\n".join(lines)
+
+    def f1(self, method: str) -> float:
+        """Measured block F1 of one method."""
+        return self.rows[method][2]
+
+    def icr(self, method: str) -> float:
+        """Measured ICR of one method."""
+        return self.rows[method][3]
+
+    def cordial_beats_baseline(self) -> bool:
+        """Paper's headline: every Cordial variant beats Neighbor Rows on
+        both F1 and ICR."""
+        base_f1 = self.f1("Neighbor Rows")
+        base_icr = self.icr("Neighbor Rows")
+        return all(self.f1(m) > base_f1 and self.icr(m) > base_icr
+                   for m in METHOD_ORDER[1:])
+
+    def f1_improvement(self) -> float:
+        """Relative F1 improvement of the best Cordial variant over the
+        baseline (paper: up to 90.7 %)."""
+        base = self.f1("Neighbor Rows")
+        best = max(self.f1(m) for m in METHOD_ORDER[1:])
+        return (best - base) / base if base > 0 else float("inf")
+
+    def icr_improvement(self) -> float:
+        """Relative ICR improvement of the best Cordial variant (paper:
+        47.1 %)."""
+        base = self.icr("Neighbor Rows")
+        best = max(self.icr(m) for m in METHOD_ORDER[1:])
+        return (best - base) / base if base > 0 else float("inf")
+
+
+def run(context: ExperimentContext) -> Table4Result:
+    """Evaluate the baseline and all three Cordial variants."""
+    rows: Dict[str, Tuple[float, float, float, float]] = {}
+    baseline = context.baseline_evaluation()
+    rows["Neighbor Rows"] = (baseline.block_scores.precision,
+                             baseline.block_scores.recall,
+                             baseline.block_scores.f1,
+                             baseline.icr.icr)
+    for method, model_name in _MODEL_OF_METHOD.items():
+        evaluation = context.evaluation(model_name)
+        rows[method] = (evaluation.block_scores.precision,
+                        evaluation.block_scores.recall,
+                        evaluation.block_scores.f1,
+                        evaluation.icr.icr)
+    return Table4Result(rows=rows, paper=context.targets.table4)

@@ -1,0 +1,32 @@
+"""Fault models: how physical HBM defects turn into error-event streams.
+
+Each fault type corresponds to one of the paper's bank-level failure
+patterns (Section III-B): sub-wordline-driver faults produce single-row
+clustering, coupled/mirrored SWD faults produce double-row clustering
+(with the half-total-row address-bit variant), TSV faults produce
+scattered errors, column-driver faults produce whole-column errors, and
+isolated cell faults produce the background of correctable-only noise.
+"""
+
+from repro.faults.types import FailurePattern, FaultType, PATTERN_OF_FAULT
+from repro.faults.processes import FaultProcessParams, PlannedEvent, FaultRealization
+from repro.faults.injector import FaultInjector, PlantedFault
+from repro.faults.disturbance import (DisturbanceParams, RowHammerProcess,
+                                      mitigation_refresh_rate)
+from repro.faults.scenarios import SCENARIOS, list_scenarios
+
+__all__ = [
+    "FailurePattern",
+    "FaultType",
+    "PATTERN_OF_FAULT",
+    "FaultProcessParams",
+    "PlannedEvent",
+    "FaultRealization",
+    "FaultInjector",
+    "PlantedFault",
+    "DisturbanceParams",
+    "RowHammerProcess",
+    "mitigation_refresh_rate",
+    "SCENARIOS",
+    "list_scenarios",
+]

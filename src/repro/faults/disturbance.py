@@ -1,0 +1,162 @@
+"""Read-disturbance (RowHammer / RowPress) fault extension.
+
+The paper's related work notes that HBM "shares similar reliability
+degradation caused by read disturbance vulnerability (e.g., RowHammer and
+RowPress) with DRAM" [25] but Cordial's taxonomy does not include it.
+This extension models the mechanism so its interaction with Cordial can
+be studied (benchmark ``test_ext_rowhammer.py``):
+
+* an *aggressor* row is activated at a high rate by the workload;
+* its immediate physical neighbours (±1, weaker at ±2 — "blast radius")
+  accumulate disturbance; once a victim's accumulated activations exceed
+  its flip threshold, it starts producing errors — first CEs, then UCEs;
+* the resulting bank signature is an **ultra-tight cluster** (2-5 rows
+  within ±2 of the aggressor), spatially unlike the paper's SWD clusters
+  (tens-to-hundreds of rows) but close enough to be classified as
+  single-row clustering by Cordial — which is the right operational
+  outcome, because the victims *are* row-sparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.processes import DAY_S, FaultProcessParams, PlannedEvent
+from repro.faults.types import FailurePattern, FaultType
+from repro.telemetry.events import ErrorType
+
+
+@dataclass(frozen=True)
+class DisturbanceParams:
+    """Parameters of the read-disturbance process.
+
+    Attributes:
+        hammer_rate_per_day: aggressor activations per day (abstracted —
+            real attacks hammer in minutes; fleet-level wear is slower).
+        flip_threshold_mean: activations a victim absorbs before flipping
+            (log-normal across cells, HBM2 thresholds are low [25]).
+        blast_radius_decay: fraction of disturbance reaching distance-2
+            victims relative to distance-1.
+        ce_per_uce: correctable flips seen per uncorrectable one (victims
+            degrade gradually).
+    """
+
+    hammer_rate_per_day: float = 40_000.0
+    flip_threshold_mean: float = 1.2e6
+    flip_threshold_sigma: float = 0.5
+    blast_radius_decay: float = 0.25
+    ce_per_uce: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.hammer_rate_per_day <= 0:
+            raise ValueError("hammer_rate_per_day must be positive")
+        if self.flip_threshold_mean <= 0:
+            raise ValueError("flip_threshold_mean must be positive")
+        if not 0.0 < self.blast_radius_decay <= 1.0:
+            raise ValueError("blast_radius_decay must be in (0, 1]")
+        if self.ce_per_uce < 0:
+            raise ValueError("ce_per_uce must be >= 0")
+
+
+@dataclass
+class RowHammerRealization:
+    """A realised read-disturbance episode in one bank.
+
+    Mirrors :class:`~repro.faults.processes.FaultRealization` closely
+    enough for the generator/bench tooling (events + UER row sequence),
+    plus the aggressor row for analysis.
+    """
+
+    aggressor_row: int
+    victim_rows: Tuple[int, ...]
+    events: List[PlannedEvent]
+    uer_row_sequence: List[Tuple[float, int]]
+
+    #: read-disturbance victims cluster like (very tight) single-row faults
+    pattern: FailurePattern = FailurePattern.SINGLE_ROW
+
+    @property
+    def has_uer(self) -> bool:
+        """Whether any victim reached an uncorrectable flip in-window."""
+        return bool(self.uer_row_sequence)
+
+
+class RowHammerProcess:
+    """Realises read-disturbance episodes."""
+
+    def __init__(self, params: Optional[DisturbanceParams] = None,
+                 process_params: Optional[FaultProcessParams] = None) -> None:
+        self.params = params or DisturbanceParams()
+        self.process_params = process_params or FaultProcessParams()
+
+    def realize(self, rng: np.random.Generator,
+                hammer_start: Optional[float] = None
+                ) -> RowHammerRealization:
+        """Realise one episode: aggressor, victims, and their error stream."""
+        params = self.params
+        rows = self.process_params.rows
+        columns = self.process_params.columns
+        window_s = self.process_params.window_s
+        aggressor = int(rng.integers(2, rows - 2))
+        if hammer_start is None:
+            hammer_start = float(rng.uniform(0, 0.7 * window_s))
+
+        victims: List[Tuple[int, float]] = []  # (row, disturbance share)
+        for offset, share in ((-1, 1.0), (1, 1.0),
+                              (-2, params.blast_radius_decay),
+                              (2, params.blast_radius_decay)):
+            victims.append((aggressor + offset, share))
+
+        events: List[PlannedEvent] = []
+        uer_sequence: List[Tuple[float, int]] = []
+        rate_s = params.hammer_rate_per_day / DAY_S
+        for row, share in victims:
+            threshold = float(rng.lognormal(
+                np.log(params.flip_threshold_mean),
+                params.flip_threshold_sigma))
+            time_to_flip = threshold / (rate_s * share)
+            uce_time = hammer_start + time_to_flip
+            if uce_time > window_s:
+                continue
+            column = int(rng.integers(0, columns))
+            # gradual degradation: CEs precede the UCE
+            n_ce = int(rng.poisson(params.ce_per_uce))
+            for _ in range(n_ce):
+                t = float(rng.uniform(hammer_start + 0.5 * time_to_flip,
+                                      uce_time))
+                events.append(PlannedEvent(time=t, row=row, column=column,
+                                           kind=ErrorType.CE))
+            events.append(PlannedEvent(time=uce_time, row=row,
+                                       column=column, kind=ErrorType.UER))
+            uer_sequence.append((uce_time, row))
+
+        events.sort(key=lambda e: e.time)
+        uer_sequence.sort(key=lambda item: item[0])
+        return RowHammerRealization(
+            aggressor_row=aggressor,
+            victim_rows=tuple(row for row, _ in victims),
+            events=events,
+            uer_row_sequence=uer_sequence,
+        )
+
+    def victims_within_blast_radius(self, aggressor: int) -> List[int]:
+        """Rows a hammer on ``aggressor`` can disturb."""
+        rows = self.process_params.rows
+        return [aggressor + offset for offset in (-2, -1, 1, 2)
+                if 0 <= aggressor + offset < rows]
+
+
+def mitigation_refresh_rate(params: DisturbanceParams,
+                            safety_factor: float = 2.0) -> float:
+    """Targeted-refresh rate (per day) that outpaces the hammer.
+
+    A victim is safe when its neighbourhood is refreshed before the
+    threshold accumulates: ``rate >= safety * hammer_rate / threshold``.
+    """
+    if safety_factor <= 0:
+        raise ValueError("safety_factor must be positive")
+    return (safety_factor * params.hammer_rate_per_day
+            / params.flip_threshold_mean)

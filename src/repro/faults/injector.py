@@ -1,0 +1,249 @@
+"""Planting faults on the fleet.
+
+Placement reproduces the *device-level clustering* visible in the paper's
+Table II: UER banks concentrate on few HBMs (1074 banks over 421 HBMs,
+mostly within one bank group), and the background of correctable-only
+faults is partially co-located with them (which produces the Table I
+gradient of non-sudden ratios from bank level up to NPU level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.faults.processes import (DAY_S, FaultProcess,
+                                    FaultRealization, PlannedEvent)
+from repro.faults.types import FaultType
+from repro.hbm.geometry import FleetGeometry
+
+
+@dataclass
+class PlantedFault:
+    """A fault bound to a concrete bank of the fleet."""
+
+    bank_key: tuple  # (node, npu, hbm, sid, ch, psch, bg, bank)
+    fault_type: FaultType
+    realization: FaultRealization
+
+
+#: Figure 3(b) slice weights (disjoint reading — see DESIGN.md section 3).
+DEFAULT_PATTERN_WEIGHTS: Dict[FaultType, float] = {
+    FaultType.SWD_FAULT: 0.682,
+    FaultType.DOUBLE_SWD_FAULT: 0.099,
+    FaultType.HALF_TOTAL_FAULT: 0.021,
+    FaultType.TSV_FAULT: 0.125,
+    FaultType.COLUMN_DRIVER_FAULT: 0.073,
+}
+
+#: How an extra UER bank on an already-bad HBM spills across the hierarchy
+#: (calibrated against the Table II SID/PS-CH/BG/Bank counts).
+DEFAULT_SPILL_PROBS: Dict[str, float] = {
+    "same_bg": 0.58,
+    "same_psch": 0.25,
+    "same_ch": 0.07,
+    "same_sid": 0.06,
+    "other_sid": 0.04,
+}
+
+#: Where CE-only cell faults co-locate relative to UER banks; the residual
+#: probability mass places them uniformly at random in the fleet.  These
+#: tiny probabilities produce the Table I increments of the non-sudden
+#: ratio from bank level (29.2 %) up to NPU level (41.9 %).
+DEFAULT_COLOC_PROBS: Dict[str, float] = {
+    "same_bg": 0.028,
+    "same_psch": 0.0012,
+    "same_ch": 0.0030,
+    "same_sid": 0.0032,
+    "same_hbm": 0.0012,
+    "same_npu": 0.0006,
+}
+
+
+class FaultInjector:
+    """Places and realises faults on a fleet."""
+
+    def __init__(self, fleet: FleetGeometry,
+                 process: Optional[FaultProcess] = None,
+                 pattern_weights: Optional[Dict[FaultType, float]] = None,
+                 spill_probs: Optional[Dict[str, float]] = None,
+                 coloc_probs: Optional[Dict[str, float]] = None) -> None:
+        self.fleet = fleet
+        self.process = process or FaultProcess()
+        self.pattern_weights = dict(pattern_weights or DEFAULT_PATTERN_WEIGHTS)
+        self.spill_probs = dict(spill_probs or DEFAULT_SPILL_PROBS)
+        self.coloc_probs = dict(coloc_probs or DEFAULT_COLOC_PROBS)
+        total = sum(self.pattern_weights.values())
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"pattern weights must sum to 1, got {total}")
+        if sum(self.coloc_probs.values()) >= 1.0:
+            raise ValueError("co-location probabilities must sum to < 1")
+
+    # -- coordinate helpers -----------------------------------------------------
+    def _random_bank_key(self, rng: np.random.Generator,
+                         base: Optional[tuple] = None,
+                         fixed_prefix: int = 0) -> tuple:
+        """A bank key sharing the first ``fixed_prefix`` fields of ``base``.
+
+        Field order: node, npu, hbm, sid, ch, psch, bg, bank.
+        """
+        hbm = self.fleet.hbm
+        limits = (self.fleet.nodes, self.fleet.npus_per_node,
+                  self.fleet.hbms_per_npu, hbm.sids, hbm.channels,
+                  hbm.pseudo_channels, hbm.bank_groups, hbm.banks)
+        key: List[int] = []
+        for i, limit in enumerate(limits):
+            if base is not None and i < fixed_prefix:
+                key.append(base[i])
+            else:
+                key.append(int(rng.integers(0, limit)))
+        return tuple(key)
+
+    def _spill_bank_key(self, base: tuple, rng: np.random.Generator) -> tuple:
+        """Place an extra UER bank relative to an existing one."""
+        names = list(self.spill_probs.keys())
+        probs = np.asarray([self.spill_probs[n] for n in names])
+        probs = probs / probs.sum()
+        choice = names[int(rng.choice(len(names), p=probs))]
+        prefix = {
+            "same_bg": 7,     # keep node..bg, vary bank
+            "same_psch": 6,   # keep node..psch, vary bg+bank
+            "same_ch": 5,
+            "same_sid": 4,
+            "other_sid": 3,   # keep node..hbm, vary sid downward
+        }[choice]
+        return self._random_bank_key(rng, base=base, fixed_prefix=prefix)
+
+    # -- UCE fault placement -------------------------------------------------------
+    def plant_uce_faults(self, n_bad_hbms: int, extra_banks_mean: float,
+                         rng: np.random.Generator) -> List[PlantedFault]:
+        """Plant UCE-producing faults on ``n_bad_hbms`` distinct HBMs.
+
+        Each bad HBM receives ``1 + Poisson(extra_banks_mean)`` fault banks,
+        the extras spilling across the hierarchy per ``spill_probs``.
+
+        The precursor decision (whether faults announce themselves with
+        CE/UEO signals before their first UER) is drawn once *per HBM* and
+        shared by all its fault banks: physically, a degrading stack either
+        sheds correctable noise or fails cold as a unit.  This is what
+        keeps the Table I non-sudden ratio flat across bank/BG/.../NPU
+        levels apart from the co-location effects added separately.
+        """
+        if n_bad_hbms < 0:
+            raise ValueError("n_bad_hbms must be >= 0")
+        faults: List[PlantedFault] = []
+        used_banks: Set[tuple] = set()
+        used_hbms: Set[tuple] = set()
+        fault_types = list(self.pattern_weights.keys())
+        type_probs = np.asarray([self.pattern_weights[t] for t in fault_types])
+
+        while len(used_hbms) < n_bad_hbms:
+            first = self._random_bank_key(rng)
+            hbm_key = first[:3]
+            if hbm_key in used_hbms:
+                continue
+            used_hbms.add(hbm_key)
+            emit_precursors = bool(
+                rng.random() < self.process.params.precursor_prob)
+            n_banks = 1 + int(rng.poisson(extra_banks_mean))
+            bank_keys = [first]
+            used_banks.add(first)
+            attempts = 0
+            while len(bank_keys) < n_banks and attempts < 50:
+                attempts += 1
+                candidate = self._spill_bank_key(first, rng)
+                if candidate not in used_banks:
+                    used_banks.add(candidate)
+                    bank_keys.append(candidate)
+            for bank_key in bank_keys:
+                fault_type = fault_types[int(rng.choice(len(fault_types),
+                                                        p=type_probs))]
+                realization = self.process.realize(
+                    fault_type, rng, emit_precursors=emit_precursors)
+                faults.append(PlantedFault(bank_key=bank_key,
+                                           fault_type=fault_type,
+                                           realization=realization))
+        return faults
+
+    # -- CE-only fault placement ------------------------------------------------------
+    def plant_cell_faults(self, n_faults: int,
+                          anchors: Sequence[PlantedFault],
+                          rng: np.random.Generator) -> List[PlantedFault]:
+        """Plant CE-only cell faults, partially co-located with UER banks.
+
+        Co-located faults are also *temporally* correlated with their
+        anchor: the same physical degradation that will produce UERs first
+        sheds correctable noise elsewhere on the device, so the cell
+        fault's events cluster in a short interval around the anchor's
+        first UER.  (This, together with the finite observation window of
+        :mod:`repro.analysis.sudden`, yields the Table I level increments.)
+        """
+        if n_faults < 0:
+            raise ValueError("n_faults must be >= 0")
+        names = list(self.coloc_probs.keys())
+        probs = [self.coloc_probs[n] for n in names]
+        uniform_prob = 1.0 - sum(probs)
+        all_choices = names + ["uniform"]
+        all_probs = np.asarray(probs + [uniform_prob])
+        prefix_of = {
+            "same_bg": 7, "same_psch": 6, "same_ch": 5,
+            "same_sid": 4, "same_hbm": 3, "same_npu": 2,
+        }
+        faults: List[PlantedFault] = []
+        used: Set[tuple] = {a.bank_key for a in anchors}
+        uer_anchors = [a for a in anchors if a.realization.has_uer]
+        for _ in range(n_faults):
+            anchor: Optional[PlantedFault] = None
+            key = None
+            for _attempt in range(20):
+                choice = all_choices[int(rng.choice(len(all_choices),
+                                                    p=all_probs))]
+                if choice == "uniform" or not uer_anchors:
+                    anchor = None
+                    key = self._random_bank_key(rng)
+                else:
+                    anchor = uer_anchors[int(rng.integers(0,
+                                                          len(uer_anchors)))]
+                    key = self._random_bank_key(
+                        rng, base=anchor.bank_key,
+                        fixed_prefix=prefix_of[choice])
+                if key not in used:
+                    used.add(key)
+                    break
+            else:
+                continue
+            realization = self.process.realize(FaultType.CELL_FAULT, rng)
+            if anchor is not None:
+                realization = self._retime_near_anchor(realization, anchor,
+                                                       rng)
+            faults.append(PlantedFault(bank_key=key,
+                                       fault_type=FaultType.CELL_FAULT,
+                                       realization=realization))
+        return faults
+
+    def _retime_near_anchor(self, realization: FaultRealization,
+                            anchor: PlantedFault,
+                            rng: np.random.Generator) -> FaultRealization:
+        """Redraw a cell fault's event times around the anchor's first UER.
+
+        Events land uniformly in ``[t* - 0.25 d, t* + 1 d]`` (clipped to the
+        window), where ``t*`` is the anchor fault's first UER time.
+        """
+        t_star = anchor.realization.uer_row_sequence[0][0]
+        window_s = self.process.params.window_s
+        low = max(0.0, t_star - 0.25 * DAY_S)
+        high = min(window_s, t_star + 1.0 * DAY_S)
+        events = [PlannedEvent(time=float(rng.uniform(low, high)),
+                               row=e.row, column=e.column, kind=e.kind)
+                  for e in realization.events]
+        events.sort(key=lambda e: e.time)
+        return FaultRealization(
+            fault_type=realization.fault_type,
+            pattern=realization.pattern,
+            anchor_rows=realization.anchor_rows,
+            cluster_width=realization.cluster_width,
+            events=events,
+            uer_row_sequence=realization.uer_row_sequence,
+        )

@@ -1,0 +1,542 @@
+"""Stochastic error processes of planted faults.
+
+A fault planted in a bank *realises* into a stream of CE / UEO / UER
+events over the observation window.  The spatial kernels and temporal
+processes here are the calibration surface of the whole reproduction —
+their parameters are chosen so the synthetic fleet matches every
+distributional statistic the paper publishes:
+
+* Aggregation faults (SWD / double-SWD / half-total) damage a set of
+  discrete **weak segments** — a few adjacent rows each, one per failing
+  sub-wordline-driver section — spread over a cluster extent of 48-160
+  rows.  Consecutive UERs hop *between* segments, which yields the
+  chi-square locality peak at a 128-row threshold (Fig. 4), while future
+  UERs preferentially strike segments that already errored, which is what
+  makes the paper's 8-row prediction blocks learnable (Table IV).
+* Most faults emit their first UER with *no* prior CE/UEO in the bank —
+  the precursor decision is made per *device* (see
+  :class:`repro.faults.injector.FaultInjector`), which keeps the
+  bank-level sudden ratio of Table I flat across micro-levels except for
+  the co-location effects modelled separately.
+* Table II implies that most UER banks carry no CEs at all (9318 total
+  banks vs 8557 with CE, with 1074 UER banks), so the post-onset CE
+  stream is itself conditional (``ce_stream_prob``).
+* UEO volume is concentrated in scattered/column faults, matching the
+  537 banks-with-UEO vs 4888 rows-with-UEO structure of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.faults.types import FailurePattern, FaultType, PATTERN_OF_FAULT
+from repro.telemetry.events import ErrorType
+
+DAY_S = 86400.0
+
+
+@dataclass(frozen=True)
+class FaultProcessParams:
+    """Tunable parameters of every fault error process.
+
+    The defaults are the calibrated values; the calibration tests assert
+    the resulting fleet statistics stay inside the paper's bands.
+    """
+
+    window_days: float = 180.0
+    rows: int = 32768
+    columns: int = 128
+
+    # --- UER row counts per fault (before window censoring) ---------------
+    uer_rows_geom_p: Dict[str, float] = field(default_factory=lambda: {
+        FaultType.SWD_FAULT.value: 0.28,
+        FaultType.DOUBLE_SWD_FAULT.value: 0.26,
+        FaultType.HALF_TOTAL_FAULT.value: 0.26,
+        FaultType.TSV_FAULT.value: 0.26,
+        FaultType.COLUMN_DRIVER_FAULT.value: 0.22,
+    })
+    uer_rows_min: Dict[str, int] = field(default_factory=lambda: {
+        FaultType.SWD_FAULT.value: 2,
+        FaultType.DOUBLE_SWD_FAULT.value: 2,
+        FaultType.HALF_TOTAL_FAULT.value: 2,
+        FaultType.TSV_FAULT.value: 3,
+        FaultType.COLUMN_DRIVER_FAULT.value: 4,
+    })
+
+    # --- spatial kernels ----------------------------------------------------
+    double_interval_range: Tuple[int, int] = (1024, 8192)
+    pitch_range: Tuple[int, int] = (24, 96)
+    lattice_positions_range: Tuple[int, int] = (5, 12)
+    deterministic_walk_frac: float = 0.45
+    walk_jitter: int = 1
+    momentum_prob: float = 0.85
+    double_hop_prob: float = 0.10
+    walk_restart_prob: float = 0.05
+    adjacent_recurrence_prob: float = 0.09
+    noise_near_weak_prob: float = 0.60
+    outlier_row_prob: float = 0.03
+    tsv_region_log_range: Tuple[float, float] = (512.0, 32768.0)
+
+    # --- temporal process ---------------------------------------------------
+    uer_gap_days_range: Tuple[float, float] = (0.2, 10.0)
+    onset_latest_fraction: float = 0.9
+
+    # --- precursors (sudden-vs-non-sudden control) ---------------------------
+    precursor_prob: float = 0.315
+    precursor_count_mean: float = 2.0
+    precursor_in_row_frac: float = 0.70
+    precursor_ueo_prob: float = 0.15
+    precursor_span_days: float = 0.2
+
+    # --- post-onset CE stream -------------------------------------------------
+    ce_stream_prob: Dict[str, float] = field(default_factory=lambda: {
+        FaultType.SWD_FAULT.value: 0.32,
+        FaultType.DOUBLE_SWD_FAULT.value: 0.32,
+        FaultType.HALF_TOTAL_FAULT.value: 0.32,
+        FaultType.TSV_FAULT.value: 0.80,
+        FaultType.COLUMN_DRIVER_FAULT.value: 0.90,
+    })
+    ce_count_mean: Dict[str, float] = field(default_factory=lambda: {
+        FaultType.SWD_FAULT.value: 12.0,
+        FaultType.DOUBLE_SWD_FAULT.value: 12.0,
+        FaultType.HALF_TOTAL_FAULT.value: 12.0,
+        FaultType.TSV_FAULT.value: 18.0,
+        FaultType.COLUMN_DRIVER_FAULT.value: 25.0,
+    })
+
+    # --- UEO stream -------------------------------------------------------------
+    ueo_count_mean: Dict[str, float] = field(default_factory=lambda: {
+        FaultType.SWD_FAULT.value: 0.22,
+        FaultType.DOUBLE_SWD_FAULT.value: 0.80,
+        FaultType.HALF_TOTAL_FAULT.value: 0.80,
+        FaultType.TSV_FAULT.value: 18.0,
+        FaultType.COLUMN_DRIVER_FAULT.value: 26.0,
+    })
+
+    # --- CE-only background faults ------------------------------------------------
+    cell_fault_rows_mean: float = 5.4
+    cell_fault_events_per_row: float = 1.6
+
+    @property
+    def window_s(self) -> float:
+        """Observation window length in seconds."""
+        return self.window_days * DAY_S
+
+
+@dataclass(frozen=True)
+class PlannedEvent:
+    """One event of a fault realisation (bank-relative coordinates)."""
+
+    time: float
+    row: int
+    column: int
+    kind: ErrorType
+
+
+@dataclass
+class FaultRealization:
+    """A fault's full event stream plus the ground truth around it.
+
+    Attributes:
+        fault_type: mechanism that was planted.
+        pattern: Cordial class of the mechanism (``None`` for CE-only
+            cell faults).
+        anchor_rows: cluster centres (empty for scattered mechanisms).
+        cluster_width: half-width of the row kernels (0 when N/A).
+        events: all realised events, time-sorted.
+        uer_row_sequence: ``(first_time, row)`` of each distinct UER row in
+            occurrence order — the ground truth cross-row prediction and the
+            ICR replay evaluate against.
+    """
+
+    fault_type: FaultType
+    pattern: Optional[FailurePattern]
+    anchor_rows: Tuple[int, ...]
+    cluster_width: int
+    events: List[PlannedEvent]
+    uer_row_sequence: List[Tuple[float, int]]
+
+    @property
+    def has_uer(self) -> bool:
+        """Whether any UER materialised inside the window."""
+        return bool(self.uer_row_sequence)
+
+
+def _clip_row(row: float, rows: int) -> int:
+    return int(min(max(row, 0), rows - 1))
+
+
+def _draw_uer_row_count(fault_type: FaultType, params: FaultProcessParams,
+                        rng: np.random.Generator) -> int:
+    p = params.uer_rows_geom_p[fault_type.value]
+    minimum = params.uer_rows_min[fault_type.value]
+    return minimum + int(rng.geometric(p)) - 1
+
+
+# ---------------------------------------------------------------------------
+# Row kernels
+# ---------------------------------------------------------------------------
+
+class RowKernel:
+    """Where a fault's error rows come from.
+
+    ``plan_uer_rows`` produces the fault's distinct UER row sequence;
+    ``noise_row`` produces a row for a CE/UEO/precursor event.
+    """
+
+    anchors: Tuple[int, ...] = ()
+    width: int = 0
+
+    def plan_uer_rows(self, count: int,
+                      rng: np.random.Generator) -> List[int]:
+        raise NotImplementedError
+
+    def noise_row(self, rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+
+class PitchWalkKernel(RowKernel):
+    """Lattice-walk cluster kernel of aggregation faults.
+
+    A failing sub-wordline driver degrades a *lattice* of weak row
+    positions spaced one physical stride (the pitch, 24-96 rows) apart —
+    ``anchor + i * pitch`` for a handful of indices.  Successive UER rows
+    walk along the lattice indices with strong directional momentum,
+    reflecting at the lattice ends, with +/-1-row jitter; occasionally a
+    UER recurs right next to the previous row (``adjacent_recurrence_prob``
+    — the only part a +/-4-row neighbourhood policy catches), restarts at
+    a random lattice position, or strikes an outlier row.
+
+    This geometry produces all three published behaviours at once:
+    consecutive-UER distances concentrate in (pitch .. 2*pitch], peaking
+    the Fig. 4 chi-square at the 128-row threshold; future UERs land on
+    lattice positions inferable from the first three UER rows (what makes
+    the 8-row prediction blocks of Table IV learnable); and they stay
+    mostly outside +/-4 of prior UER rows (why Cordial beats the
+    Neighbor-Rows baseline).
+
+    CE/UEO noise flanks the lattice's weak rows (within +/-3 but never the
+    exact row), marking where the walk has been and will go.
+    """
+
+    def __init__(self, anchors: Sequence[int], params: FaultProcessParams,
+                 rng: np.random.Generator) -> None:
+        self.params = params
+        low, high = params.pitch_range
+        self.pitch = int(rng.integers(low, high + 1))
+        # "Textbook" SWD faults march down the lattice one stride at a
+        # time with no jitter; the rest wander.  The deterministic
+        # sub-population is what a selective predictor can nail with high
+        # precision (the Table IV precision/recall profile).
+        self.deterministic = bool(rng.random()
+                                  < params.deterministic_walk_frac)
+        self.lattices: List[List[int]] = []
+        centers = []
+        for anchor in anchors:
+            n_positions = int(rng.integers(*params.lattice_positions_range))
+            start = anchor - (n_positions // 2) * self.pitch
+            positions = [_clip_row(start + i * self.pitch, params.rows)
+                         for i in range(n_positions)]
+            self.lattices.append(positions)
+            centers.append(positions[len(positions) // 2])
+        self.anchors = tuple(centers)
+        self.width = max((len(lat) - 1) * self.pitch // 2 + 1
+                         for lat in self.lattices)
+        # Per-cluster walk state: (lattice index, direction).
+        self._state: Dict[int, Tuple[int, int]] = {}
+        self._planned_rows: List[int] = []
+
+    def _lattice_row(self, cluster: int, index: int,
+                     rng: np.random.Generator) -> int:
+        if self.deterministic:
+            jitter = 0
+        else:
+            jitter = int(rng.integers(-self.params.walk_jitter,
+                                      self.params.walk_jitter + 1))
+        return _clip_row(self.lattices[cluster][index] + jitter,
+                         self.params.rows)
+
+    def _next_walk_row(self, cluster: int,
+                       rng: np.random.Generator) -> int:
+        params = self.params
+        lattice = self.lattices[cluster]
+        state = self._state.get(cluster)
+        if state is None:
+            index = int(rng.integers(0, len(lattice)))
+            self._state[cluster] = (index, 1 if rng.random() < 0.5 else -1)
+            return self._lattice_row(cluster, index, rng)
+        index, direction = state
+        if self.deterministic:
+            outlier_p, restart_p, adjacent_p = 0.02, 0.0, 0.06
+            momentum_p, double_hop_p = 1.0, 0.0
+        else:
+            outlier_p = params.outlier_row_prob
+            restart_p = params.walk_restart_prob
+            adjacent_p = params.adjacent_recurrence_prob
+            momentum_p = params.momentum_prob
+            double_hop_p = params.double_hop_prob
+        u = rng.random()
+        if u < outlier_p:
+            return int(rng.integers(0, params.rows))
+        if u < outlier_p + restart_p:
+            index = int(rng.integers(0, len(lattice)))
+            self._state[cluster] = (index, direction)
+            return self._lattice_row(cluster, index, rng)
+        if u < outlier_p + restart_p + adjacent_p:
+            sign = 1 if rng.random() < 0.5 else -1
+            return _clip_row(lattice[index] + sign * int(rng.integers(2, 5)),
+                             params.rows)
+        if rng.random() > momentum_p:
+            direction = -direction
+        hops = 2 if rng.random() < double_hop_p else 1
+        index += direction * hops
+        # Reflect at the lattice ends (and flip the walk direction).
+        if index < 0:
+            index = -index
+            direction = 1
+        if index >= len(lattice):
+            index = 2 * (len(lattice) - 1) - index
+            direction = -1
+        index = max(0, min(len(lattice) - 1, index))
+        self._state[cluster] = (index, direction)
+        return self._lattice_row(cluster, index, rng)
+
+    def plan_uer_rows(self, count: int,
+                      rng: np.random.Generator) -> List[int]:
+        """Distinct UER rows from the lattice walk (per-cluster state)."""
+        rows: List[int] = []
+        seen: Set[int] = set()
+        attempts = 0
+        n_clusters = len(self.lattices)
+        weights = (np.asarray([0.55, 0.45]) if n_clusters == 2
+                   else np.ones(n_clusters) / n_clusters)
+        while len(rows) < count and attempts < 60 * count + 200:
+            attempts += 1
+            cluster = int(rng.choice(n_clusters, p=weights))
+            row = self._next_walk_row(cluster, rng)
+            if row in seen:
+                continue
+            seen.add(row)
+            rows.append(row)
+        self._planned_rows = list(rows)
+        return rows
+
+    def noise_row(self, rng: np.random.Generator) -> int:
+        """A CE/UEO row flanking a weak row (never exactly on it): either a
+        row the walk visits, or an unvisited lattice position."""
+        params = self.params
+        offset = int(rng.integers(1, 4))
+        if rng.random() < 0.5:
+            offset = -offset
+        if self._planned_rows and rng.random() < params.noise_near_weak_prob:
+            target = int(self._planned_rows[int(rng.integers(
+                0, len(self._planned_rows)))])
+        else:
+            cluster = int(rng.integers(0, len(self.lattices)))
+            lattice = self.lattices[cluster]
+            target = lattice[int(rng.integers(0, len(lattice)))]
+        return _clip_row(target + offset, params.rows)
+
+
+class RegionKernel(RowKernel):
+    """TSV-fault kernel: rows uniform within a damaged address region."""
+
+    def __init__(self, params: FaultProcessParams,
+                 rng: np.random.Generator) -> None:
+        self.params = params
+        lo, hi = params.tsv_region_log_range
+        size = int(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+        size = min(size, params.rows)
+        self.region_size = size
+        self.region_start = int(rng.integers(0, params.rows - size + 1))
+
+    def plan_uer_rows(self, count: int,
+                      rng: np.random.Generator) -> List[int]:
+        count = min(count, self.region_size)
+        offsets = rng.choice(self.region_size, size=count, replace=False)
+        return [self.region_start + int(o) for o in offsets]
+
+    def noise_row(self, rng: np.random.Generator) -> int:
+        return self.region_start + int(rng.integers(0, self.region_size))
+
+
+class UniformKernel(RowKernel):
+    """Whole-column kernel: rows dispersed over the entire bank."""
+
+    def __init__(self, params: FaultProcessParams) -> None:
+        self.params = params
+
+    def plan_uer_rows(self, count: int,
+                      rng: np.random.Generator) -> List[int]:
+        count = min(count, self.params.rows)
+        return list(rng.choice(self.params.rows, size=count, replace=False))
+
+    def noise_row(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self.params.rows))
+
+
+class FaultProcess:
+    """Realises planted faults into event streams."""
+
+    def __init__(self, params: FaultProcessParams | None = None) -> None:
+        self.params = params or FaultProcessParams()
+
+    # -- public entry points ---------------------------------------------------
+    def realize(self, fault_type: FaultType, rng: np.random.Generator,
+                emit_precursors: Optional[bool] = None) -> FaultRealization:
+        """Realise one fault of ``fault_type`` into its event stream.
+
+        Args:
+            emit_precursors: whether the fault emits CE/UEO signals before
+                its first UER.  ``None`` draws the decision per fault with
+                ``precursor_prob``; the fleet injector instead passes a
+                per-device flag so that co-hosted faults share the decision
+                (Table I calibration — see module docstring).
+        """
+        if fault_type is FaultType.CELL_FAULT:
+            return self._realize_cell_fault(rng)
+        if emit_precursors is None:
+            emit_precursors = rng.random() < self.params.precursor_prob
+        return self._realize_uce_fault(fault_type, rng, emit_precursors)
+
+    # -- CE-only background fault -------------------------------------------------
+    def _realize_cell_fault(self, rng: np.random.Generator) -> FaultRealization:
+        params = self.params
+        n_rows = max(1, int(rng.poisson(params.cell_fault_rows_mean)))
+        n_rows = min(n_rows, params.rows)
+        rows = rng.choice(params.rows, size=n_rows, replace=False)
+        events: List[PlannedEvent] = []
+        for row in rows:
+            n_events = max(1, int(rng.poisson(params.cell_fault_events_per_row)))
+            column = int(rng.integers(0, params.columns))
+            for _ in range(n_events):
+                events.append(PlannedEvent(
+                    time=float(rng.uniform(0, params.window_s)),
+                    row=int(row), column=column, kind=ErrorType.CE))
+        events.sort(key=lambda e: e.time)
+        return FaultRealization(
+            fault_type=FaultType.CELL_FAULT, pattern=None, anchor_rows=(),
+            cluster_width=0, events=events, uer_row_sequence=[])
+
+    # -- UCE-producing faults ---------------------------------------------------------
+    def _make_kernel(self, fault_type: FaultType,
+                     rng: np.random.Generator) -> Tuple[RowKernel,
+                                                        Optional[int]]:
+        """Build the fault's row kernel; returns ``(kernel, fixed_column)``."""
+        params = self.params
+        margin = (params.lattice_positions_range[1]
+                  * params.pitch_range[1])
+        if fault_type is FaultType.SWD_FAULT:
+            anchor = int(rng.integers(margin, params.rows - margin))
+            return PitchWalkKernel([anchor], params, rng), None
+        if fault_type in (FaultType.DOUBLE_SWD_FAULT,
+                          FaultType.HALF_TOTAL_FAULT):
+            if fault_type is FaultType.HALF_TOTAL_FAULT:
+                interval = params.rows // 2
+            else:
+                interval = int(rng.integers(*params.double_interval_range))
+            a1 = int(rng.integers(margin,
+                                  params.rows - interval - margin))
+            return PitchWalkKernel([a1, a1 + interval], params, rng), None
+        if fault_type is FaultType.COLUMN_DRIVER_FAULT:
+            return (UniformKernel(params),
+                    int(rng.integers(0, params.columns)))
+        return RegionKernel(params, rng), None  # TSV
+
+    def _realize_uce_fault(self, fault_type: FaultType,
+                           rng: np.random.Generator,
+                           emit_precursors: bool) -> FaultRealization:
+        params = self.params
+        kernel, fixed_column = self._make_kernel(fault_type, rng)
+        pattern = PATTERN_OF_FAULT[fault_type]
+
+        def draw_column() -> int:
+            if fixed_column is not None:
+                return fixed_column
+            return int(rng.integers(0, params.columns))
+
+        # --- UER rows and times -------------------------------------------
+        onset = float(rng.uniform(0, params.onset_latest_fraction
+                                  * params.window_s))
+        n_planned = _draw_uer_row_count(fault_type, params, rng)
+        uer_rows = kernel.plan_uer_rows(n_planned, rng)
+        gap_mean = float(np.exp(rng.uniform(
+            np.log(params.uer_gap_days_range[0]),
+            np.log(params.uer_gap_days_range[1])))) * DAY_S
+        times: List[float] = [onset]
+        while len(times) < len(uer_rows):
+            times.append(times[-1] + float(rng.exponential(gap_mean)))
+        realized = [(t, r) for t, r in zip(times, uer_rows)
+                    if t <= params.window_s]
+        events: List[PlannedEvent] = [
+            PlannedEvent(time=t, row=r, column=draw_column(),
+                         kind=ErrorType.UER)
+            for t, r in realized
+        ]
+        first_uer = realized[0][0] if realized else onset
+
+        # --- precursors (non-sudden banks) ----------------------------------
+        if emit_precursors and first_uer > 0:
+            events.extend(self._precursor_events(
+                first_uer, realized, kernel, draw_column, rng))
+
+        # --- post-onset CE and UEO streams -------------------------------------
+        if rng.random() < params.ce_stream_prob[fault_type.value]:
+            n_ce = int(rng.poisson(params.ce_count_mean[fault_type.value]))
+            for _ in range(n_ce):
+                t = float(rng.uniform(first_uer, params.window_s))
+                events.append(PlannedEvent(time=t, row=kernel.noise_row(rng),
+                                           column=draw_column(),
+                                           kind=ErrorType.CE))
+        n_ueo = int(rng.poisson(params.ueo_count_mean[fault_type.value]))
+        for _ in range(n_ueo):
+            t = float(rng.uniform(first_uer, params.window_s))
+            events.append(PlannedEvent(time=t, row=kernel.noise_row(rng),
+                                       column=draw_column(),
+                                       kind=ErrorType.UEO))
+
+        events.sort(key=lambda e: e.time)
+        return FaultRealization(
+            fault_type=fault_type,
+            pattern=pattern,
+            anchor_rows=kernel.anchors,
+            cluster_width=kernel.width,
+            events=events,
+            uer_row_sequence=realized,
+        )
+
+    def _precursor_events(self, first_uer: float,
+                          realized: List[Tuple[float, int]],
+                          kernel: RowKernel, draw_column,
+                          rng: np.random.Generator) -> List[PlannedEvent]:
+        """CE/UEO signals strictly before the fault's first UER.
+
+        Additionally, with probability ``precursor_in_row_frac`` one of the
+        fault's UER *rows* gets its own in-row precursor CE shortly before
+        that row's first UER (it may come after the bank's first UER) —
+        this single knob sets the paper's 4.39 % row-level predictable
+        ratio.
+        """
+        params = self.params
+        events: List[PlannedEvent] = []
+        span_s = params.precursor_span_days * DAY_S
+        span = min(first_uer, span_s)
+        n_pre = 1 + int(rng.poisson(params.precursor_count_mean))
+        for _ in range(n_pre):
+            t = float(rng.uniform(first_uer - span, first_uer))
+            t = max(0.0, min(t, np.nextafter(first_uer, 0.0)))
+            kind = (ErrorType.UEO if rng.random() < params.precursor_ueo_prob
+                    else ErrorType.CE)
+            events.append(PlannedEvent(time=t, row=kernel.noise_row(rng),
+                                       column=draw_column(), kind=kind))
+        if realized and rng.random() < params.precursor_in_row_frac:
+            row_time, row = realized[int(rng.integers(0, len(realized)))]
+            t = float(rng.uniform(max(0.0, row_time - span_s), row_time))
+            t = min(t, np.nextafter(row_time, 0.0))
+            events.append(PlannedEvent(time=t, row=row,
+                                       column=draw_column(),
+                                       kind=ErrorType.CE))
+        return events

@@ -1,0 +1,117 @@
+"""Named what-if fleet scenarios.
+
+Operators plan capacity against futures, not a single calibrated present:
+what if the fleet ages (more faults per device), what if TSV damage
+dominates the next HBM revision, what if a CE storm floods telemetry?
+Each scenario returns a ready :class:`~repro.datasets.config.FleetGenConfig`
+derived from the calibrated defaults with documented, bounded deviations —
+so every what-if stays comparable to the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+from repro.faults.injector import DEFAULT_PATTERN_WEIGHTS
+from repro.faults.types import FaultType
+
+if TYPE_CHECKING:  # imported lazily below to avoid a package cycle
+    from repro.datasets.config import FleetGenConfig
+
+
+def _config_cls():
+    from repro.datasets.config import FleetGenConfig
+    return FleetGenConfig
+
+
+def baseline(scale: float = 1.0) -> "FleetGenConfig":
+    """The calibrated fleet, as published (DESIGN.md section 2)."""
+    return _config_cls()(scale=scale)
+
+
+def aged_fleet(scale: float = 1.0, aging_factor: float = 2.0
+               ) -> "FleetGenConfig":
+    """A fleet late in life: more failing devices, denser CE noise.
+
+    ``aging_factor`` multiplies both the bad-HBM population and the
+    CE-only background.
+    """
+    if aging_factor < 1.0:
+        raise ValueError("aging_factor must be >= 1")
+    base = _config_cls()(scale=scale)
+    return replace(base,
+                   n_bad_hbms=round(base.n_bad_hbms * aging_factor),
+                   n_cell_faults=round(base.n_cell_faults * aging_factor))
+
+
+def tsv_dominant(scale: float = 1.0) -> "FleetGenConfig":
+    """A stacking-defect-heavy fleet: scattered patterns double.
+
+    Models a packaging regression (poor micro-bump yield): TSV and
+    whole-column faults take share from single-row clustering.
+    """
+    weights = dict(DEFAULT_PATTERN_WEIGHTS)
+    shift = weights[FaultType.TSV_FAULT] + weights[
+        FaultType.COLUMN_DRIVER_FAULT]
+    weights[FaultType.TSV_FAULT] *= 2
+    weights[FaultType.COLUMN_DRIVER_FAULT] *= 2
+    weights[FaultType.SWD_FAULT] -= shift
+    if weights[FaultType.SWD_FAULT] <= 0:
+        raise ValueError("pattern weights became degenerate")
+    # FleetGenConfig carries process params; pattern weights live in the
+    # injector, so scenarios with changed weights ship them via the
+    # process params' companion dict.
+    config = _config_cls()(scale=scale)
+    return replace(config, pattern_weights=weights)
+
+
+def ce_storm(scale: float = 1.0, storm_factor: float = 4.0
+             ) -> "FleetGenConfig":
+    """Telemetry-stress scenario: the CE background floods the collector.
+
+    Fault behaviour is unchanged — this stresses analysis/alarming paths
+    (does Table I survive? do alarms storm?).
+    """
+    if storm_factor < 1.0:
+        raise ValueError("storm_factor must be >= 1")
+    base = _config_cls()(scale=scale)
+    process = replace(base.process,
+                      cell_fault_events_per_row=(
+                          base.process.cell_fault_events_per_row
+                          * storm_factor))
+    return replace(base, process=process)
+
+
+def sudden_heavy(scale: float = 1.0) -> "FleetGenConfig":
+    """Worst case for any history-based method: precursors nearly vanish
+    (bank-level predictable ratio drops towards zero)."""
+    base = _config_cls()(scale=scale)
+    process = replace(base.process, precursor_prob=0.05,
+                      precursor_in_row_frac=0.2)
+    return replace(base, process=process)
+
+
+def fast_failing(scale: float = 1.0) -> "FleetGenConfig":
+    """Compressed failure timelines: UER gaps shrink 5x, stressing how
+    much of each bank's failure the 3-UER trigger can still preempt."""
+    base = _config_cls()(scale=scale)
+    lo, hi = base.process.uer_gap_days_range
+    process = replace(base.process, uer_gap_days_range=(lo / 5, hi / 5))
+    return replace(base, process=process)
+
+
+#: Registry for CLIs/benches: name -> factory(scale) -> FleetGenConfig.
+SCENARIOS: Dict[str, Callable[..., "FleetGenConfig"]] = {
+    "baseline": baseline,
+    "aged-fleet": aged_fleet,
+    "tsv-dominant": tsv_dominant,
+    "ce-storm": ce_storm,
+    "sudden-heavy": sudden_heavy,
+    "fast-failing": fast_failing,
+}
+
+
+def list_scenarios() -> List[str]:
+    """Names of the available scenarios."""
+    return sorted(SCENARIOS)

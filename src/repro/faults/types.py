@@ -1,0 +1,79 @@
+"""Fault taxonomy and its mapping onto bank-level failure patterns.
+
+The paper's empirical study (Section III-B, Figure 3) identifies five
+observable bank-level patterns; Cordial's classifier collapses them into
+three classes (Section IV): the two half-total/whole-column special cases
+fold into double-row clustering and scattered respectively.
+
+Each observable pattern is produced by a physical fault mechanism
+documented in the HBM-reliability literature the paper cites (SWD
+malfunction, TSV/micro-bump damage, column-driver failure, isolated weak
+cells), so the generator plants *faults* and the patterns emerge from
+their error processes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FailurePattern(enum.Enum):
+    """Cordial's three bank-level failure-pattern classes (Section IV-C)."""
+
+    SINGLE_ROW = "single-row-clustering"
+    DOUBLE_ROW = "double-row-clustering"
+    SCATTERED = "scattered"
+
+    @property
+    def is_aggregation(self) -> bool:
+        """Aggregation patterns get cross-row prediction + row sparing;
+        scattered banks are bank-spared directly (Section IV-A)."""
+        return self in (FailurePattern.SINGLE_ROW, FailurePattern.DOUBLE_ROW)
+
+    @property
+    def label(self) -> str:
+        """Display label matching the paper's tables."""
+        return {
+            FailurePattern.SINGLE_ROW: "Single-row Clustering",
+            FailurePattern.DOUBLE_ROW: "Double-row Clustering",
+            FailurePattern.SCATTERED: "Scattered Pattern",
+        }[self]
+
+
+class FaultType(enum.Enum):
+    """Physical fault mechanisms planted by the generator.
+
+    The first five each map to one Figure 3(b) slice; ``CELL_FAULT`` is the
+    correctable-only background that never produces UERs.
+    """
+
+    SWD_FAULT = "swd"                    # single-row clustering
+    DOUBLE_SWD_FAULT = "double-swd"      # double-row clustering
+    HALF_TOTAL_FAULT = "half-total"      # double-row, interval = rows/2
+    TSV_FAULT = "tsv"                    # scattered
+    COLUMN_DRIVER_FAULT = "column"       # whole column (scattered class)
+    CELL_FAULT = "cell"                  # CE-only background
+
+    @property
+    def produces_uer(self) -> bool:
+        """Whether the fault's error process emits uncorrectable errors."""
+        return self is not FaultType.CELL_FAULT
+
+
+#: Observable fault mechanism -> Cordial classifier class.
+PATTERN_OF_FAULT = {
+    FaultType.SWD_FAULT: FailurePattern.SINGLE_ROW,
+    FaultType.DOUBLE_SWD_FAULT: FailurePattern.DOUBLE_ROW,
+    FaultType.HALF_TOTAL_FAULT: FailurePattern.DOUBLE_ROW,
+    FaultType.TSV_FAULT: FailurePattern.SCATTERED,
+    FaultType.COLUMN_DRIVER_FAULT: FailurePattern.SCATTERED,
+}
+
+#: Figure 3(b) slice labels for the five observable mechanisms.
+FIG3B_SLICE_LABELS = {
+    FaultType.SWD_FAULT: "Single-row Clustering",
+    FaultType.DOUBLE_SWD_FAULT: "Double-row Clustering",
+    FaultType.HALF_TOTAL_FAULT: "Half Total-row Clustering",
+    FaultType.TSV_FAULT: "Scattered Pattern",
+    FaultType.COLUMN_DRIVER_FAULT: "Whole Column",
+}

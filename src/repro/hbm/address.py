@@ -1,0 +1,191 @@
+"""Hierarchical device addresses and micro-levels.
+
+Every error event carries a :class:`DeviceAddress` locating the failing cell
+in the fleet.  The paper aggregates statistics at seven "micro-levels"
+(Tables I and II): NPU, HBM, SID, PS-CH, BG, Bank and Row.  The
+:class:`MicroLevel` enum and :meth:`DeviceAddress.key` make those
+aggregations uniform: ``address.key(MicroLevel.BANK)`` is a hashable tuple
+identifying the bank that contains the cell.
+
+Addresses also pack into a single 64-bit integer (:meth:`DeviceAddress.pack`)
+so they can be logged compactly in the MCE log dialect and round-tripped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.hbm.geometry import FleetGeometry
+
+
+class MicroLevel(enum.IntEnum):
+    """Aggregation levels used throughout the paper's empirical study.
+
+    Ordered from coarse to fine; iteration order matches the rows of
+    Tables I and II.  ``CHANNEL`` sits between SID and PS-CH in the real
+    hierarchy; the paper does not report it, but the level is supported for
+    completeness.
+    """
+
+    NPU = 0
+    HBM = 1
+    SID = 2
+    CHANNEL = 3
+    PS_CH = 4
+    BG = 5
+    BANK = 6
+    ROW = 7
+
+    @classmethod
+    def paper_levels(cls) -> Tuple["MicroLevel", ...]:
+        """The seven levels the paper reports, in table order."""
+        return (cls.NPU, cls.HBM, cls.SID, cls.PS_CH, cls.BG, cls.BANK, cls.ROW)
+
+    @property
+    def label(self) -> str:
+        """Human-readable label matching the paper's table rows."""
+        return _LEVEL_LABELS[self]
+
+
+_LEVEL_LABELS = {
+    MicroLevel.NPU: "NPU",
+    MicroLevel.HBM: "HBM",
+    MicroLevel.SID: "SID",
+    MicroLevel.CHANNEL: "CH",
+    MicroLevel.PS_CH: "PS-CH",
+    MicroLevel.BG: "BG",
+    MicroLevel.BANK: "Bank",
+    MicroLevel.ROW: "Row",
+}
+
+# Bit widths used by pack()/unpack().  Generous enough for any realistic
+# fleet: 14 bits of node, 3 bits of NPU slot, 3 bits of HBM slot, then the
+# in-device hierarchy, 15 bits of row and 7 bits of column = 56 bits total.
+_FIELD_BITS = (
+    ("node", 14),
+    ("npu", 3),
+    ("hbm", 3),
+    ("sid", 1),
+    ("channel", 3),
+    ("pseudo_channel", 1),
+    ("bank_group", 2),
+    ("bank", 2),
+    ("row", 15),
+    ("column", 7),
+)
+
+PACKED_ADDRESS_BITS = sum(bits for _, bits in _FIELD_BITS)
+
+
+@dataclass(frozen=True, order=True)
+class DeviceAddress:
+    """Full coordinate of a cell in the fleet.
+
+    The fields follow the containment hierarchy: ``node`` and ``npu`` locate
+    the accelerator, ``hbm`` the stack on that NPU, and the remaining fields
+    walk down the HBM2E hierarchy to a single (row, column) cell.
+    """
+
+    node: int
+    npu: int
+    hbm: int
+    sid: int
+    channel: int
+    pseudo_channel: int
+    bank_group: int
+    bank: int
+    row: int
+    column: int = 0
+
+    def key(self, level: MicroLevel) -> tuple:
+        """Hashable identifier of the enclosing unit at ``level``.
+
+        Keys are prefix tuples, so containment is literally tuple-prefix
+        containment: ``addr.key(BANK)`` is a prefix of ``addr.key(ROW)``.
+        """
+        full = (
+            self.node,
+            self.npu,
+            self.hbm,
+            self.sid,
+            self.channel,
+            self.pseudo_channel,
+            self.bank_group,
+            self.bank,
+            self.row,
+        )
+        return full[: _KEY_LENGTH[level]]
+
+    def bank_key(self) -> tuple:
+        """Shorthand for ``key(MicroLevel.BANK)`` (the most used key)."""
+        return self.key(MicroLevel.BANK)
+
+    def with_cell(self, row: int, column: int) -> "DeviceAddress":
+        """Return a copy of this address pointing at another cell of the
+        same bank."""
+        return DeviceAddress(
+            node=self.node,
+            npu=self.npu,
+            hbm=self.hbm,
+            sid=self.sid,
+            channel=self.channel,
+            pseudo_channel=self.pseudo_channel,
+            bank_group=self.bank_group,
+            bank=self.bank,
+            row=row,
+            column=column,
+        )
+
+    def validate(self, fleet: FleetGeometry) -> None:
+        """Raise ``ValueError`` if any field exceeds the fleet geometry."""
+        if not 0 <= self.node < fleet.nodes:
+            raise ValueError(f"node={self.node} out of range [0, {fleet.nodes})")
+        if not 0 <= self.npu < fleet.npus_per_node:
+            raise ValueError(
+                f"npu={self.npu} out of range [0, {fleet.npus_per_node})")
+        if not 0 <= self.hbm < fleet.hbms_per_npu:
+            raise ValueError(
+                f"hbm={self.hbm} out of range [0, {fleet.hbms_per_npu})")
+        fleet.hbm.validate_bank_coord(
+            self.sid, self.channel, self.pseudo_channel, self.bank_group, self.bank)
+        fleet.hbm.validate_cell(self.row, self.column)
+
+    def pack(self) -> int:
+        """Encode the address into a single non-negative integer.
+
+        The encoding is fixed-width (see ``_FIELD_BITS``) and independent of
+        fleet geometry, so packed addresses are stable log artefacts.
+        """
+        value = 0
+        for name, bits in _FIELD_BITS:
+            field = getattr(self, name)
+            if not 0 <= field < (1 << bits):
+                raise ValueError(
+                    f"{name}={field} does not fit in {bits} bits for packing")
+            value = (value << bits) | field
+        return value
+
+    @classmethod
+    def unpack(cls, value: int) -> "DeviceAddress":
+        """Invert :meth:`pack`."""
+        if value < 0 or value >= (1 << PACKED_ADDRESS_BITS):
+            raise ValueError(f"packed address {value} out of range")
+        fields = {}
+        for name, bits in reversed(_FIELD_BITS):
+            fields[name] = value & ((1 << bits) - 1)
+            value >>= bits
+        return cls(**fields)
+
+
+_KEY_LENGTH = {
+    MicroLevel.NPU: 2,
+    MicroLevel.HBM: 3,
+    MicroLevel.SID: 4,
+    MicroLevel.CHANNEL: 5,
+    MicroLevel.PS_CH: 6,
+    MicroLevel.BG: 7,
+    MicroLevel.BANK: 8,
+    MicroLevel.ROW: 9,
+}

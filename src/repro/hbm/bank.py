@@ -1,0 +1,86 @@
+"""Per-bank error bookkeeping.
+
+A :class:`BankState` is the sparse, mutable record of everything that has
+been observed inside one bank: which cells faulted, which rows carry errors
+of each type, and when.  The Cordial pipeline keys all of its decisions on
+this unit — pattern classification, cross-row prediction and sparing all
+operate per bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.hbm.ecc import ECCOutcome
+
+
+@dataclass
+class BankState:
+    """Observed error state of one bank.
+
+    Attributes:
+        bank_key: hierarchical tuple identifying the bank (see
+            ``DeviceAddress.bank_key``).
+        rows: total rows in the bank (geometry).
+        columns: total columns in the bank (geometry).
+    """
+
+    bank_key: tuple
+    rows: int = 32768
+    columns: int = 128
+    # (row, column) -> number of events observed at that cell
+    cell_hits: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    # error type -> ordered list of (timestamp, row)
+    row_events: Dict[ECCOutcome, List[Tuple[float, int]]] = field(
+        default_factory=lambda: {outcome: [] for outcome in ECCOutcome})
+
+    def record(self, timestamp: float, row: int, column: int,
+               outcome: ECCOutcome) -> None:
+        """Record one error event at a cell.
+
+        Events must arrive in non-decreasing timestamp order; this is the
+        natural order of an MCE log and the invariant every downstream
+        feature extractor relies on.
+        """
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row={row} out of range [0, {self.rows})")
+        if not 0 <= column < self.columns:
+            raise ValueError(f"column={column} out of range [0, {self.columns})")
+        events = self.row_events[outcome]
+        if events and timestamp < events[-1][0]:
+            raise ValueError(
+                "events must be recorded in non-decreasing timestamp order")
+        events.append((timestamp, row))
+        cell = (row, column)
+        self.cell_hits[cell] = self.cell_hits.get(cell, 0) + 1
+
+    def rows_with(self, outcome: ECCOutcome) -> Set[int]:
+        """Distinct rows that saw at least one event of ``outcome``."""
+        return {row for _, row in self.row_events[outcome]}
+
+    def uer_rows_in_order(self) -> List[int]:
+        """Distinct UER rows in first-occurrence order."""
+        seen: Set[int] = set()
+        ordered: List[int] = []
+        for _, row in self.row_events[ECCOutcome.UER]:
+            if row not in seen:
+                seen.add(row)
+                ordered.append(row)
+        return ordered
+
+    def first_event_time(self, outcome: ECCOutcome) -> Optional[float]:
+        """Timestamp of the first event of ``outcome``, or ``None``."""
+        events = self.row_events[outcome]
+        return events[0][0] if events else None
+
+    def event_count(self, outcome: ECCOutcome) -> int:
+        """Total number of events of ``outcome`` recorded so far."""
+        return len(self.row_events[outcome])
+
+    def error_map(self) -> Dict[Tuple[int, int], int]:
+        """Copy of the sparse (row, column) -> hit-count map.
+
+        This is the data behind Figure 3(a) of the paper (bank error maps).
+        """
+        return dict(self.cell_hits)

@@ -1,0 +1,107 @@
+"""Device-level containers: HBM stacks, NPUs and the fleet.
+
+These are thin, lazily-populated containers over :class:`BankState`.  The
+fleet is enormous (>80,000 HBMs x 1024 banks each) and almost entirely
+healthy, so state is materialised only for banks that actually see errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+from repro.hbm.bank import BankState
+from repro.hbm.geometry import FleetGeometry, HBMGeometry
+from repro.hbm.address import DeviceAddress, MicroLevel
+from repro.hbm.ecc import ECCOutcome
+
+
+@dataclass
+class HBMDevice:
+    """One HBM stack: a sparse map of touched banks."""
+
+    hbm_key: tuple
+    geometry: HBMGeometry = field(default_factory=HBMGeometry)
+    banks: Dict[tuple, BankState] = field(default_factory=dict)
+
+    def bank(self, address: DeviceAddress) -> BankState:
+        """Get (or lazily create) the bank containing ``address``."""
+        key = address.bank_key()
+        if key[:3] != self.hbm_key:
+            raise ValueError(f"address {address} is not on HBM {self.hbm_key}")
+        state = self.banks.get(key)
+        if state is None:
+            state = BankState(
+                bank_key=key,
+                rows=self.geometry.rows,
+                columns=self.geometry.columns,
+            )
+            self.banks[key] = state
+        return state
+
+    @property
+    def touched_bank_count(self) -> int:
+        """Number of banks that have recorded at least one event."""
+        return len(self.banks)
+
+
+@dataclass
+class NPUState:
+    """One NPU: a sparse map of its touched HBM stacks."""
+
+    npu_key: tuple
+    geometry: HBMGeometry = field(default_factory=HBMGeometry)
+    hbms: Dict[tuple, HBMDevice] = field(default_factory=dict)
+
+    def hbm(self, address: DeviceAddress) -> HBMDevice:
+        """Get (or lazily create) the HBM stack containing ``address``."""
+        key = address.key(MicroLevel.HBM)
+        if key[:2] != self.npu_key:
+            raise ValueError(f"address {address} is not on NPU {self.npu_key}")
+        device = self.hbms.get(key)
+        if device is None:
+            device = HBMDevice(hbm_key=key, geometry=self.geometry)
+            self.hbms[key] = device
+        return device
+
+
+@dataclass
+class FleetState:
+    """Sparse state of the whole fleet, populated as errors arrive."""
+
+    geometry: FleetGeometry = field(default_factory=FleetGeometry)
+    npus: Dict[tuple, NPUState] = field(default_factory=dict)
+
+    def record(self, timestamp: float, address: DeviceAddress,
+               outcome: ECCOutcome, validate: bool = False) -> BankState:
+        """Record one classified error event and return the affected bank.
+
+        Args:
+            timestamp: event time in seconds.
+            address: full cell coordinate.
+            outcome: ECC classification of the event.
+            validate: when True, check the address against fleet geometry
+                (off by default — the hot path of fleet generation).
+        """
+        if validate:
+            address.validate(self.geometry)
+        npu_key = address.key(MicroLevel.NPU)
+        npu = self.npus.get(npu_key)
+        if npu is None:
+            npu = NPUState(npu_key=npu_key, geometry=self.geometry.hbm)
+            self.npus[npu_key] = npu
+        bank = npu.hbm(address).bank(address)
+        bank.record(timestamp, address.row, address.column, outcome)
+        return bank
+
+    def iter_banks(self) -> Iterator[Tuple[tuple, BankState]]:
+        """Iterate over every touched (bank_key, BankState) pair."""
+        for npu in self.npus.values():
+            for hbm in npu.hbms.values():
+                for key, bank in hbm.banks.items():
+                    yield key, bank
+
+    @property
+    def touched_bank_count(self) -> int:
+        """Number of banks in the fleet with at least one event."""
+        return sum(1 for _ in self.iter_banks())

@@ -1,0 +1,128 @@
+"""ECC error model: from raw bit faults to CE / UEO / UER events.
+
+Section II-B of the paper defines an HBM *error* as data delivered through
+the ECC that is inconsistent with the original data, and splits errors into
+
+* **CE** — within the correction capability of the ECC (e.g. a single-bit
+  error), silently repaired;
+* **UCE** — beyond the correction capability; further split by impact into
+  **UEO** (Uncorrectable Error, Action Optional — typically found by patrol
+  scrub in memory that no one is about to consume) and **UER**
+  (Uncorrectable Error, Action Required — the poisoned data was demanded by
+  the workload).
+
+We model a symbol-oriented SEC-DED-like code parameterised by the number of
+bit errors it can correct per codeword.  Whether a UCE becomes a UEO or a
+UER is decided by a race between the patrol scrubber (period ``T_s``) and
+demand accesses (exponential with rate ``access_rate`` for the affected
+region): the scrubber finds the corruption first with probability
+``p_ueo = (1 - exp(-access_rate * T_s)) / (access_rate * T_s)`` integrated
+over a uniform scrub phase — we expose the closed form via
+:meth:`ECCModel.ueo_probability` and let callers draw outcomes with an
+explicit RNG.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ECCOutcome(enum.Enum):
+    """Classification of a raw fault event after passing through ECC."""
+
+    CE = "CE"
+    UEO = "UEO"
+    UER = "UER"
+
+    @property
+    def is_uncorrectable(self) -> bool:
+        """Whether the outcome is a UCE (UEO or UER)."""
+        return self is not ECCOutcome.CE
+
+
+@dataclass(frozen=True)
+class ECCConfig:
+    """Parameters of the ECC and of the UEO/UER race.
+
+    Attributes:
+        correctable_bits: maximum number of wrong bits per codeword that the
+            code corrects (1 for SEC-DED).
+        detectable_bits: maximum number of wrong bits that the code is
+            guaranteed to *detect*; beyond this, miscorrection is possible
+            but we conservatively still classify as UCE.
+        scrub_period_s: patrol scrubber full-sweep period in seconds.
+        access_rate_hz: mean demand-access rate for a poisoned region.
+            Together with ``scrub_period_s`` this sets the UEO:UER split;
+            the defaults reproduce the roughly 48:52 UEO:UER row ratio of
+            Table II.
+    """
+
+    correctable_bits: int = 1
+    detectable_bits: int = 2
+    scrub_period_s: float = 24 * 3600.0
+    access_rate_hz: float = 1.95e-5
+
+    def __post_init__(self) -> None:
+        if self.correctable_bits < 0:
+            raise ValueError("correctable_bits must be >= 0")
+        if self.detectable_bits < self.correctable_bits:
+            raise ValueError("detectable_bits must be >= correctable_bits")
+        if self.scrub_period_s <= 0:
+            raise ValueError("scrub_period_s must be positive")
+        if self.access_rate_hz < 0:
+            raise ValueError("access_rate_hz must be >= 0")
+
+
+class ECCModel:
+    """Classify raw bit-error events into CE / UEO / UER.
+
+    The model is deliberately stateless: all randomness comes from the
+    ``numpy.random.Generator`` the caller passes in, keeping fleet
+    generation reproducible.
+    """
+
+    def __init__(self, config: ECCConfig | None = None) -> None:
+        self.config = config or ECCConfig()
+
+    def ueo_probability(self) -> float:
+        """Probability that a UCE is detected by scrub before any access.
+
+        Derivation: the corruption appears at a uniformly random phase
+        ``u ~ U(0, T_s)`` of the scrub sweep, so the scrubber reaches it
+        after time ``t_s = T_s - u``.  A demand access arrives after
+        ``t_a ~ Exp(rate)``.  The UCE is a UEO iff ``t_s < t_a``:
+
+            P(UEO) = E_u[exp(-rate * (T_s - u))]
+                   = (1 - exp(-rate * T_s)) / (rate * T_s)
+        """
+        rate = self.config.access_rate_hz
+        period = self.config.scrub_period_s
+        if rate == 0.0:
+            return 1.0
+        x = rate * period
+        return float((1.0 - math.exp(-x)) / x)
+
+    def classify_bits(self, bit_errors: int, rng: np.random.Generator) -> ECCOutcome:
+        """Classify an event given the number of simultaneous bit errors.
+
+        Args:
+            bit_errors: number of wrong bits in the worst affected codeword.
+            rng: source of randomness for the UEO/UER race.
+        """
+        if bit_errors < 0:
+            raise ValueError("bit_errors must be >= 0")
+        if bit_errors == 0:
+            raise ValueError("an error event must flip at least one bit")
+        if bit_errors <= self.config.correctable_bits:
+            return ECCOutcome.CE
+        return self.classify_uncorrectable(rng)
+
+    def classify_uncorrectable(self, rng: np.random.Generator) -> ECCOutcome:
+        """Draw the UEO/UER outcome of a UCE from the scrub-vs-access race."""
+        if rng.random() < self.ueo_probability():
+            return ECCOutcome.UEO
+        return ECCOutcome.UER

@@ -1,0 +1,165 @@
+"""Geometry of the HBM2E hierarchy and of the compute fleet.
+
+The paper (Section II-A) describes HBM2E devices built as 8-Hi stacks:
+every four DRAM dies form one stack ID (SID), each die exposes 8 channels,
+each channel is split into 2 pseudo-channels, each pseudo-channel holds
+4 bank groups of 4 banks, and each bank is a two-dimensional array of cells
+indexed by row and column.  Figure 3 of the paper shows banks with row
+indices beyond 30,000 and column indices up to 128, so the default bank
+shape is 32768 rows x 128 columns.
+
+The fleet side mirrors the paper's platform: compute nodes with 8 NPUs and
+8 HBMs per NPU (">10,000 NPUs and 80,000 HBMs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HBMGeometry:
+    """Shape of a single HBM device.
+
+    Attributes mirror the hierarchy of Section II-A of the paper.  All
+    counts are per parent level (e.g. ``banks`` is banks *per bank group*).
+    """
+
+    sids: int = 2
+    channels: int = 8
+    pseudo_channels: int = 2
+    bank_groups: int = 4
+    banks: int = 4
+    rows: int = 32768
+    columns: int = 128
+
+    def __post_init__(self) -> None:
+        for name in (
+            "sids",
+            "channels",
+            "pseudo_channels",
+            "bank_groups",
+            "banks",
+            "rows",
+            "columns",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"HBMGeometry.{name} must be positive, got {value}")
+
+    @property
+    def banks_per_device(self) -> int:
+        """Total number of banks in one HBM device."""
+        return (
+            self.sids
+            * self.channels
+            * self.pseudo_channels
+            * self.bank_groups
+            * self.banks
+        )
+
+    @property
+    def rows_per_device(self) -> int:
+        """Total number of addressable rows in one HBM device."""
+        return self.banks_per_device * self.rows
+
+    @property
+    def cells_per_bank(self) -> int:
+        """Number of (row, column) cells in one bank."""
+        return self.rows * self.columns
+
+    def bank_index(self, sid: int, channel: int, pseudo_channel: int,
+                   bank_group: int, bank: int) -> int:
+        """Flatten a bank coordinate into a dense index within the device."""
+        self.validate_bank_coord(sid, channel, pseudo_channel, bank_group, bank)
+        index = sid
+        index = index * self.channels + channel
+        index = index * self.pseudo_channels + pseudo_channel
+        index = index * self.bank_groups + bank_group
+        index = index * self.banks + bank
+        return index
+
+    def bank_coord(self, index: int) -> tuple:
+        """Invert :meth:`bank_index`."""
+        if not 0 <= index < self.banks_per_device:
+            raise ValueError(f"bank index {index} out of range")
+        index, bank = divmod(index, self.banks)
+        index, bank_group = divmod(index, self.bank_groups)
+        index, pseudo_channel = divmod(index, self.pseudo_channels)
+        sid, channel = divmod(index, self.channels)
+        return sid, channel, pseudo_channel, bank_group, bank
+
+    def validate_bank_coord(self, sid: int, channel: int, pseudo_channel: int,
+                            bank_group: int, bank: int) -> None:
+        """Raise ``ValueError`` when any coordinate is out of range."""
+        bounds = (
+            ("sid", sid, self.sids),
+            ("channel", channel, self.channels),
+            ("pseudo_channel", pseudo_channel, self.pseudo_channels),
+            ("bank_group", bank_group, self.bank_groups),
+            ("bank", bank, self.banks),
+        )
+        for name, value, limit in bounds:
+            if not 0 <= value < limit:
+                raise ValueError(f"{name}={value} out of range [0, {limit})")
+
+    def validate_cell(self, row: int, column: int) -> None:
+        """Raise ``ValueError`` when a (row, column) cell is out of range."""
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row={row} out of range [0, {self.rows})")
+        if not 0 <= column < self.columns:
+            raise ValueError(f"column={column} out of range [0, {self.columns})")
+
+
+@dataclass(frozen=True)
+class FleetGeometry:
+    """Shape of the compute fleet hosting the HBMs.
+
+    The paper's platform has more than 10,000 NPUs and 80,000 HBMs; each
+    compute node carries 8 NPUs and each NPU carries 8 HBMs (two sockets
+    with four stacks each).
+    """
+
+    nodes: int = 1280
+    npus_per_node: int = 8
+    hbms_per_npu: int = 8
+    hbm: HBMGeometry = HBMGeometry()
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ValueError("nodes must be positive")
+        if self.npus_per_node <= 0:
+            raise ValueError("npus_per_node must be positive")
+        if self.hbms_per_npu <= 0:
+            raise ValueError("hbms_per_npu must be positive")
+
+    @property
+    def total_npus(self) -> int:
+        """Number of NPUs in the fleet."""
+        return self.nodes * self.npus_per_node
+
+    @property
+    def total_hbms(self) -> int:
+        """Number of HBM devices in the fleet."""
+        return self.total_npus * self.hbms_per_npu
+
+    @property
+    def total_banks(self) -> int:
+        """Number of banks in the fleet."""
+        return self.total_hbms * self.hbm.banks_per_device
+
+    def scaled(self, factor: float) -> "FleetGeometry":
+        """Return a fleet scaled down (or up) by ``factor`` nodes-wise.
+
+        Used by tests and small examples to run the same pipeline on a
+        fraction of the paper-scale fleet.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        nodes = max(1, round(self.nodes * factor))
+        return FleetGeometry(
+            nodes=nodes,
+            npus_per_node=self.npus_per_node,
+            hbms_per_npu=self.hbms_per_npu,
+            hbm=self.hbm,
+        )

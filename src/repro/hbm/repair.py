@@ -1,0 +1,154 @@
+"""Post-package repair (PPR) flow on top of row sparing.
+
+Row sparing in deployed HBMs is realised through post-package repair:
+*soft* PPR remaps a row in volatile repair registers (instant, lost on
+power cycle), *hard* PPR burns the remap into fuses (permanent, but the
+bank must be quiesced and the procedure takes milliseconds-seconds and can
+fail).  The paper's mitigation layer assumes such a mechanism exists; this
+module models its lifecycle so the examples/benches can account for repair
+latency and failure, including the page-locking failure mode the paper
+cites from [21].
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hbm.sparing import RowSparingController, SparingExhaustedError
+
+
+class RepairState(enum.Enum):
+    """Lifecycle of one row repair."""
+
+    REQUESTED = "requested"
+    SOFT_REPAIRED = "soft"
+    HARD_REPAIRED = "hard"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class RepairRecord:
+    """One repair attempt's outcome."""
+
+    bank_key: tuple
+    row: int
+    requested_at: float
+    completed_at: Optional[float]
+    state: RepairState
+
+
+@dataclass
+class PPRPolicy:
+    """Timing/reliability parameters of the repair flow.
+
+    Attributes:
+        soft_latency_s: request -> soft repair active.
+        hard_latency_s: soft -> fuse-blown hard repair.
+        hard_failure_prob: probability a hard PPR attempt fails (bad fuse,
+            interrupted copy); the row stays soft-repaired.
+        soft_failure_prob: probability even the soft remap fails (row
+            busy/locked), leaving the row unprotected.
+    """
+
+    soft_latency_s: float = 0.5
+    hard_latency_s: float = 30.0
+    hard_failure_prob: float = 0.02
+    soft_failure_prob: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.soft_latency_s < 0 or self.hard_latency_s < 0:
+            raise ValueError("latencies must be >= 0")
+        for p in (self.hard_failure_prob, self.soft_failure_prob):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("failure probabilities must be in [0, 1]")
+
+
+class PPRManager:
+    """Executes repair requests against a row-sparing budget.
+
+    Wraps a :class:`~repro.hbm.sparing.RowSparingController`: a repair
+    only consumes a spare row when the soft stage succeeds, and the
+    effective isolation time includes the soft latency — a UER landing in
+    the latency window is *not* preempted, matching the time-aware ICR
+    semantics.
+    """
+
+    def __init__(self, policy: Optional[PPRPolicy] = None,
+                 spares_per_bank: int = 64,
+                 seed: Optional[int] = 0) -> None:
+        self.policy = policy or PPRPolicy()
+        self.controller = RowSparingController(
+            spares_per_bank=spares_per_bank)
+        self._rng = np.random.default_rng(seed)
+        self.records: List[RepairRecord] = []
+
+    def request_repair(self, bank_key: tuple, row: int,
+                       timestamp: float) -> RepairRecord:
+        """Request one row repair at ``timestamp``; returns its outcome."""
+        policy = self.policy
+        if self._rng.random() < policy.soft_failure_prob:
+            record = RepairRecord(bank_key, row, timestamp, None,
+                                  RepairState.FAILED)
+            self.records.append(record)
+            return record
+        active_at = timestamp + policy.soft_latency_s
+        try:
+            newly = self.controller.spare_row(bank_key, row, active_at)
+        except SparingExhaustedError:
+            record = RepairRecord(bank_key, row, timestamp, None,
+                                  RepairState.FAILED)
+            self.records.append(record)
+            return record
+        if not newly:
+            # already repaired earlier: report the original state
+            record = RepairRecord(bank_key, row, timestamp,
+                                  self.controller.isolation_time(bank_key,
+                                                                 row),
+                                  RepairState.SOFT_REPAIRED)
+            self.records.append(record)
+            return record
+        if self._rng.random() < policy.hard_failure_prob:
+            record = RepairRecord(bank_key, row, timestamp, active_at,
+                                  RepairState.SOFT_REPAIRED)
+        else:
+            record = RepairRecord(
+                bank_key, row, timestamp,
+                active_at + policy.hard_latency_s,
+                RepairState.HARD_REPAIRED)
+        self.records.append(record)
+        return record
+
+    def request_block(self, bank_key: tuple, rows, timestamp: float
+                      ) -> List[RepairRecord]:
+        """Repair a whole predicted block; returns per-row outcomes."""
+        return [self.request_repair(bank_key, row, timestamp)
+                for row in rows]
+
+    def is_protected(self, bank_key: tuple, row: int,
+                     at_time: Optional[float] = None) -> bool:
+        """Whether ``row`` is remapped (strictly before ``at_time``)."""
+        return self.controller.is_isolated(bank_key, row, at_time=at_time)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts of repair outcomes by state."""
+        out: Dict[str, int] = {state.value: 0 for state in RepairState}
+        for record in self.records:
+            out[record.state.value] += 1
+        out.pop(RepairState.REQUESTED.value, None)
+        return out
+
+    def survival_after_power_cycle(self) -> Tuple[int, int]:
+        """(surviving, lost) repairs after a power cycle.
+
+        Hard repairs persist; soft-only repairs are lost — the operational
+        argument for scheduling hard PPR before maintenance reboots.
+        """
+        surviving = sum(1 for r in self.records
+                        if r.state is RepairState.HARD_REPAIRED)
+        lost = sum(1 for r in self.records
+                   if r.state is RepairState.SOFT_REPAIRED)
+        return surviving, lost

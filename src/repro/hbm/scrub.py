@@ -1,0 +1,53 @@
+"""Patrol scrubber model.
+
+Patrol scrubbing (Section II-B) periodically sweeps memory to find and
+repair latent errors before a demand access consumes them.  The scrubber's
+sweep position determines *when* a latent corruption is discovered, which
+in turn decides whether an uncorrectable error surfaces as a UEO (scrub
+found it) or a UER (the workload hit it first).  :class:`repro.hbm.ecc`
+uses the closed-form race probability; this module provides the explicit
+sweep model for callers that need discovery *times* (e.g. event
+timestamping in the fleet generator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PatrolScrubber:
+    """Deterministic linear sweep over a bank's rows.
+
+    The scrubber visits rows in order, completing a full pass over
+    ``total_rows`` every ``period_s`` seconds, then wraps around.
+    """
+
+    period_s: float = 24 * 3600.0
+    total_rows: int = 32768
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.total_rows <= 0:
+            raise ValueError("total_rows must be positive")
+
+    def position_at(self, t: float) -> int:
+        """Row the scrubber is visiting at time ``t`` (t=0 starts row 0)."""
+        phase = (t % self.period_s) / self.period_s
+        return min(self.total_rows - 1, int(phase * self.total_rows))
+
+    def next_visit(self, row: int, after: float) -> float:
+        """First time strictly after ``after`` at which ``row`` is scrubbed."""
+        if not 0 <= row < self.total_rows:
+            raise ValueError(f"row={row} out of range [0, {self.total_rows})")
+        row_phase = row / self.total_rows * self.period_s
+        cycles = int(after // self.period_s)
+        candidate = cycles * self.period_s + row_phase
+        while candidate <= after:
+            candidate += self.period_s
+        return candidate
+
+    def discovery_delay(self, row: int, corrupted_at: float) -> float:
+        """Latency from corruption to scrub discovery for ``row``."""
+        return self.next_visit(row, corrupted_at) - corrupted_at

@@ -1,0 +1,210 @@
+"""Sparing (isolation) mechanisms and their bookkeeping.
+
+The paper's mitigation story (Sections I and IV) uses three mechanisms:
+
+* **row sparing** — remap a failing row to one of a bank's spare rows;
+  cheap, finite budget per bank.  Cordial row-spares the blocks its
+  cross-row predictor flags.
+* **bank sparing** — retire a whole bank; expensive, used for scattered
+  patterns where row-level mitigation cannot keep up.
+* **page offlining** — the OS-level fallback that unmaps the 4 KiB pages
+  backed by a failing row.
+
+All three controllers share one :class:`IsolationLedger`-style contract:
+isolating a region stamps it with the isolation time, and coverage queries
+are *time-aware* — a UER row only counts as covered when it was isolated
+strictly before the UER occurred.  That is exactly the semantics of the
+paper's Isolation Coverage Rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+class SparingExhaustedError(RuntimeError):
+    """Raised when a bank has no spare resources left for a request."""
+
+
+@dataclass
+class RowSparingController:
+    """Finite pool of spare rows per bank.
+
+    HBM banks carry a small number of spare rows usable through
+    post-package repair; we default to 64 per bank, a generous but bounded
+    budget so exhaustion behaviour is exercised.
+    """
+
+    spares_per_bank: int = 64
+    # bank_key -> {row -> isolation timestamp}
+    _spared: Dict[tuple, Dict[int, float]] = field(default_factory=dict)
+
+    def spare_row(self, bank_key: tuple, row: int, timestamp: float) -> bool:
+        """Spare one row at ``timestamp``.
+
+        Returns True when the row was newly spared, False when it had
+        already been spared earlier (idempotent).  Raises
+        :class:`SparingExhaustedError` when the bank's budget is used up.
+        """
+        rows = self._spared.setdefault(bank_key, {})
+        if row in rows:
+            return False
+        if len(rows) >= self.spares_per_bank:
+            raise SparingExhaustedError(
+                f"bank {bank_key} has no spare rows left "
+                f"({self.spares_per_bank} used)")
+        rows[row] = timestamp
+        return True
+
+    def spare_rows(self, bank_key: tuple, rows: Iterable[int],
+                   timestamp: float) -> int:
+        """Spare many rows; stops silently when the budget runs out.
+
+        Returns the number of rows newly spared.  Bulk isolation requests
+        (e.g. a predicted 8-row block) should not abort halfway because the
+        last row did not fit, hence the soft failure mode here.
+        """
+        spared = 0
+        for row in rows:
+            try:
+                if self.spare_row(bank_key, row, timestamp):
+                    spared += 1
+            except SparingExhaustedError:
+                break
+        return spared
+
+    def remaining(self, bank_key: tuple) -> int:
+        """Spare rows still available in ``bank_key``."""
+        return self.spares_per_bank - len(self._spared.get(bank_key, {}))
+
+    def isolation_time(self, bank_key: tuple, row: int) -> Optional[float]:
+        """When ``row`` was spared, or ``None`` if it was not."""
+        return self._spared.get(bank_key, {}).get(row)
+
+    def is_isolated(self, bank_key: tuple, row: int,
+                    at_time: Optional[float] = None) -> bool:
+        """Whether ``row`` is isolated (optionally: strictly before
+        ``at_time``)."""
+        when = self.isolation_time(bank_key, row)
+        if when is None:
+            return False
+        return at_time is None or when < at_time
+
+    def spared_row_count(self, bank_key: tuple) -> int:
+        """Number of rows spared so far in ``bank_key``."""
+        return len(self._spared.get(bank_key, {}))
+
+    def total_spared_rows(self) -> int:
+        """Fleet-wide number of spared rows (the cost side of ICR)."""
+        return sum(len(rows) for rows in self._spared.values())
+
+
+@dataclass
+class BankSparingController:
+    """Whole-bank retirement with isolation timestamps."""
+
+    _spared: Dict[tuple, float] = field(default_factory=dict)
+
+    def spare_bank(self, bank_key: tuple, timestamp: float) -> bool:
+        """Retire a bank; returns False when already retired (idempotent)."""
+        if bank_key in self._spared:
+            return False
+        self._spared[bank_key] = timestamp
+        return True
+
+    def isolation_time(self, bank_key: tuple) -> Optional[float]:
+        """When ``bank_key`` was retired, or ``None``."""
+        return self._spared.get(bank_key)
+
+    def is_isolated(self, bank_key: tuple,
+                    at_time: Optional[float] = None) -> bool:
+        """Whether the bank is retired (optionally strictly before
+        ``at_time``)."""
+        when = self._spared.get(bank_key)
+        if when is None:
+            return False
+        return at_time is None or when < at_time
+
+    def spared_bank_count(self) -> int:
+        """Number of banks retired fleet-wide."""
+        return len(self._spared)
+
+
+@dataclass
+class PageOfflineManager:
+    """OS-level page offlining mapped onto HBM rows.
+
+    A row of ``row_bytes`` backs ``row_bytes / page_bytes`` pages (or a
+    fraction of one page when rows are smaller than pages).  Offlining a
+    row means offlining every page it backs; the manager tracks offline
+    pages per bank and answers the same time-aware coverage queries as the
+    hardware controllers.  Following the paper's citation of page-offline
+    pitfalls, an offline request can fail when the page is "locked"
+    (busy copying); callers inject the failure decision.
+    """
+
+    page_bytes: int = 4096
+    row_bytes: int = 1024
+    _offline: Dict[Tuple[tuple, int], float] = field(default_factory=dict)
+    failed_requests: int = 0
+
+    def pages_for_row(self, row: int) -> List[int]:
+        """Page indices (within the bank's linear space) backing ``row``."""
+        if self.row_bytes >= self.page_bytes:
+            pages_per_row = self.row_bytes // self.page_bytes
+            first = row * pages_per_row
+            return list(range(first, first + pages_per_row))
+        rows_per_page = self.page_bytes // self.row_bytes
+        return [row // rows_per_page]
+
+    def offline_row(self, bank_key: tuple, row: int, timestamp: float,
+                    locked: bool = False) -> bool:
+        """Offline the pages backing ``row``.
+
+        Args:
+            locked: when True the request fails (page locked mid-copy),
+                modelling the unsuccessful recoveries the paper cites.
+        """
+        if locked:
+            self.failed_requests += 1
+            return False
+        for page in self.pages_for_row(row):
+            self._offline.setdefault((bank_key, page), timestamp)
+        return True
+
+    def is_row_offline(self, bank_key: tuple, row: int,
+                       at_time: Optional[float] = None) -> bool:
+        """Whether every page backing ``row`` is offline (before
+        ``at_time``)."""
+        for page in self.pages_for_row(row):
+            when = self._offline.get((bank_key, page))
+            if when is None or (at_time is not None and when >= at_time):
+                return False
+        return True
+
+    def offline_page_count(self) -> int:
+        """Number of distinct offline pages fleet-wide."""
+        return len(self._offline)
+
+
+def covered_rows(row_ctrl: RowSparingController,
+                 bank_ctrl: BankSparingController,
+                 bank_key: tuple,
+                 uer_rows: Iterable[Tuple[int, float]]) -> Set[int]:
+    """Rows whose UER was preempted by row- or bank-level isolation.
+
+    Args:
+        uer_rows: iterable of ``(row, first_uer_timestamp)`` pairs.
+
+    A row counts as covered when either the row itself or the whole bank
+    was isolated strictly before its first UER — the numerator of the
+    paper's Isolation Coverage Rate.
+    """
+    covered: Set[int] = set()
+    for row, when in uer_rows:
+        if bank_ctrl.is_isolated(bank_key, at_time=when):
+            covered.add(row)
+        elif row_ctrl.is_isolated(bank_key, row, at_time=when):
+            covered.add(row)
+    return covered

@@ -1,0 +1,189 @@
+"""Probability calibration: Platt scaling and isotonic regression.
+
+The cross-row stage thresholds predicted probabilities, so calibration
+matters: bagged forests are under-confident at the extremes and boosted
+models drift with the loss.  Both classic calibrators are implemented from
+scratch — Platt scaling as a 1-d logistic fit on the scores, isotonic
+regression via the pool-adjacent-violators algorithm (PAVA).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class PlattCalibrator:
+    """Sigmoid calibration ``p = sigmoid(a * s + b)`` (Platt, 1999).
+
+    Fit by Newton iterations on the calibration set's log-loss, with the
+    usual Platt target smoothing to avoid saturated labels.
+    """
+
+    def __init__(self, max_iter: int = 100, tol: float = 1e-9) -> None:
+        self.max_iter = max_iter
+        self.tol = tol
+        self.a_: float = 1.0
+        self.b_: float = 0.0
+        self._fitted = False
+
+    def fit(self, scores, labels) -> "PlattCalibrator":
+        """Fit on held-out (score, binary label) pairs."""
+        s = np.asarray(scores, dtype=np.float64).ravel()
+        y = np.asarray(labels, dtype=np.float64).ravel()
+        if s.shape != y.shape:
+            raise ValueError("scores and labels must align")
+        if s.size == 0:
+            raise ValueError("cannot calibrate on empty data")
+        n_pos = float(y.sum())
+        n_neg = float(y.size - n_pos)
+        # Platt's smoothed targets.
+        t = np.where(y > 0.5, (n_pos + 1) / (n_pos + 2), 1 / (n_neg + 2))
+
+        def loss(a: float, b: float) -> float:
+            z = np.clip(a * s + b, -35, 35)
+            p = 1.0 / (1.0 + np.exp(-z))
+            p = np.clip(p, 1e-12, 1 - 1e-12)
+            return float(-np.sum(t * np.log(p) + (1 - t) * np.log(1 - p)))
+
+        a, b = 1.0, float(-np.log((n_neg + 1) / (n_pos + 1)))
+        current = loss(a, b)
+        for _ in range(self.max_iter):
+            z = a * s + b
+            p = 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+            grad_a = float(np.dot(s, p - t))
+            grad_b = float(np.sum(p - t))
+            if abs(grad_a) + abs(grad_b) < self.tol * s.size:
+                break
+            w = np.maximum(p * (1 - p), 1e-12)
+            haa = float(np.dot(w, s * s)) + 1e-10
+            hab = float(np.dot(w, s))
+            hbb = float(np.sum(w)) + 1e-10
+            det = haa * hbb - hab * hab
+            if abs(det) < 1e-18:
+                break
+            da = (hbb * grad_a - hab * grad_b) / det
+            db = (haa * grad_b - hab * grad_a) / det
+            # Backtracking line search: the pure Newton step diverges on
+            # near-separable or low-variance score sets.
+            step = 1.0
+            improved = False
+            for _halving in range(30):
+                candidate = loss(a - step * da, b - step * db)
+                if candidate < current:
+                    a, b = a - step * da, b - step * db
+                    current = candidate
+                    improved = True
+                    break
+                step *= 0.5
+            if not improved:
+                break
+        self.a_, self.b_ = a, b
+        self._fitted = True
+        return self
+
+    def transform(self, scores) -> np.ndarray:
+        """Calibrated probabilities for new scores."""
+        if not self._fitted:
+            raise RuntimeError("calibrator is not fitted")
+        s = np.asarray(scores, dtype=np.float64).ravel()
+        z = self.a_ * s + self.b_
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+
+
+class IsotonicCalibrator:
+    """Monotone (isotonic) calibration via pool-adjacent-violators.
+
+    Produces a non-decreasing step function from scores to probabilities;
+    new scores interpolate linearly between the learned steps.
+    """
+
+    def __init__(self) -> None:
+        self.thresholds_: Optional[np.ndarray] = None
+        self.values_: Optional[np.ndarray] = None
+
+    def fit(self, scores, labels, sample_weight=None) -> "IsotonicCalibrator":
+        """Fit on held-out (score, binary label) pairs."""
+        s = np.asarray(scores, dtype=np.float64).ravel()
+        y = np.asarray(labels, dtype=np.float64).ravel()
+        if s.shape != y.shape:
+            raise ValueError("scores and labels must align")
+        if s.size == 0:
+            raise ValueError("cannot calibrate on empty data")
+        if sample_weight is None:
+            w = np.ones_like(s)
+        else:
+            w = np.asarray(sample_weight, dtype=np.float64).ravel()
+        order = np.argsort(s, kind="stable")
+        s, y, w = s[order], y[order], w[order]
+
+        # PAVA with weighted block means.
+        block_value = list(y)
+        block_weight = list(w)
+        block_start = list(range(len(y)))
+        i = 0
+        while i < len(block_value) - 1:
+            if block_value[i] > block_value[i + 1] + 1e-15:
+                total = block_weight[i] + block_weight[i + 1]
+                merged = (block_value[i] * block_weight[i]
+                          + block_value[i + 1] * block_weight[i + 1]) / total
+                block_value[i] = merged
+                block_weight[i] = total
+                del block_value[i + 1], block_weight[i + 1], block_start[i + 1]
+                if i > 0:
+                    i -= 1
+            else:
+                i += 1
+        thresholds = []
+        values = []
+        starts = block_start + [len(s)]
+        for b, value in enumerate(block_value):
+            lo, hi = starts[b], starts[b + 1] - 1
+            thresholds.append(float(s[lo]))
+            values.append(float(value))
+            if hi > lo:
+                thresholds.append(float(s[hi]))
+                values.append(float(value))
+        self.thresholds_ = np.asarray(thresholds)
+        self.values_ = np.clip(np.asarray(values), 0.0, 1.0)
+        return self
+
+    def transform(self, scores) -> np.ndarray:
+        """Calibrated probabilities for new scores (linear interpolation,
+        clamped at the ends)."""
+        if self.thresholds_ is None:
+            raise RuntimeError("calibrator is not fitted")
+        s = np.asarray(scores, dtype=np.float64).ravel()
+        return np.interp(s, self.thresholds_, self.values_)
+
+
+def brier_score(probabilities, labels) -> float:
+    """Mean squared error of probabilities vs binary outcomes."""
+    p = np.asarray(probabilities, dtype=np.float64).ravel()
+    y = np.asarray(labels, dtype=np.float64).ravel()
+    if p.shape != y.shape:
+        raise ValueError("probabilities and labels must align")
+    if p.size == 0:
+        raise ValueError("empty inputs")
+    return float(np.mean((p - y) ** 2))
+
+
+def expected_calibration_error(probabilities, labels,
+                               n_bins: int = 10) -> float:
+    """ECE: weighted gap between confidence and accuracy per bin."""
+    p = np.asarray(probabilities, dtype=np.float64).ravel()
+    y = np.asarray(labels, dtype=np.float64).ravel()
+    if p.shape != y.shape:
+        raise ValueError("probabilities and labels must align")
+    if p.size == 0:
+        raise ValueError("empty inputs")
+    edges = np.linspace(0, 1, n_bins + 1)
+    ece = 0.0
+    for lo, hi in zip(edges, edges[1:]):
+        mask = (p >= lo) & (p < hi) if hi < 1.0 else (p >= lo) & (p <= hi)
+        if not np.any(mask):
+            continue
+        gap = abs(p[mask].mean() - y[mask].mean())
+        ece += gap * mask.mean()
+    return float(ece)

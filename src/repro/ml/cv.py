@@ -1,0 +1,122 @@
+"""Cross-validation utilities (k-fold, stratified, grouped).
+
+The paper uses a single 7:3 split; cross-validation quantifies how much
+of a model ordering (RF vs XGB vs LGBM in Tables III/IV) is split luck.
+All splitters are deterministic under a seed and yield index arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class KFold:
+    """Plain k-fold split over sample indices."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True,
+                 seed: Optional[int] = None) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_idx, test_idx) pairs."""
+        if n_samples < self.n_splits:
+            raise ValueError("fewer samples than folds")
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed)
+            indices = rng.permutation(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits)
+                                    if j != i])
+            yield np.sort(train), np.sort(test)
+
+
+class StratifiedKFold:
+    """K-fold preserving per-class proportions (needed for the skewed
+    pattern classes: 68 % single-row vs 12 % double-row)."""
+
+    def __init__(self, n_splits: int = 5, seed: Optional[int] = None) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, y: Sequence) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_idx, test_idx) pairs stratified by ``y``."""
+        y = np.asarray(y)
+        rng = np.random.default_rng(self.seed)
+        fold_of = np.empty(len(y), dtype=np.int64)
+        for label in np.unique(y):
+            members = np.nonzero(y == label)[0]
+            members = rng.permutation(members)
+            for position, index in enumerate(members):
+                fold_of[index] = position % self.n_splits
+        for fold in range(self.n_splits):
+            test = np.nonzero(fold_of == fold)[0]
+            train = np.nonzero(fold_of != fold)[0]
+            if test.size == 0 or train.size == 0:
+                raise ValueError("a fold came out empty; reduce n_splits")
+            yield train, test
+
+
+class GroupKFold:
+    """K-fold where all samples of one group stay on the same side
+    (banks contribute many block samples — see
+    :func:`repro.ml.selection.train_test_split_groups`)."""
+
+    def __init__(self, n_splits: int = 5, seed: Optional[int] = None) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, groups: Sequence[Hashable]
+              ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_idx, test_idx) pairs split by distinct group."""
+        groups = list(groups)
+        distinct = sorted(set(groups))
+        if len(distinct) < self.n_splits:
+            raise ValueError("fewer groups than folds")
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(len(distinct))
+        fold_of_group = {distinct[g]: i % self.n_splits
+                         for i, g in enumerate(order)}
+        fold_of = np.asarray([fold_of_group[g] for g in groups])
+        for fold in range(self.n_splits):
+            test = np.nonzero(fold_of == fold)[0]
+            train = np.nonzero(fold_of != fold)[0]
+            yield train, test
+
+
+def cross_val_score(model_factory: Callable[[], object], X, y,
+                    n_splits: int = 5, seed: Optional[int] = None,
+                    scorer: Optional[Callable] = None,
+                    stratified: bool = True) -> np.ndarray:
+    """Fit a fresh model per fold; return the per-fold scores.
+
+    Args:
+        model_factory: zero-argument callable building an unfitted model
+            with ``fit``/``predict``.
+        scorer: ``scorer(y_true, y_pred) -> float``; defaults to accuracy.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    if scorer is None:
+        scorer = lambda a, b: float(np.mean(np.asarray(a) == np.asarray(b)))
+    splitter = (StratifiedKFold(n_splits, seed) if stratified
+                else KFold(n_splits, seed=seed))
+    source = splitter.split(y) if stratified else splitter.split(len(y))
+    scores: List[float] = []
+    for train_idx, test_idx in source:
+        model = model_factory()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(scorer(y[test_idx], model.predict(X[test_idx])))
+    return np.asarray(scores)

@@ -1,0 +1,182 @@
+"""Logistic regression, from scratch (the linear baseline).
+
+The paper motivates tree models by their fit for tabular error features;
+a linear baseline quantifies how much of the signal is non-linear.  This
+is a standard L2-regularised logistic regression trained by full-batch
+Newton iterations (IRLS) with a gradient-descent fallback for
+ill-conditioned steps — no external solver.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class StandardScaler:
+    """Per-feature standardisation (mean 0, variance 1).
+
+    Linear models need it; tree models do not.  Constant features map to
+    zero instead of dividing by a zero scale.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Estimate per-feature mean and scale."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Standardise ``X`` with the fitted statistics."""
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform."""
+        return self.fit(X).transform(X)
+
+
+class LogisticRegressionClassifier:
+    """L2-regularised logistic regression (binary and multinomial).
+
+    Args:
+        reg_lambda: L2 penalty on the weights (not the intercept).
+        max_iter: Newton/IRLS iterations.
+        tol: stop when the gradient norm falls below this.
+        scale_features: standardise inputs internally (recommended; the
+            error features span rows, counts and seconds).
+    """
+
+    def __init__(self, reg_lambda: float = 1.0, max_iter: int = 100,
+                 tol: float = 1e-6, scale_features: bool = True) -> None:
+        if reg_lambda < 0:
+            raise ValueError("reg_lambda must be >= 0")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.reg_lambda = reg_lambda
+        self.max_iter = max_iter
+        self.tol = tol
+        self.scale_features = scale_features
+        self.classes_: Optional[np.ndarray] = None
+        self.coef_: Optional[np.ndarray] = None       # (K or 1, d)
+        self.intercept_: Optional[np.ndarray] = None  # (K or 1,)
+        self._scaler: Optional[StandardScaler] = None
+        self.n_iter_: int = 0
+
+    # -- internals ----------------------------------------------------------
+    def _prepare(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if self._scaler is not None:
+            X = self._scaler.transform(X)
+        return X
+
+    def _fit_binary(self, X: np.ndarray, y: np.ndarray,
+                    sample_weight: np.ndarray) -> None:
+        n, d = X.shape
+        w = np.zeros(d + 1)  # last entry = intercept
+        Xb = np.hstack([X, np.ones((n, 1))])
+        reg = np.full(d + 1, self.reg_lambda)
+        reg[-1] = 0.0
+        for iteration in range(self.max_iter):
+            z = Xb @ w
+            p = _sigmoid(z)
+            gradient = Xb.T @ (sample_weight * (p - y)) + reg * w
+            if np.linalg.norm(gradient) < self.tol * n:
+                break
+            h = sample_weight * np.maximum(p * (1 - p), 1e-9)
+            hessian = (Xb * h[:, None]).T @ Xb + np.diag(reg + 1e-9)
+            try:
+                step = np.linalg.solve(hessian, gradient)
+            except np.linalg.LinAlgError:
+                step = gradient / (np.abs(np.diag(hessian)) + 1.0)
+            w = w - step
+        self.n_iter_ = iteration + 1
+        self.coef_ = w[None, :-1]
+        self.intercept_ = w[None, -1]
+
+    def _fit_multinomial(self, X: np.ndarray, encoded: np.ndarray,
+                         sample_weight: np.ndarray, n_classes: int) -> None:
+        # One-vs-rest Newton fits: simple, stable, adequate for the small
+        # feature counts used here.
+        coefs, intercepts = [], []
+        for k in range(n_classes):
+            self._fit_binary(X, (encoded == k).astype(float), sample_weight)
+            coefs.append(self.coef_[0])
+            intercepts.append(float(self.intercept_[0]))
+        self.coef_ = np.vstack(coefs)
+        self.intercept_ = np.asarray(intercepts)
+
+    # -- public API ----------------------------------------------------------
+    def fit(self, X, y, sample_weight=None) -> "LogisticRegressionClassifier":
+        """Fit the model."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        y = np.asarray(y)
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must have one label per row of X")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if sample_weight is None:
+            sample_weight = np.ones(X.shape[0])
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64)
+            if sample_weight.shape != (X.shape[0],):
+                raise ValueError("sample_weight shape mismatch")
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes")
+        if self.scale_features:
+            self._scaler = StandardScaler().fit(X)
+            X = self._scaler.transform(X)
+        if len(self.classes_) == 2:
+            self._fit_binary(X, encoded.astype(float), sample_weight)
+        else:
+            self._fit_multinomial(X, encoded, sample_weight,
+                                  len(self.classes_))
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Raw linear scores."""
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = self._prepare(X)
+        scores = X @ self.coef_.T + self.intercept_
+        if len(self.classes_) == 2:
+            return scores[:, 0]
+        return scores
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities."""
+        scores = self.decision_function(X)
+        if len(self.classes_) == 2:
+            p1 = _sigmoid(scores)
+            return np.column_stack([1 - p1, p1])
+        return _softmax(scores)
+
+    def predict(self, X) -> np.ndarray:
+        """Most probable class per sample."""
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

@@ -1,0 +1,143 @@
+"""Classification metrics: confusion matrix, precision / recall / F1.
+
+The evaluation section of the paper reports per-class and weighted-average
+precision, recall and F1 (Tables III and IV); these are the exact
+definitions used there (weighted average = support-weighted mean of the
+per-class scores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+def _as_labels(y_true, y_pred, labels: Optional[Sequence] = None):
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.ndim != 1:
+        raise ValueError("labels must be 1-dimensional")
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    return y_true, y_pred, labels
+
+
+def confusion_matrix(y_true, y_pred, labels: Optional[Sequence] = None
+                     ) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = samples of class i predicted as j."""
+    y_true, y_pred, labels = _as_labels(y_true, y_pred, labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        if t in index and p in index:
+            matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred, _ = _as_labels(y_true, y_pred)
+    if y_true.size == 0:
+        raise ValueError("cannot score empty inputs")
+    return float(np.mean(y_true == y_pred))
+
+
+@dataclass(frozen=True)
+class ClassScores:
+    """Precision / recall / F1 and support of one class."""
+
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+def precision_recall_f1(y_true, y_pred, labels: Optional[Sequence] = None
+                        ) -> Dict[object, ClassScores]:
+    """Per-class precision, recall and F1.
+
+    Undefined ratios (no predicted or no true samples of a class) score 0,
+    matching the common ``zero_division=0`` convention.
+    """
+    y_true, y_pred, labels = _as_labels(y_true, y_pred, labels)
+    matrix = confusion_matrix(y_true, y_pred, labels)
+    scores: Dict[object, ClassScores] = {}
+    for i, label in enumerate(labels.tolist()):
+        tp = float(matrix[i, i])
+        predicted = float(matrix[:, i].sum())
+        actual = float(matrix[i, :].sum())
+        precision = tp / predicted if predicted > 0 else 0.0
+        recall = tp / actual if actual > 0 else 0.0
+        f1 = (2 * precision * recall / (precision + recall)
+              if precision + recall > 0 else 0.0)
+        scores[label] = ClassScores(precision=precision, recall=recall,
+                                    f1=f1, support=int(actual))
+    return scores
+
+
+@dataclass(frozen=True)
+class WeightedScores:
+    """Support-weighted average precision / recall / F1."""
+
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+def weighted_average(scores: Dict[object, ClassScores]) -> WeightedScores:
+    """Support-weighted mean of per-class scores (the paper's
+    "Weighted Average" rows)."""
+    total = sum(s.support for s in scores.values())
+    if total == 0:
+        return WeightedScores(0.0, 0.0, 0.0, 0)
+    precision = sum(s.precision * s.support for s in scores.values()) / total
+    recall = sum(s.recall * s.support for s in scores.values()) / total
+    f1 = sum(s.f1 * s.support for s in scores.values()) / total
+    return WeightedScores(precision=precision, recall=recall, f1=f1,
+                          support=total)
+
+
+def binary_scores(y_true, y_pred) -> ClassScores:
+    """Precision / recall / F1 of the positive (True/1) class.
+
+    The cross-row prediction task of Table IV is binary per block; its
+    headline numbers are the positive-class scores.
+    """
+    y_true = np.asarray(y_true).astype(bool)
+    y_pred = np.asarray(y_pred).astype(bool)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    tp = float(np.sum(y_true & y_pred))
+    fp = float(np.sum(~y_true & y_pred))
+    fn = float(np.sum(y_true & ~y_pred))
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall > 0 else 0.0)
+    return ClassScores(precision=precision, recall=recall, f1=f1,
+                       support=int(np.sum(y_true)))
+
+
+def classification_report(y_true, y_pred,
+                          labels: Optional[Sequence] = None,
+                          label_names: Optional[Dict] = None) -> str:
+    """Plain-text per-class + weighted-average report."""
+    scores = precision_recall_f1(y_true, y_pred, labels)
+    avg = weighted_average(scores)
+    names = label_names or {}
+    width = max([len(str(names.get(k, k))) for k in scores] + [len("weighted avg")])
+    lines = [f"{'':<{width}}  precision  recall  f1-score  support"]
+    for label, s in scores.items():
+        name = str(names.get(label, label))
+        lines.append(f"{name:<{width}}  {s.precision:9.3f}  {s.recall:6.3f}"
+                     f"  {s.f1:8.3f}  {s.support:7d}")
+    lines.append(f"{'weighted avg':<{width}}  {avg.precision:9.3f}"
+                 f"  {avg.recall:6.3f}  {avg.f1:8.3f}  {avg.support:7d}")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Threshold-free ranking metrics: ROC-AUC and PR-AUC, from scratch.
+
+Table IV reports thresholded P/R/F1; ranking metrics separate "the model
+orders blocks well" from "the threshold is right", which matters when
+comparing model families whose probability scales differ (bagged forests
+vs boosted logits).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _validate(scores, labels) -> Tuple[np.ndarray, np.ndarray]:
+    s = np.asarray(scores, dtype=np.float64).ravel()
+    y = np.asarray(labels).ravel().astype(bool)
+    if s.shape != y.shape:
+        raise ValueError("scores and labels must align")
+    if s.size == 0:
+        raise ValueError("empty inputs")
+    return s, y
+
+
+def roc_auc(scores, labels) -> float:
+    """Area under the ROC curve (Mann-Whitney formulation, tie-aware).
+
+    Equals the probability that a random positive outranks a random
+    negative, with ties counted half.
+    """
+    s, y = _validate(scores, labels)
+    n_pos = int(y.sum())
+    n_neg = y.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("need both classes for ROC-AUC")
+    order = np.argsort(s, kind="stable")
+    ranks = np.empty(s.size, dtype=np.float64)
+    sorted_scores = s[order]
+    # average ranks over tie groups (1-based midranks)
+    i = 0
+    while i < s.size:
+        j = i
+        while j + 1 < s.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    rank_sum = float(ranks[y].sum())
+    u = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return u / (n_pos * n_neg)
+
+
+def precision_recall_curve(scores, labels
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(precision, recall, thresholds) sweeping the decision threshold.
+
+    Points are ordered by decreasing threshold; recall is non-decreasing
+    along the arrays.  Ties share one point (evaluated together).
+    """
+    s, y = _validate(scores, labels)
+    if not y.any():
+        raise ValueError("need at least one positive for a PR curve")
+    order = np.argsort(-s, kind="stable")
+    s_sorted = s[order]
+    y_sorted = y[order].astype(np.float64)
+    tp = np.cumsum(y_sorted)
+    fp = np.cumsum(1.0 - y_sorted)
+    # keep only the last index of each distinct threshold
+    distinct = np.nonzero(np.diff(s_sorted))[0]
+    idx = np.concatenate([distinct, [s.size - 1]])
+    precision = tp[idx] / (tp[idx] + fp[idx])
+    recall = tp[idx] / y_sorted.sum()
+    return precision, recall, s_sorted[idx]
+
+
+def pr_auc(scores, labels) -> float:
+    """Area under the precision-recall curve (step-wise interpolation,
+    the average-precision convention)."""
+    precision, recall, _ = precision_recall_curve(scores, labels)
+    recall = np.concatenate([[0.0], recall])
+    return float(np.sum((recall[1:] - recall[:-1]) * precision))
+
+
+def best_f1_threshold(scores, labels) -> Tuple[float, float]:
+    """(threshold, f1) maximising F1 along the PR curve."""
+    precision, recall, thresholds = precision_recall_curve(scores, labels)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        f1 = 2 * precision * recall / (precision + recall)
+    f1 = np.nan_to_num(f1)
+    best = int(np.argmax(f1))
+    return float(thresholds[best]), float(f1[best])

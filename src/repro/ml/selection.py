@@ -1,0 +1,52 @@
+"""Dataset splitting utilities.
+
+The paper splits its dataset 7:3 for training and testing (Section V-A).
+Because every bank contributes one pattern sample *and* up to 16 cross-row
+block samples, splits must be **group-aware** — all samples of one bank go
+to the same side, or the evaluation leaks bank identity across the split.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def train_test_split_groups(groups: Sequence[Hashable],
+                            test_fraction: float = 0.3,
+                            seed: Optional[int] = None
+                            ) -> Tuple[List[Hashable], List[Hashable]]:
+    """Split distinct group keys into train/test sets.
+
+    Args:
+        groups: group identifiers (duplicates allowed; the split is over
+            the distinct keys).
+        test_fraction: fraction of groups assigned to the test side
+            (0.3 reproduces the paper's 7:3 split).
+        seed: RNG seed for the shuffle.
+
+    Returns:
+        ``(train_groups, test_groups)`` — disjoint, covering all distinct
+        keys, each sorted for determinism.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    distinct = sorted(set(groups))
+    if len(distinct) < 2:
+        raise ValueError("need at least two distinct groups to split")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(distinct))
+    n_test = max(1, int(round(test_fraction * len(distinct))))
+    n_test = min(n_test, len(distinct) - 1)
+    test_keys = {distinct[i] for i in order[:n_test]}
+    train = sorted(k for k in distinct if k not in test_keys)
+    test = sorted(test_keys)
+    return train, test
+
+
+def group_mask(groups: Sequence[Hashable],
+               selected: Sequence[Hashable]) -> np.ndarray:
+    """Boolean mask of rows whose group is in ``selected``."""
+    selected_set = set(selected)
+    return np.asarray([g in selected_set for g in groups], dtype=bool)

@@ -1,0 +1,416 @@
+"""Exact (sort-based) CART decision trees.
+
+This is the reference tree implementation: split points are found by
+sorting each candidate feature inside each node and scanning every
+boundary between distinct values — the classic CART algorithm.  The
+histogram growers in :mod:`repro.ml._hist` trade this exactness for speed;
+unit tests cross-check them against these trees.
+
+Both estimators follow the familiar ``fit`` / ``predict`` /
+``predict_proba`` protocol with ``sample_weight`` support and per-split
+feature subsampling (the ingredient Random Forests need).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+_LEAF = -1
+
+
+def resolve_max_features(max_features: Union[None, str, int, float],
+                         n_features: int) -> int:
+    """Number of features examined per split.
+
+    Accepts ``None`` (all), ``"sqrt"``, ``"log2"``, an int count or a float
+    fraction — the same convention scikit-learn and the boosting libraries
+    use.
+    """
+    if max_features is None:
+        return n_features
+    if isinstance(max_features, str):
+        if max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if max_features == "log2":
+            return max(1, int(np.log2(n_features))) if n_features > 1 else 1
+        raise ValueError(f"unknown max_features string: {max_features!r}")
+    if isinstance(max_features, float):
+        if not 0.0 < max_features <= 1.0:
+            raise ValueError("float max_features must be in (0, 1]")
+        return max(1, int(round(max_features * n_features)))
+    if isinstance(max_features, (int, np.integer)):
+        if not 1 <= max_features <= n_features:
+            raise ValueError(
+                f"int max_features must be in [1, {n_features}]")
+        return int(max_features)
+    raise TypeError(f"unsupported max_features: {max_features!r}")
+
+
+@dataclass
+class _Nodes:
+    """Array-of-structs tree storage shared by both estimators."""
+
+    feature: List[int] = field(default_factory=list)
+    threshold: List[float] = field(default_factory=list)
+    left: List[int] = field(default_factory=list)
+    right: List[int] = field(default_factory=list)
+    value: List[np.ndarray] = field(default_factory=list)
+
+    def add(self, value: np.ndarray) -> int:
+        """Append a leaf node carrying ``value``; returns its id."""
+        self.feature.append(_LEAF)
+        self.threshold.append(np.nan)
+        self.left.append(_LEAF)
+        self.right.append(_LEAF)
+        self.value.append(value)
+        return len(self.feature) - 1
+
+    def make_split(self, node: int, feature: int, threshold: float,
+                   left: int, right: int) -> None:
+        """Turn leaf ``node`` into an internal node."""
+        self.feature[node] = feature
+        self.threshold[node] = threshold
+        self.left[node] = left
+        self.right[node] = right
+
+    def __len__(self) -> int:
+        return len(self.feature)
+
+
+def _class_impurity(counts: np.ndarray, criterion: str) -> np.ndarray:
+    """Impurity of one or many nodes given class-weight rows.
+
+    Args:
+        counts: (..., n_classes) weighted class counts.
+        criterion: ``"gini"`` or ``"entropy"``.
+    Returns impurity with the leading shape of ``counts``.
+    """
+    total = counts.sum(axis=-1, keepdims=True)
+    safe_total = np.where(total > 0, total, 1.0)
+    p = counts / safe_total
+    if criterion == "gini":
+        impurity = 1.0 - np.square(p).sum(axis=-1)
+    elif criterion == "entropy":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            logs = np.where(p > 0, np.log2(np.where(p > 0, p, 1.0)), 0.0)
+        impurity = -(p * logs).sum(axis=-1)
+    else:
+        raise ValueError(f"unknown criterion: {criterion!r}")
+    return np.where(total.squeeze(-1) > 0, impurity, 0.0)
+
+
+class _BaseExactTree:
+    """Shared recursion for exact trees; subclasses define split scoring."""
+
+    def __init__(self, max_depth: Optional[int], min_samples_split: int,
+                 min_samples_leaf: int, min_impurity_decrease: float,
+                 max_features: Union[None, str, int, float],
+                 random_state: Optional[int]) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1 or None")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if min_impurity_decrease < 0:
+            raise ValueError("min_impurity_decrease must be >= 0")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.max_features = max_features
+        self.random_state = random_state
+        self._nodes: Optional[_Nodes] = None
+        self.n_features_: Optional[int] = None
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    # -- subclass hooks -----------------------------------------------------
+    def _leaf_value(self, y: np.ndarray, w: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _node_impurity(self, y: np.ndarray, w: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _split_candidates(self, values: np.ndarray, y: np.ndarray,
+                          w: np.ndarray):
+        """Return (positions, gains, thresholds) for one sorted feature.
+
+        ``positions`` are left-side sizes; ``gains`` are weighted impurity
+        decreases.  Subclasses implement criterion-specific scoring.
+        """
+        raise NotImplementedError
+
+    # -- core recursion ------------------------------------------------------
+    def _fit_arrays(self, X: np.ndarray, y: np.ndarray,
+                    sample_weight: Optional[np.ndarray]) -> None:
+        n_samples, n_features = X.shape
+        if sample_weight is None:
+            w = np.ones(n_samples, dtype=np.float64)
+        else:
+            w = np.asarray(sample_weight, dtype=np.float64)
+            if w.shape != (n_samples,):
+                raise ValueError("sample_weight shape mismatch")
+            if np.any(w < 0):
+                raise ValueError("sample_weight must be non-negative")
+        self.n_features_ = n_features
+        self._nodes = _Nodes()
+        self._importance = np.zeros(n_features, dtype=np.float64)
+        rng = np.random.default_rng(self.random_state)
+        k = resolve_max_features(self.max_features, n_features)
+        root_idx = np.arange(n_samples)
+        self._grow(X, y, w, root_idx, depth=0, rng=rng, n_candidates=k)
+        total = self._importance.sum()
+        self.feature_importances_ = (
+            self._importance / total if total > 0 else self._importance)
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, w: np.ndarray,
+              idx: np.ndarray, depth: int, rng: np.random.Generator,
+              n_candidates: int) -> int:
+        node = self._nodes.add(self._leaf_value(y[idx], w[idx]))
+        n_node = idx.size
+        if (n_node < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)):
+            return node
+        impurity = self._node_impurity(y[idx], w[idx])
+        if impurity <= 1e-12:
+            return node
+
+        features = np.arange(self.n_features_)
+        if n_candidates < self.n_features_:
+            features = rng.choice(self.n_features_, size=n_candidates,
+                                  replace=False)
+        best_gain = 0.0
+        best = None
+        for j in features:
+            values = X[idx, j]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            if sorted_values[0] == sorted_values[-1]:
+                continue
+            positions, gains, thresholds = self._split_candidates(
+                sorted_values, y[idx][order], w[idx][order])
+            if positions.size == 0:
+                continue
+            pick = int(np.argmax(gains))
+            if gains[pick] > best_gain:
+                best_gain = float(gains[pick])
+                best = (int(j), float(thresholds[pick]), order,
+                        int(positions[pick]))
+        if best is None or best_gain < self.min_impurity_decrease:
+            return node
+
+        feature, threshold, order, position = best
+        left_idx = idx[order[:position]]
+        right_idx = idx[order[position:]]
+        self._importance[feature] += best_gain
+        left = self._grow(X, y, w, left_idx, depth + 1, rng, n_candidates)
+        right = self._grow(X, y, w, right_idx, depth + 1, rng, n_candidates)
+        self._nodes.make_split(node, feature, threshold, left, right)
+        return node
+
+    # -- prediction -----------------------------------------------------------
+    def _decision_values(self, X: np.ndarray) -> np.ndarray:
+        """Route every sample to its leaf and stack the leaf values."""
+        if self._nodes is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X must be (n, {self.n_features_}), got {X.shape}")
+        nodes = self._nodes
+        out = np.empty((X.shape[0],) + nodes.value[0].shape, dtype=np.float64)
+        stack = [(0, np.arange(X.shape[0]))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if nodes.feature[node] == _LEAF:
+                out[idx] = nodes.value[node]
+                continue
+            mask = X[idx, nodes.feature[node]] <= nodes.threshold[node]
+            stack.append((nodes.left[node], idx[mask]))
+            stack.append((nodes.right[node], idx[~mask]))
+        return out
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes (internal + leaves)."""
+        if self._nodes is None:
+            raise RuntimeError("tree is not fitted")
+        return len(self._nodes)
+
+    @property
+    def depth(self) -> int:
+        """Depth of the fitted tree (root-only tree has depth 0)."""
+        if self._nodes is None:
+            raise RuntimeError("tree is not fitted")
+        nodes = self._nodes
+        depths = {0: 0}
+        best = 0
+        for node in range(len(nodes)):
+            if nodes.feature[node] == _LEAF:
+                continue
+            for child in (nodes.left[node], nodes.right[node]):
+                depths[child] = depths[node] + 1
+                best = max(best, depths[child])
+        return best
+
+
+class DecisionTreeClassifier(_BaseExactTree):
+    """Exact CART classifier with gini or entropy impurity.
+
+    Example:
+        >>> model = DecisionTreeClassifier(max_depth=3, random_state=0)
+        >>> _ = model.fit([[0.0], [1.0], [2.0], [3.0]], [0, 0, 1, 1])
+        >>> list(model.predict([[0.5], [2.5]]))
+        [0, 1]
+    """
+
+    def __init__(self, criterion: str = "gini",
+                 max_depth: Optional[int] = None,
+                 min_samples_split: int = 2, min_samples_leaf: int = 1,
+                 min_impurity_decrease: float = 0.0,
+                 max_features: Union[None, str, int, float] = None,
+                 random_state: Optional[int] = None) -> None:
+        super().__init__(max_depth, min_samples_split, min_samples_leaf,
+                         min_impurity_decrease, max_features, random_state)
+        if criterion not in ("gini", "entropy"):
+            raise ValueError(f"unknown criterion: {criterion!r}")
+        self.criterion = criterion
+        self.classes_: Optional[np.ndarray] = None
+        self._n_classes = 0
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
+        """Fit the tree on features ``X`` and integer/str labels ``y``."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        y = np.asarray(y)
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must be 1-d with one label per row of X")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        self._n_classes = len(self.classes_)
+        self._fit_arrays(X, encoded.astype(np.int64), sample_weight)
+        return self
+
+    def _leaf_value(self, y: np.ndarray, w: np.ndarray) -> np.ndarray:
+        counts = np.bincount(y, weights=w, minlength=self._n_classes)
+        total = counts.sum()
+        if total <= 0:
+            return np.full(self._n_classes, 1.0 / self._n_classes)
+        return counts / total
+
+    def _node_impurity(self, y: np.ndarray, w: np.ndarray) -> float:
+        counts = np.bincount(y, weights=w, minlength=self._n_classes)
+        return float(_class_impurity(counts, self.criterion))
+
+    def _split_candidates(self, values, y, w):
+        n = values.size
+        onehot = np.zeros((n, self._n_classes), dtype=np.float64)
+        onehot[np.arange(n), y] = w
+        cum = np.cumsum(onehot, axis=0)
+        total = cum[-1]
+        total_weight = total.sum()
+
+        boundaries = np.nonzero(np.diff(values) > 0)[0] + 1  # left sizes
+        min_leaf = self.min_samples_leaf
+        boundaries = boundaries[(boundaries >= min_leaf)
+                                & (boundaries <= n - min_leaf)]
+        if boundaries.size == 0:
+            return boundaries, np.empty(0), np.empty(0)
+        left = cum[boundaries - 1]
+        right = total[None, :] - left
+        wl = left.sum(axis=1)
+        wr = right.sum(axis=1)
+        parent_impurity = _class_impurity(total, self.criterion)
+        child = (wl * _class_impurity(left, self.criterion)
+                 + wr * _class_impurity(right, self.criterion))
+        gains = parent_impurity * total_weight - child
+        valid = (wl > 0) & (wr > 0)
+        gains = np.where(valid, gains, -np.inf)
+        thresholds = (values[boundaries - 1] + values[boundaries]) / 2.0
+        return boundaries, gains, thresholds
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Per-class probability estimates (leaf class frequencies)."""
+        return self._decision_values(X)
+
+    def predict(self, X) -> np.ndarray:
+        """Most probable class per sample."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class DecisionTreeRegressor(_BaseExactTree):
+    """Exact CART regressor minimising weighted squared error."""
+
+    def __init__(self, max_depth: Optional[int] = None,
+                 min_samples_split: int = 2, min_samples_leaf: int = 1,
+                 min_impurity_decrease: float = 0.0,
+                 max_features: Union[None, str, int, float] = None,
+                 random_state: Optional[int] = None) -> None:
+        super().__init__(max_depth, min_samples_split, min_samples_leaf,
+                         min_impurity_decrease, max_features, random_state)
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeRegressor":
+        """Fit the regression tree."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must be 1-d with one target per row of X")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._fit_arrays(X, y, sample_weight)
+        return self
+
+    def _leaf_value(self, y: np.ndarray, w: np.ndarray) -> np.ndarray:
+        total = w.sum()
+        mean = float(np.dot(y, w) / total) if total > 0 else 0.0
+        return np.asarray([mean])
+
+    def _node_impurity(self, y: np.ndarray, w: np.ndarray) -> float:
+        total = w.sum()
+        if total <= 0:
+            return 0.0
+        mean = np.dot(y, w) / total
+        return float(np.dot(w, np.square(y - mean)) / total)
+
+    def _split_candidates(self, values, y, w):
+        n = values.size
+        cw = np.cumsum(w)
+        cwy = np.cumsum(w * y)
+        cwyy = np.cumsum(w * y * y)
+        total_w, total_wy, total_wyy = cw[-1], cwy[-1], cwyy[-1]
+
+        boundaries = np.nonzero(np.diff(values) > 0)[0] + 1
+        min_leaf = self.min_samples_leaf
+        boundaries = boundaries[(boundaries >= min_leaf)
+                                & (boundaries <= n - min_leaf)]
+        if boundaries.size == 0:
+            return boundaries, np.empty(0), np.empty(0)
+        wl = cw[boundaries - 1]
+        wyl = cwy[boundaries - 1]
+        wyyl = cwyy[boundaries - 1]
+        wr = total_w - wl
+        wyr = total_wy - wyl
+        wyyr = total_wyy - wyyl
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sse_left = wyyl - np.square(wyl) / np.where(wl > 0, wl, 1.0)
+            sse_right = wyyr - np.square(wyr) / np.where(wr > 0, wr, 1.0)
+        sse_parent = total_wyy - total_wy ** 2 / total_w
+        gains = sse_parent - (sse_left + sse_right)
+        valid = (wl > 0) & (wr > 0)
+        gains = np.where(valid, gains, -np.inf)
+        thresholds = (values[boundaries - 1] + values[boundaries]) / 2.0
+        return boundaries, gains, thresholds
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted mean target per sample."""
+        return self._decision_values(X)[:, 0]

@@ -1,0 +1,136 @@
+"""Sliding-window error-rate aggregation and alarming.
+
+Fleet operators watch *rates*, not raw events: CE storms precede service
+impact, and per-level error-rate alarms are how a platform notices a
+degrading device before Cordial's per-bank trigger fires.  The aggregator
+maintains per-unit sliding windows over the event stream and raises
+threshold alarms; it is the monitoring companion to the BMC collector.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.hbm.address import MicroLevel
+from repro.telemetry.events import ErrorRecord, ErrorType
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One threshold crossing.
+
+    Attributes:
+        timestamp: when the crossing happened.
+        level: aggregation level of the unit.
+        unit: the unit's key.
+        error_type: which error type crossed.
+        count: events of that type inside the window at crossing time.
+    """
+
+    timestamp: float
+    level: MicroLevel
+    unit: tuple
+    error_type: ErrorType
+    count: int
+    rule_index: int = 0
+
+
+@dataclass(frozen=True)
+class AlarmRule:
+    """Raise when a unit sees more than ``threshold`` events of
+    ``error_type`` within ``window_s`` seconds."""
+
+    level: MicroLevel
+    error_type: ErrorType
+    threshold: int
+    window_s: float
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+
+
+class SlidingWindowAggregator:
+    """Streams events, keeps per-(rule, unit) sliding windows, emits alarms.
+
+    An alarm for a (rule, unit) pair re-arms only after the unit's window
+    drains below the threshold — no alarm storms from a single burst.
+    """
+
+    def __init__(self, rules: List[AlarmRule]) -> None:
+        if not rules:
+            raise ValueError("need at least one alarm rule")
+        self.rules = list(rules)
+        self._windows: Dict[Tuple[int, tuple], Deque[float]] = {}
+        self._armed: Dict[Tuple[int, tuple], bool] = {}
+        self.alarms: List[Alarm] = []
+        self._last_timestamp = float("-inf")
+
+    def ingest(self, record: ErrorRecord) -> List[Alarm]:
+        """Feed one event; returns alarms it raised."""
+        if record.timestamp < self._last_timestamp:
+            raise ValueError("aggregator requires non-decreasing timestamps")
+        self._last_timestamp = record.timestamp
+        raised: List[Alarm] = []
+        for rule_index, rule in enumerate(self.rules):
+            if record.error_type is not rule.error_type:
+                continue
+            unit = record.key(rule.level)
+            key = (rule_index, unit)
+            window = self._windows.setdefault(key, deque())
+            window.append(record.timestamp)
+            horizon = record.timestamp - rule.window_s
+            while window and window[0] <= horizon:
+                window.popleft()
+            if len(window) < rule.threshold:
+                self._armed[key] = True
+                continue
+            if self._armed.get(key, True):
+                self._armed[key] = False
+                alarm = Alarm(timestamp=record.timestamp, level=rule.level,
+                              unit=unit, error_type=rule.error_type,
+                              count=len(window), rule_index=rule_index)
+                self.alarms.append(alarm)
+                raised.append(alarm)
+        return raised
+
+    def replay(self, records) -> List[Alarm]:
+        """Feed a whole stream; returns every alarm raised."""
+        raised: List[Alarm] = []
+        for record in records:
+            raised.extend(self.ingest(record))
+        return raised
+
+    def rate(self, rule_index: int, unit: tuple) -> float:
+        """Current events-per-second of a unit under one rule's window."""
+        rule = self.rules[rule_index]
+        window = self._windows.get((rule_index, unit))
+        if not window:
+            return 0.0
+        return len(window) / rule.window_s
+
+    def alarmed_units(self, rule_index: int) -> List[tuple]:
+        """Distinct units that ever alarmed under one rule."""
+        return sorted({alarm.unit for alarm in self.alarms
+                       if alarm.rule_index == rule_index})
+
+
+def default_rules() -> List[AlarmRule]:
+    """A practical default rule set for HBM fleets.
+
+    CE storms at bank level, any repeated UEO at HBM level, and repeated
+    UERs at bank level (Cordial's own trigger will usually fire first).
+    """
+    day = 86400.0
+    return [
+        AlarmRule(MicroLevel.BANK, ErrorType.CE, threshold=10,
+                  window_s=1 * day),
+        AlarmRule(MicroLevel.HBM, ErrorType.UEO, threshold=3,
+                  window_s=7 * day),
+        AlarmRule(MicroLevel.BANK, ErrorType.UER, threshold=2,
+                  window_s=30 * day),
+    ]

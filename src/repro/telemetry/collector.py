@@ -1,0 +1,100 @@
+"""Streaming BMC collector with per-bank triggers.
+
+Cordial acts when a bank reaches its *third* uncorrectable-action-required
+error (Section IV-C: "We use the first three UER information for failure
+pattern classification").  The collector replays an event stream in time
+order, maintains the per-bank history visible *so far*, and yields a
+:class:`BankTrigger` the moment a bank's k-th distinct UER row appears.
+
+The trigger carries a snapshot of the bank's history up to and including
+the triggering event — exactly the information the featurizers are allowed
+to see, which makes look-ahead bugs structurally impossible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.telemetry.events import ErrorRecord, ErrorType
+
+
+@dataclass(frozen=True)
+class BankTrigger:
+    """Fired when a bank accumulates ``trigger_uer_rows`` distinct UER rows.
+
+    Attributes:
+        bank_key: the bank that triggered.
+        timestamp: time of the triggering event.
+        history: every event of this bank up to and including the trigger,
+            in time order.
+        uer_rows: the distinct UER rows seen so far, in occurrence order.
+    """
+
+    bank_key: tuple
+    timestamp: float
+    history: Tuple[ErrorRecord, ...]
+    uer_rows: Tuple[int, ...]
+
+
+@dataclass
+class _BankBuffer:
+    events: List[ErrorRecord] = field(default_factory=list)
+    uer_rows: List[int] = field(default_factory=list)
+    uer_row_set: Set[int] = field(default_factory=set)
+    triggered: bool = False
+
+
+class BMCCollector:
+    """Replays an event stream and fires per-bank triggers.
+
+    Args:
+        trigger_uer_rows: number of distinct UER rows that arms the trigger
+            (3 in the paper; ablation A1 varies it).
+    """
+
+    def __init__(self, trigger_uer_rows: int = 3) -> None:
+        if trigger_uer_rows < 1:
+            raise ValueError("trigger_uer_rows must be >= 1")
+        self.trigger_uer_rows = trigger_uer_rows
+        self._banks: Dict[tuple, _BankBuffer] = {}
+        self._last_timestamp = float("-inf")
+
+    def ingest(self, record: ErrorRecord) -> BankTrigger | None:
+        """Feed one event; returns a trigger when this event arms one."""
+        if record.timestamp < self._last_timestamp:
+            raise ValueError("collector requires non-decreasing timestamps")
+        self._last_timestamp = record.timestamp
+        buffer = self._banks.setdefault(record.bank_key, _BankBuffer())
+        buffer.events.append(record)
+        if record.error_type is ErrorType.UER:
+            if record.row not in buffer.uer_row_set:
+                buffer.uer_row_set.add(record.row)
+                buffer.uer_rows.append(record.row)
+        if (not buffer.triggered
+                and len(buffer.uer_rows) >= self.trigger_uer_rows):
+            buffer.triggered = True
+            return BankTrigger(
+                bank_key=record.bank_key,
+                timestamp=record.timestamp,
+                history=tuple(buffer.events),
+                uer_rows=tuple(buffer.uer_rows),
+            )
+        return None
+
+    def replay(self, records: Iterable[ErrorRecord]) -> Iterator[BankTrigger]:
+        """Feed a whole stream, yielding triggers as they fire."""
+        for record in records:
+            trigger = self.ingest(record)
+            if trigger is not None:
+                yield trigger
+
+    def bank_history(self, bank_key: tuple) -> Tuple[ErrorRecord, ...]:
+        """Events observed so far for ``bank_key`` (time order)."""
+        buffer = self._banks.get(bank_key)
+        return tuple(buffer.events) if buffer else ()
+
+    @property
+    def triggered_banks(self) -> List[tuple]:
+        """Banks whose trigger has fired, sorted for determinism."""
+        return sorted(k for k, b in self._banks.items() if b.triggered)

@@ -1,0 +1,93 @@
+"""MCE stream compaction: duplicate suppression and burst folding.
+
+Real BMC firmware frequently re-reports the same error — patrol scrub
+revisits a stuck cell every sweep, a hot row refires on every access burst
+— inflating logs by orders of magnitude without adding information.  The
+compactor suppresses repeats of the same (cell, error type) within a
+holdoff window while preserving first occurrences exactly, so every
+downstream analysis (which keys on *first* events and *distinct* rows)
+is unchanged by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.telemetry.events import ErrorRecord, ErrorType
+
+
+@dataclass
+class CompactionStats:
+    """What the compactor dropped."""
+
+    seen: int = 0
+    emitted: int = 0
+    suppressed_by_type: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def suppressed(self) -> int:
+        """Total events dropped."""
+        return self.seen - self.emitted
+
+    @property
+    def ratio(self) -> float:
+        """Fraction of the stream dropped."""
+        return self.suppressed / self.seen if self.seen else 0.0
+
+
+class StreamCompactor:
+    """Suppress repeats of the same (cell, type) within a holdoff window.
+
+    Args:
+        holdoff_s: a repeat arriving within this many seconds of the last
+            *emitted* event for the same (cell, type) is dropped.
+        never_drop_uer: always pass UERs through (they are actionable;
+            default True drops only CE/UEO chatter).
+    """
+
+    def __init__(self, holdoff_s: float = 3600.0,
+                 never_drop_uer: bool = True) -> None:
+        if holdoff_s < 0:
+            raise ValueError("holdoff_s must be >= 0")
+        self.holdoff_s = holdoff_s
+        self.never_drop_uer = never_drop_uer
+        self.stats = CompactionStats()
+        self._last_emitted: Dict[Tuple, float] = {}
+
+    def _key(self, record: ErrorRecord) -> Tuple:
+        return (record.bank_key, record.row, record.column,
+                record.error_type)
+
+    def offer(self, record: ErrorRecord) -> bool:
+        """True when the record should be kept."""
+        self.stats.seen += 1
+        if self.never_drop_uer and record.error_type is ErrorType.UER:
+            self.stats.emitted += 1
+            return True
+        key = self._key(record)
+        last = self._last_emitted.get(key)
+        if last is not None and record.timestamp - last < self.holdoff_s:
+            label = record.error_type.value
+            self.stats.suppressed_by_type[label] = (
+                self.stats.suppressed_by_type.get(label, 0) + 1)
+            return False
+        self._last_emitted[key] = record.timestamp
+        self.stats.emitted += 1
+        return True
+
+    def compact(self, records: Iterable[ErrorRecord]
+                ) -> Iterator[ErrorRecord]:
+        """Stream-filter an iterable of records."""
+        for record in records:
+            if self.offer(record):
+                yield record
+
+
+def compact_records(records: Iterable[ErrorRecord],
+                    holdoff_s: float = 3600.0
+                    ) -> Tuple[List[ErrorRecord], CompactionStats]:
+    """One-shot compaction; returns (kept records, stats)."""
+    compactor = StreamCompactor(holdoff_s=holdoff_s)
+    kept = list(compactor.compact(records))
+    return kept, compactor.stats

@@ -1,0 +1,92 @@
+"""Error event records.
+
+An :class:`ErrorRecord` is one line of the MCE log: a timestamped,
+classified error at a fully resolved device address.  The record is the
+single currency every other package trades in — generators emit it, the
+store indexes it, featurizers consume it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hbm.address import DeviceAddress, MicroLevel
+from repro.hbm.ecc import ECCOutcome
+
+
+class ErrorType(enum.Enum):
+    """Error taxonomy of Section II-B: CE, UEO and UER.
+
+    ``ErrorType`` mirrors :class:`repro.hbm.ecc.ECCOutcome`; the telemetry
+    layer keeps its own enum so log parsing does not depend on the hardware
+    model, with explicit converters between the two.
+    """
+
+    CE = "CE"
+    UEO = "UEO"
+    UER = "UER"
+
+    @property
+    def is_uncorrectable(self) -> bool:
+        """Whether the event is a UCE (UEO or UER)."""
+        return self is not ErrorType.CE
+
+    @classmethod
+    def from_ecc(cls, outcome: ECCOutcome) -> "ErrorType":
+        """Convert an ECC classification into a telemetry error type."""
+        return cls(outcome.value)
+
+    def to_ecc(self) -> ECCOutcome:
+        """Convert back to the hardware-model enum."""
+        return ECCOutcome(self.value)
+
+
+class Detector(enum.Enum):
+    """How the error surfaced (recorded in the MCE log for diagnostics)."""
+
+    DEMAND_ACCESS = "demand"
+    PATROL_SCRUB = "scrub"
+
+
+@dataclass(frozen=True, order=True)
+class ErrorRecord:
+    """One classified error event.
+
+    Ordering is by ``(timestamp, sequence)`` so a stable global order exists
+    even when many events share a timestamp.  ``sequence`` is assigned by
+    whoever creates the record (generator or log parser).
+    """
+
+    timestamp: float
+    sequence: int
+    address: DeviceAddress = field(compare=False)
+    error_type: ErrorType = field(compare=False)
+    bit_count: int = field(default=1, compare=False)
+    detector: Detector = field(default=Detector.DEMAND_ACCESS, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be >= 0")
+        if self.bit_count < 1:
+            raise ValueError("bit_count must be >= 1")
+
+    def key(self, level: MicroLevel) -> tuple:
+        """Identifier of the enclosing unit at ``level`` (delegates to the
+        address)."""
+        return self.address.key(level)
+
+    @property
+    def bank_key(self) -> tuple:
+        """The bank containing this error."""
+        return self.address.bank_key()
+
+    @property
+    def row(self) -> int:
+        """Row coordinate of the error."""
+        return self.address.row
+
+    @property
+    def column(self) -> int:
+        """Column coordinate of the error."""
+        return self.address.column

@@ -1,0 +1,129 @@
+"""Serialisation of error events to an MCE-log dialect.
+
+The paper collects "MCE log and memory events from the BMC" where every
+CE/UEO/UER is recorded with its memory address (server, bank, row, ...).
+We use a line-oriented JSON dialect: a header line identifying the format
+and version, then one JSON object per event.  Addresses are stored both
+packed (compact, canonical) and expanded (human-grep-able); the parser
+verifies they agree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from repro.hbm.address import DeviceAddress
+from repro.telemetry.events import Detector, ErrorRecord, ErrorType
+
+FORMAT_NAME = "cordial-mce-log"
+FORMAT_VERSION = 1
+
+
+class MCELogError(ValueError):
+    """Raised when an MCE log file is malformed."""
+
+
+def _record_to_obj(record: ErrorRecord) -> dict:
+    # Explicit int()/float() casts: producers may carry numpy scalars,
+    # which the json module refuses to serialise.
+    address = record.address
+    return {
+        "ts": float(record.timestamp),
+        "seq": int(record.sequence),
+        "type": record.error_type.value,
+        "bits": int(record.bit_count),
+        "det": record.detector.value,
+        "addr": int(address.pack()),
+        "loc": {
+            "node": int(address.node),
+            "npu": int(address.npu),
+            "hbm": int(address.hbm),
+            "sid": int(address.sid),
+            "ch": int(address.channel),
+            "psch": int(address.pseudo_channel),
+            "bg": int(address.bank_group),
+            "bank": int(address.bank),
+            "row": int(address.row),
+            "col": int(address.column),
+        },
+    }
+
+
+def _obj_to_record(obj: dict, line_no: int) -> ErrorRecord:
+    try:
+        address = DeviceAddress.unpack(int(obj["addr"]))
+        loc = obj.get("loc")
+        if loc is not None:
+            expanded = DeviceAddress(
+                node=loc["node"], npu=loc["npu"], hbm=loc["hbm"],
+                sid=loc["sid"], channel=loc["ch"],
+                pseudo_channel=loc["psch"], bank_group=loc["bg"],
+                bank=loc["bank"], row=loc["row"], column=loc["col"])
+            if expanded != address:
+                raise MCELogError(
+                    f"line {line_no}: packed and expanded addresses disagree")
+        return ErrorRecord(
+            timestamp=float(obj["ts"]),
+            sequence=int(obj["seq"]),
+            address=address,
+            error_type=ErrorType(obj["type"]),
+            bit_count=int(obj.get("bits", 1)),
+            detector=Detector(obj.get("det", Detector.DEMAND_ACCESS.value)),
+        )
+    except MCELogError:
+        raise
+    except (KeyError, ValueError, TypeError) as exc:
+        raise MCELogError(f"line {line_no}: malformed event: {exc}") from exc
+
+
+def write_mce_log(records: Iterable[ErrorRecord],
+                  destination: Union[str, Path, TextIO]) -> int:
+    """Write records to an MCE log file or stream.
+
+    Returns the number of events written.
+    """
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return write_mce_log(records, handle)
+    header = {"format": FORMAT_NAME, "version": FORMAT_VERSION}
+    destination.write(json.dumps(header) + "\n")
+    count = 0
+    for record in records:
+        destination.write(json.dumps(_record_to_obj(record)) + "\n")
+        count += 1
+    return count
+
+
+def iter_mce_log(source: Union[str, Path, TextIO]) -> Iterator[ErrorRecord]:
+    """Stream records from an MCE log, validating the header and each line."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from iter_mce_log(handle)
+            return
+    header_line = source.readline()
+    if not header_line.strip():
+        raise MCELogError("empty file: missing MCE log header")
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise MCELogError(f"malformed header: {exc}") from exc
+    if header.get("format") != FORMAT_NAME:
+        raise MCELogError(f"unexpected log format: {header.get('format')!r}")
+    if header.get("version") != FORMAT_VERSION:
+        raise MCELogError(f"unsupported log version: {header.get('version')!r}")
+    for line_no, line in enumerate(source, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise MCELogError(f"line {line_no}: invalid JSON: {exc}") from exc
+        yield _obj_to_record(obj, line_no)
+
+
+def read_mce_log(source: Union[str, Path, TextIO]) -> List[ErrorRecord]:
+    """Read a whole MCE log into memory."""
+    return list(iter_mce_log(source))

@@ -1,0 +1,131 @@
+"""Indexed, queryable store of error events.
+
+The empirical study (Section III) repeatedly asks questions of the form
+"which units at level L have events of type T, and in what order did they
+arrive?".  :class:`ErrorStore` answers those with per-level indexes built
+once at ingestion time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.hbm.address import MicroLevel
+from repro.telemetry.events import ErrorRecord, ErrorType
+
+
+class ErrorStore:
+    """Time-ordered error events with per-micro-level indexes."""
+
+    def __init__(self, records: Iterable[ErrorRecord] = ()) -> None:
+        self._records: List[ErrorRecord] = []
+        # level -> unit key -> list of record indexes (time-ordered)
+        self._index: Dict[MicroLevel, Dict[tuple, List[int]]] = {
+            level: defaultdict(list) for level in MicroLevel
+        }
+        self.extend(records)
+
+    def append(self, record: ErrorRecord) -> None:
+        """Append one record; records must arrive in non-decreasing time."""
+        if self._records and record.timestamp < self._records[-1].timestamp:
+            raise ValueError(
+                "ErrorStore requires non-decreasing timestamps; "
+                f"got {record.timestamp} after {self._records[-1].timestamp}")
+        position = len(self._records)
+        self._records.append(record)
+        for level in MicroLevel:
+            self._index[level][record.key(level)].append(position)
+
+    def extend(self, records: Iterable[ErrorRecord]) -> None:
+        """Append many records (still order-checked one by one)."""
+        for record in records:
+            self.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> Sequence[ErrorRecord]:
+        """All records in time order (do not mutate)."""
+        return self._records
+
+    def units(self, level: MicroLevel) -> Set[tuple]:
+        """All unit keys at ``level`` that saw at least one event."""
+        return set(self._index[level].keys())
+
+    def units_with(self, level: MicroLevel, error_type: ErrorType) -> Set[tuple]:
+        """Unit keys at ``level`` with at least one event of ``error_type``."""
+        found: Set[tuple] = set()
+        for key, positions in self._index[level].items():
+            if any(self._records[i].error_type is error_type for i in positions):
+                found.add(key)
+        return found
+
+    def events_for(self, level: MicroLevel, key: tuple,
+                   error_type: Optional[ErrorType] = None) -> List[ErrorRecord]:
+        """Time-ordered events inside the unit ``key`` at ``level``.
+
+        Optionally filtered by ``error_type``.
+        """
+        positions = self._index[level].get(key, [])
+        events = [self._records[i] for i in positions]
+        if error_type is None:
+            return events
+        return [event for event in events if event.error_type is error_type]
+
+    def bank_events(self, bank_key: tuple) -> List[ErrorRecord]:
+        """All events of one bank, in time order."""
+        return self.events_for(MicroLevel.BANK, bank_key)
+
+    def first_event_of(self, level: MicroLevel, key: tuple,
+                       error_type: ErrorType) -> Optional[ErrorRecord]:
+        """Earliest event of ``error_type`` in the unit, or ``None``."""
+        for position in self._index[level].get(key, []):
+            record = self._records[position]
+            if record.error_type is error_type:
+                return record
+        return None
+
+    def has_event_before(self, level: MicroLevel, key: tuple,
+                         error_types: Sequence[ErrorType],
+                         before: float,
+                         since: Optional[float] = None) -> bool:
+        """Whether the unit saw any event of the given types strictly before
+        ``before`` (and at or after ``since``, when given).
+
+        This is the primitive behind the sudden-vs-non-sudden UER analysis
+        (Table I): a UER is *non-sudden at level L* iff its unit at L had a
+        CE or UEO inside the observation window ending at the UER.
+        """
+        wanted = set(error_types)
+        for position in self._index[level].get(key, []):
+            record = self._records[position]
+            if record.timestamp >= before:
+                return False
+            if since is not None and record.timestamp < since:
+                continue
+            if record.error_type in wanted:
+                return True
+        return False
+
+    def uer_rows_of_bank(self, bank_key: tuple) -> List[ErrorRecord]:
+        """First UER per distinct row of a bank, in occurrence order."""
+        seen: Set[int] = set()
+        firsts: List[ErrorRecord] = []
+        for record in self.bank_events(bank_key):
+            if record.error_type is ErrorType.UER and record.row not in seen:
+                seen.add(record.row)
+                firsts.append(record)
+        return firsts
+
+    def banks_with_min_uer_rows(self, min_rows: int) -> List[tuple]:
+        """Banks whose distinct-UER-row count reaches ``min_rows``."""
+        result = []
+        for key in self._index[MicroLevel.BANK]:
+            if len(self.uer_rows_of_bank(key)) >= min_rows:
+                result.append(key)
+        return sorted(result)

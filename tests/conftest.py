@@ -1,0 +1,27 @@
+"""Shared fixtures: one small fleet dataset reused across test modules.
+
+Generating a fleet is the most expensive step, so the dataset (and a
+train/test split of its banks) is session-scoped; tests must not mutate it.
+"""
+
+import pytest
+
+from repro.datasets import FleetGenConfig, generate_fleet_dataset
+from repro.ml.selection import train_test_split_groups
+
+SMALL_SCALE = 0.12
+SEED = 42
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A ~12 %-scale fleet: ~50 bad HBMs, ~130 UER banks, ~6k events."""
+    return generate_fleet_dataset(FleetGenConfig(scale=SMALL_SCALE),
+                                  seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def bank_split(small_dataset):
+    """70:30 group-aware split of the small fleet's UER banks."""
+    return train_test_split_groups(small_dataset.uer_banks,
+                                   test_fraction=0.3, seed=7)

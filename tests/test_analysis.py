@@ -1,0 +1,168 @@
+"""Tests for the empirical-study analyses (Tables I-II, Figures 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.locality import (LocalityCurve, chi_square_within_threshold,
+                                     compute_locality_chisquare,
+                                     consecutive_uer_distances,
+                                     format_locality_curve)
+from repro.analysis.patterns_dist import (ascii_bank_map, bank_error_map,
+                                          compute_pattern_distribution,
+                                          example_bank_maps,
+                                          format_distribution)
+from repro.analysis.sudden import (classify_unit_sudden,
+                                   compute_sudden_uer_table,
+                                   format_sudden_table)
+from repro.analysis.summary import compute_dataset_summary, format_summary_table
+from repro.hbm.address import DeviceAddress, MicroLevel
+from repro.telemetry.events import ErrorRecord, ErrorType
+from repro.telemetry.store import ErrorStore
+
+
+def rec(seq, t, row, error_type, bank=0):
+    address = DeviceAddress(node=0, npu=0, hbm=0, sid=0, channel=0,
+                            pseudo_channel=0, bank_group=0, bank=bank,
+                            row=row, column=0)
+    return ErrorRecord(timestamp=t, sequence=seq, address=address,
+                       error_type=error_type)
+
+
+class TestSudden:
+    def test_hand_built_sudden_and_not(self):
+        store = ErrorStore([
+            rec(0, 100.0, 5, ErrorType.CE, bank=0),
+            rec(1, 200.0, 6, ErrorType.UER, bank=0),   # non-sudden bank
+            rec(2, 300.0, 7, ErrorType.UER, bank=1),   # sudden bank
+        ])
+        bank0 = rec(0, 0, 5, ErrorType.CE, bank=0).bank_key
+        bank1 = rec(0, 0, 5, ErrorType.CE, bank=1).bank_key
+        assert not classify_unit_sudden(store, MicroLevel.BANK, bank0,
+                                        lookback_days=None)
+        assert classify_unit_sudden(store, MicroLevel.BANK, bank1,
+                                    lookback_days=None)
+
+    def test_lookback_window_excludes_old_signals(self):
+        day = 86400.0
+        store = ErrorStore([
+            rec(0, 0.0, 5, ErrorType.CE),
+            rec(1, 10 * day, 6, ErrorType.UER),
+        ])
+        key = rec(0, 0, 5, ErrorType.CE).bank_key
+        assert classify_unit_sudden(store, MicroLevel.BANK, key,
+                                    lookback_days=1.0)
+        assert not classify_unit_sudden(store, MicroLevel.BANK, key,
+                                        lookback_days=None)
+
+    def test_unit_without_uer_rejected(self):
+        store = ErrorStore([rec(0, 1.0, 5, ErrorType.CE)])
+        with pytest.raises(ValueError):
+            classify_unit_sudden(store, MicroLevel.BANK,
+                                 rec(0, 1.0, 5, ErrorType.CE).bank_key)
+
+    def test_table_structure(self, small_dataset):
+        table = compute_sudden_uer_table(small_dataset.store)
+        assert set(table) == set(MicroLevel.paper_levels())
+        for stats in table.values():
+            assert stats.total == stats.sudden + stats.non_sudden
+        # Table I invariant: totals equal units-with-UER of Table II
+        summary = compute_dataset_summary(small_dataset.store)
+        for level in MicroLevel.paper_levels():
+            assert table[level].total == summary[level].with_uer
+
+    def test_formatting(self, small_dataset):
+        text = format_sudden_table(
+            compute_sudden_uer_table(small_dataset.store))
+        assert "Predictable Ratio" in text and "Row" in text
+
+
+class TestSummary:
+    def test_hand_built_counts(self):
+        store = ErrorStore([
+            rec(0, 1.0, 5, ErrorType.CE, bank=0),
+            rec(1, 2.0, 5, ErrorType.UER, bank=0),
+            rec(2, 3.0, 9, ErrorType.UEO, bank=1),
+        ])
+        summary = compute_dataset_summary(store)
+        bank_row = summary[MicroLevel.BANK]
+        assert (bank_row.with_ce, bank_row.with_ueo, bank_row.with_uer,
+                bank_row.total) == (1, 1, 1, 2)
+        row_row = summary[MicroLevel.ROW]
+        assert row_row.total == 2
+
+    def test_formatting(self, small_dataset):
+        text = format_summary_table(
+            compute_dataset_summary(small_dataset.store))
+        assert "With UEO" in text
+
+
+class TestLocality:
+    def test_consecutive_distances_hand_example(self):
+        store = ErrorStore([
+            rec(0, 1.0, 100, ErrorType.UER),
+            rec(1, 2.0, 160, ErrorType.UER),
+            rec(2, 3.0, 40, ErrorType.UER),
+        ])
+        distances = consecutive_uer_distances(store)
+        assert sorted(distances.tolist()) == [60, 120]
+
+    def test_chi_square_zero_for_no_pairs(self):
+        assert chi_square_within_threshold(np.array([]), 128, 32768) == 0.0
+
+    def test_chi_square_grows_with_concentration(self):
+        concentrated = np.full(1000, 50)
+        spread = np.random.default_rng(0).integers(0, 32768, 1000)
+        chi_c = chi_square_within_threshold(concentrated, 128, 32768)
+        chi_s = chi_square_within_threshold(spread, 128, 32768)
+        assert chi_c > chi_s
+
+    def test_curve_peak_on_fleet(self, small_dataset):
+        curve = compute_locality_chisquare(small_dataset.store)
+        assert isinstance(curve, LocalityCurve)
+        assert curve.n_pairs > 100
+        assert curve.peak_threshold in (64, 128, 256)
+        assert len(curve.as_dict()) == 10
+
+    def test_formatting_marks_peak(self, small_dataset):
+        curve = compute_locality_chisquare(small_dataset.store)
+        assert "<-- peak" in format_locality_curve(curve)
+
+
+class TestPatternDistribution:
+    def test_distribution_sums_to_one(self, small_dataset):
+        distribution = compute_pattern_distribution(small_dataset)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert distribution["Single-row Clustering"] > 0.4
+
+    def test_min_uer_rows_filter(self, small_dataset):
+        loose = compute_pattern_distribution(small_dataset, min_uer_rows=1)
+        strict = compute_pattern_distribution(small_dataset, min_uer_rows=5)
+        assert set(loose) == set(strict)
+
+    def test_example_maps_cover_patterns(self, small_dataset):
+        maps = example_bank_maps(small_dataset, min_uer_rows=2)
+        assert "Single-row Clustering" in maps
+        for points in maps.values():
+            assert points
+            for column, row, kind in points:
+                assert 0 <= column < 128
+                assert 0 <= row < 32768
+                assert kind in ("CE", "UEO", "UER")
+
+    def test_bank_error_map_matches_store(self, small_dataset):
+        bank = small_dataset.uer_banks[0]
+        points = bank_error_map(small_dataset, bank)
+        assert len(points) == len(small_dataset.store.bank_events(bank))
+
+    def test_ascii_rendering(self, small_dataset):
+        maps = example_bank_maps(small_dataset, min_uer_rows=2)
+        label, points = next(iter(maps.items()))
+        art = ascii_bank_map(points)
+        assert "#" in art
+        assert len(art.splitlines()) == 24
+
+    def test_format_distribution_with_reference(self, small_dataset):
+        distribution = compute_pattern_distribution(small_dataset)
+        text = format_distribution(distribution,
+                                   reference={"Single-row Clustering": 0.682})
+        assert "Paper" in text

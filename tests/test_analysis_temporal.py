@@ -1,0 +1,79 @@
+"""Tests for the temporal analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.temporal import (InterArrivalStats,
+                                     bank_interarrival_gaps,
+                                     bootstrap_ratio_ci,
+                                     format_temporal_report,
+                                     uer_acceleration)
+from repro.telemetry.events import ErrorType
+
+
+class TestInterArrivalStats:
+    def test_poisson_burstiness_near_zero(self):
+        rng = np.random.default_rng(0)
+        gaps = rng.exponential(10.0, size=20000)
+        stats = InterArrivalStats.from_gaps(gaps)
+        assert abs(stats.burstiness) < 0.05
+        assert stats.mean_s == pytest.approx(10.0, rel=0.05)
+
+    def test_periodic_burstiness_negative(self):
+        stats = InterArrivalStats.from_gaps(np.full(100, 5.0))
+        assert stats.burstiness == pytest.approx(-1.0)
+
+    def test_bursty_positive(self):
+        gaps = np.concatenate([np.full(95, 0.1), np.full(5, 1000.0)])
+        assert InterArrivalStats.from_gaps(gaps).burstiness > 0.5
+
+    def test_empty(self):
+        stats = InterArrivalStats.from_gaps(np.array([]))
+        assert stats.count == 0
+        assert np.isnan(stats.mean_s)
+
+
+class TestFleetTemporal:
+    def test_gaps_nonnegative(self, small_dataset):
+        gaps = bank_interarrival_gaps(small_dataset.store)
+        assert gaps.size > 100
+        assert (gaps >= 0).all()
+
+    def test_per_type_gap_counts(self, small_dataset):
+        all_gaps = bank_interarrival_gaps(small_dataset.store)
+        typed = sum(bank_interarrival_gaps(small_dataset.store, t).size
+                    for t in ErrorType)
+        # typed gaps skip cross-type neighbours, so there are fewer
+        assert typed <= all_gaps.size
+
+    def test_uer_acceleration_defined(self, small_dataset):
+        first, later = uer_acceleration(small_dataset.store)
+        assert first > 0 and later > 0
+
+    def test_report_renders(self, small_dataset):
+        text = format_temporal_report(small_dataset.store)
+        assert "burstiness" in text
+
+
+class TestBootstrapCI:
+    def test_point_estimate_is_pooled_ratio(self):
+        point, low, high = bootstrap_ratio_ci([1, 2, 3], [10, 10, 10],
+                                              n_resamples=500)
+        assert point == pytest.approx(0.2)
+        assert low <= point <= high
+
+    def test_ci_narrows_with_more_banks(self):
+        rng = np.random.default_rng(1)
+        small_n = rng.integers(0, 5, size=10)
+        small_d = np.full(10, 5)
+        big_n = rng.integers(0, 5, size=1000)
+        big_d = np.full(1000, 5)
+        _, lo_s, hi_s = bootstrap_ratio_ci(small_n, small_d, seed=2)
+        _, lo_b, hi_b = bootstrap_ratio_ci(big_n, big_d, seed=2)
+        assert (hi_b - lo_b) < (hi_s - lo_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ratio_ci([1], [0])
+        with pytest.raises(ValueError):
+            bootstrap_ratio_ci([1, 2], [3])

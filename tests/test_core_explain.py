@@ -1,0 +1,87 @@
+"""Tests for per-block decision explanations."""
+
+import numpy as np
+import pytest
+
+from repro.core.crossrow import CrossRowPredictor
+from repro.core.explain import BlockExplainer
+from repro.core.pipeline import collect_triggers
+
+
+@pytest.fixture(scope="module")
+def fitted_parts(small_dataset, bank_split):
+    train, test = bank_split
+    predictor = CrossRowPredictor(model_name="LightGBM", random_state=0)
+    xs, ys = [], []
+    for trigger in collect_triggers(small_dataset, train):
+        truth = small_dataset.bank_truth[trigger.bank_key]
+        if not truth.pattern.is_aggregation:
+            continue
+        X, y = predictor.build_samples(
+            trigger.history, trigger.uer_rows[-1], trigger.timestamp,
+            truth.future_uer_rows(trigger.timestamp))
+        xs.append(X)
+        ys.append(y)
+    reference = np.vstack(xs)
+    predictor.fit_samples(reference, np.concatenate(ys))
+    triggers = collect_triggers(small_dataset, test)
+    return predictor, reference, triggers
+
+
+class TestBlockExplainer:
+    def test_explanation_structure(self, fitted_parts):
+        predictor, reference, triggers = fitted_parts
+        explainer = BlockExplainer(predictor, reference=reference)
+        trigger = triggers[0]
+        explanation = explainer.explain(trigger.history,
+                                        trigger.uer_rows[-1], block=8)
+        assert explanation.block == 8
+        assert 0.0 <= explanation.probability <= 1.0
+        assert len(explanation.contributions) == predictor.featurizer.n_features
+        top = explanation.top(3)
+        assert len(top) == 3
+        assert abs(top[0].delta) >= abs(top[-1].delta)
+        assert "dP=" in explanation.format()
+
+    def test_neutralising_everything_matters_somewhere(self, fitted_parts):
+        """Across several triggers, at least one feature moves some
+        block's probability (the model is not constant)."""
+        predictor, reference, triggers = fitted_parts
+        explainer = BlockExplainer(predictor, reference=reference)
+        moved = 0.0
+        for trigger in triggers[:5]:
+            explanation = explainer.explain(trigger.history,
+                                            trigger.uer_rows[-1], block=7)
+            moved += max(abs(c.delta) for c in explanation.contributions)
+        assert moved > 0.0
+
+    def test_explain_flagged_matches_prediction(self, fitted_parts):
+        predictor, reference, triggers = fitted_parts
+        explainer = BlockExplainer(predictor, reference=reference)
+        for trigger in triggers[:10]:
+            prediction = predictor.predict(trigger.history,
+                                           trigger.uer_rows[-1])
+            explanations = explainer.explain_flagged(trigger.history,
+                                                     trigger.uer_rows[-1])
+            assert len(explanations) == int(prediction.flagged.sum())
+
+    def test_explicit_baseline(self, fitted_parts):
+        predictor, reference, triggers = fitted_parts
+        baseline = np.median(reference, axis=0)
+        explainer = BlockExplainer(predictor, baseline=baseline)
+        trigger = triggers[0]
+        explanation = explainer.explain(trigger.history,
+                                        trigger.uer_rows[-1], block=0)
+        assert explanation.contributions
+
+    def test_validation(self, fitted_parts):
+        predictor, reference, _ = fitted_parts
+        with pytest.raises(ValueError):
+            BlockExplainer(predictor)  # no reference, no baseline
+        with pytest.raises(ValueError):
+            BlockExplainer(predictor, baseline=np.zeros(3))
+        with pytest.raises(ValueError):
+            BlockExplainer(CrossRowPredictor(), reference=reference)
+        explainer = BlockExplainer(predictor, reference=reference)
+        with pytest.raises(ValueError):
+            explainer.explain([], 0, block=99)

@@ -1,0 +1,71 @@
+"""Tests for the hierarchical in-row predictor (the replaced paradigm)."""
+
+import numpy as np
+import pytest
+
+from repro.core.inrow_ml import (FEATURE_NAMES, HierarchicalInRowPredictor,
+                                 InRowEvaluation)
+
+
+class TestSamples:
+    def test_one_sample_per_candidate_row(self, small_dataset):
+        predictor = HierarchicalInRowPredictor(min_precursors=1)
+        banks = small_dataset.uer_banks[:30]
+        samples = predictor.build_samples(small_dataset, banks)
+        keys = [(s.bank_key, s.row) for s in samples]
+        assert len(keys) == len(set(keys))
+
+    def test_feature_vector_shape(self, small_dataset):
+        predictor = HierarchicalInRowPredictor()
+        samples = predictor.build_samples(small_dataset,
+                                          small_dataset.uer_banks[:20])
+        assert samples, "UER banks with CE streams must yield candidates"
+        for sample in samples:
+            assert sample.features.shape == (len(FEATURE_NAMES),)
+
+    def test_labels_respect_time(self, small_dataset):
+        """A row whose only UER precedes its precursor is a negative."""
+        predictor = HierarchicalInRowPredictor()
+        samples = predictor.build_samples(small_dataset,
+                                          small_dataset.uer_banks)
+        for sample in samples:
+            truth = small_dataset.bank_truth[sample.bank_key]
+            uer_time = dict((row, t)
+                            for t, row in truth.uer_row_sequence).get(
+                sample.row)
+            expected = (uer_time is not None
+                        and uer_time > sample.snapshot_time)
+            assert sample.label == expected
+
+    def test_min_precursors_raises_bar(self, small_dataset):
+        banks = small_dataset.uer_banks
+        loose = HierarchicalInRowPredictor(min_precursors=1)
+        strict = HierarchicalInRowPredictor(min_precursors=3)
+        assert (len(strict.build_samples(small_dataset, banks))
+                <= len(loose.build_samples(small_dataset, banks)))
+
+
+class TestEvaluation:
+    def test_coverage_capped_by_ceiling(self, small_dataset, bank_split):
+        train, test = bank_split
+        predictor = HierarchicalInRowPredictor(model_name="LightGBM",
+                                               random_state=0)
+        predictor.fit(small_dataset, train)
+        result = predictor.evaluate(small_dataset, test)
+        assert isinstance(result, InRowEvaluation)
+        assert result.uer_row_coverage <= result.coverage_ceiling + 1e-9
+        # the paradigm cap that motivates the paper:
+        assert result.coverage_ceiling < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalInRowPredictor(min_precursors=0)
+        with pytest.raises(ValueError):
+            HierarchicalInRowPredictor(threshold=0.0)
+
+    def test_predict_before_fit(self, small_dataset):
+        predictor = HierarchicalInRowPredictor()
+        samples = predictor.build_samples(small_dataset,
+                                          small_dataset.uer_banks[:10])
+        with pytest.raises(RuntimeError):
+            predictor.predict_samples(samples)

@@ -1,0 +1,127 @@
+"""Tests for the online service and the cost model."""
+
+import pytest
+
+from repro.core.costmodel import (CostParams, block_hit_rate_effect,
+                                  price_result, recommend_mechanism)
+from repro.core.isolation import ICRResult
+from repro.core.online import CordialService
+from repro.core.pipeline import Cordial
+from repro.telemetry.events import ErrorType
+
+
+class TestCostModel:
+    def test_price_result_hand_example(self):
+        result = ICRResult(covered_rows=10, total_rows=40,
+                           covered_by_bank_sparing=4, spared_rows=100,
+                           spared_banks=2)
+        params = CostParams(cost_per_spared_row=1.0,
+                            cost_per_spared_bank=400.0,
+                            cost_per_uer_hit=250.0)
+        cost = price_result(result, params)
+        assert cost.isolation_cost == 100 + 800
+        assert cost.failure_cost == 30 * 250
+        assert cost.avoided_failure_cost == 10 * 250
+        assert cost.total_cost == 900 + 7500
+        assert cost.net_benefit == 2500 - 900
+
+    def test_recommend_row_sparing_for_predictable_clusters(self):
+        assert recommend_mechanism(expected_future_uer_rows=2.0,
+                                   block_hit_rate=0.6) == "row-sparing"
+
+    def test_recommend_bank_sparing_for_scattered(self):
+        assert recommend_mechanism(expected_future_uer_rows=8.0,
+                                   block_hit_rate=0.05) == "bank-sparing"
+
+    def test_zero_hit_rate_is_bank_sparing(self):
+        assert recommend_mechanism(5.0, 0.0) == "bank-sparing"
+
+    def test_budget_forces_bank_sparing(self):
+        params = CostParams(spare_rows_per_bank=8)
+        assert recommend_mechanism(5.0, 0.5, params) == "bank-sparing"
+
+    def test_hit_rate_effect_bounds(self):
+        assert block_hit_rate_effect(0.0) == 0.0
+        assert block_hit_rate_effect(1.0) == 1.0
+        assert 0.0 < block_hit_rate_effect(0.5) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostParams(cost_per_uer_hit=-1)
+        with pytest.raises(ValueError):
+            recommend_mechanism(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            recommend_mechanism(1.0, 1.5)
+        with pytest.raises(ValueError):
+            block_hit_rate_effect(-0.1)
+
+
+@pytest.fixture(scope="module")
+def service(small_dataset, bank_split):
+    train, _ = bank_split
+    cordial = Cordial(model_name="LightGBM", random_state=0)
+    cordial.fit(small_dataset, train)
+    return cordial
+
+
+class TestCordialService:
+    def test_requires_fitted_model(self):
+        with pytest.raises(ValueError):
+            CordialService(Cordial())
+
+    def test_stream_produces_decisions(self, small_dataset, bank_split,
+                                       service):
+        _, test = bank_split
+        test_set = set(test)
+        online = CordialService(service)
+        decisions = []
+        for record in small_dataset.store:
+            if record.bank_key in test_set:
+                decisions.extend(online.ingest(record))
+        assert decisions
+        assert online.stats.triggers_fired > 0
+        assert online.stats.events_ingested > 0
+        actions = {d.action for d in decisions}
+        assert actions <= {"row-spare", "bank-spare"}
+
+    def test_matches_batch_icr(self, small_dataset, bank_split, service):
+        """The streaming service reproduces the batch replay's ICR."""
+        _, test = bank_split
+        test_set = set(test)
+        online = CordialService(service)
+        for record in small_dataset.store:
+            if record.bank_key in test_set:
+                online.ingest(record)
+        truth = {bank: small_dataset.bank_truth[bank].uer_row_sequence
+                 for bank in test
+                 if small_dataset.bank_truth[bank].uer_row_sequence}
+        batch = service.evaluate(small_dataset, test)
+        assert online.coverage(truth) == pytest.approx(batch.icr.icr,
+                                                       abs=0.02)
+
+    def test_repredictions_follow_triggers(self, small_dataset, bank_split,
+                                           service):
+        _, test = bank_split
+        test_set = set(test)
+        online = CordialService(service)
+        for record in small_dataset.store:
+            if record.bank_key in test_set:
+                online.ingest(record)
+        if online.stats.repredictions:
+            assert online.stats.triggers_fired > 0
+
+    def test_bank_spare_decision_isolates(self, small_dataset, bank_split,
+                                          service):
+        _, test = bank_split
+        test_set = set(test)
+        online = CordialService(service)
+        bank_spared = None
+        for record in small_dataset.store:
+            if record.bank_key not in test_set:
+                continue
+            for decision in online.ingest(record):
+                if decision.action == "bank-spare":
+                    bank_spared = decision.bank_key
+        if bank_spared is not None:
+            assert online.is_row_isolated(bank_spared, 0)
+            assert online.spared_banks >= 1

@@ -1,0 +1,83 @@
+"""Tests for the observational pattern labeller."""
+
+import pytest
+
+from repro.core.patterns import cluster_rows, label_bank_pattern
+from repro.faults.types import FailurePattern, FaultType
+
+
+class TestClusterRows:
+    def test_single_cluster(self):
+        assert cluster_rows([5, 10, 12]) == [(5, 12, 3)]
+
+    def test_two_clusters(self):
+        clusters = cluster_rows([5, 10, 5000, 5010], gap_threshold=512)
+        assert clusters == [(5, 10, 2), (5000, 5010, 2)]
+
+    def test_empty(self):
+        assert cluster_rows([]) == []
+
+    def test_unsorted_input(self):
+        assert cluster_rows([12, 5, 10]) == [(5, 12, 3)]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            cluster_rows([1], gap_threshold=0)
+
+
+class TestLabelBankPattern:
+    def test_single_row_clustering(self):
+        rows = [1000, 1040, 1080, 1120, 1010]
+        assert label_bank_pattern(rows) is FailurePattern.SINGLE_ROW
+
+    def test_double_row_clustering(self):
+        rows = [1000, 1050, 1100, 5000, 5060]
+        assert label_bank_pattern(rows) is FailurePattern.DOUBLE_ROW
+
+    def test_half_total_is_double(self):
+        rows = [100, 150, 16484, 16534]
+        assert label_bank_pattern(rows) is FailurePattern.DOUBLE_ROW
+
+    def test_scattered(self):
+        rows = [100, 8000, 16000, 24000, 31000]
+        assert label_bank_pattern(rows) is FailurePattern.SCATTERED
+
+    def test_whole_column_is_scattered(self):
+        rows = [100, 8000, 16000, 24000, 31000]
+        columns = [7, 7, 7, 7, 7]
+        assert label_bank_pattern(rows, columns) is FailurePattern.SCATTERED
+
+    def test_outlier_tolerated(self):
+        # 10 clustered rows + 1 stray should still be single-row
+        rows = list(range(1000, 1100, 10)) + [30000]
+        assert label_bank_pattern(rows) is FailurePattern.SINGLE_ROW
+
+    def test_wide_single_cluster_is_scattered(self):
+        rows = [0, 400, 800, 1200, 1600, 2000]
+        assert label_bank_pattern(rows) is FailurePattern.SCATTERED
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            label_bank_pattern([])
+
+    def test_misaligned_columns_rejected(self):
+        with pytest.raises(ValueError):
+            label_bank_pattern([1, 2, 3, 4, 5], [1, 2])
+
+    def test_agrees_with_generator_ground_truth(self, small_dataset):
+        """The observational labeller recovers the planted pattern for a
+        clear majority of banks with enough UER rows."""
+        agree = total = 0
+        for bank_key, truth in small_dataset.bank_truth.items():
+            if truth.fault_type is FaultType.CELL_FAULT:
+                continue
+            rows = [row for _, row in truth.uer_row_sequence]
+            if len(rows) < 4:
+                continue
+            events = small_dataset.store.uer_rows_of_bank(bank_key)
+            columns = [r.column for r in events]
+            label = label_bank_pattern(rows, columns)
+            total += 1
+            agree += label is truth.pattern
+        assert total > 20
+        assert agree / total > 0.7

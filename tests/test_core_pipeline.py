@@ -1,0 +1,157 @@
+"""Integration tests: the full Cordial pipeline on a small fleet."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import FailurePatternClassifier, make_model
+from repro.core.crossrow import CrossRowPredictor
+from repro.core.pipeline import (Cordial, collect_snapshots, collect_triggers,
+                                 evaluate_neighbor_baseline)
+from repro.faults.types import FailurePattern
+
+
+class TestTriggersAndSnapshots:
+    def test_triggers_have_three_uer_rows(self, small_dataset):
+        triggers = collect_triggers(small_dataset, small_dataset.uer_banks)
+        assert triggers
+        for trigger in triggers[:30]:
+            assert len(trigger.uer_rows) == 3
+            assert trigger.history[-1].timestamp == trigger.timestamp
+
+    def test_triggers_sorted_by_time(self, small_dataset):
+        triggers = collect_triggers(small_dataset, small_dataset.uer_banks)
+        times = [t.timestamp for t in triggers]
+        assert times == sorted(times)
+
+    def test_snapshots_extend_triggers(self, small_dataset):
+        triggers = collect_triggers(small_dataset, small_dataset.uer_banks)
+        bank = triggers[0].bank_key
+        snapshots = collect_snapshots(small_dataset, bank, min_uer_rows=3)
+        assert snapshots[0].uer_rows == triggers[0].uer_rows[:3]
+        n_rows = len(small_dataset.bank_truth[bank].uer_row_sequence)
+        assert len(snapshots) == n_rows - 2
+        for a, b in zip(snapshots, snapshots[1:]):
+            assert len(b.uer_rows) == len(a.uer_rows) + 1
+            assert b.timestamp >= a.timestamp
+
+
+class TestMakeModel:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_model("CatBoost")
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            make_model("Random Forest", task="segmentation")
+
+
+@pytest.fixture(scope="module")
+def fitted_cordial(small_dataset, bank_split):
+    train, _ = bank_split
+    model = Cordial(model_name="Random Forest", random_state=0)
+    model.fit(small_dataset, train)
+    return model
+
+
+class TestCordialEndToEnd:
+    def test_fit_then_evaluate(self, small_dataset, bank_split,
+                               fitted_cordial):
+        _, test = bank_split
+        evaluation = fitted_cordial.evaluate(small_dataset, test)
+        assert evaluation.n_test_triggers > 5
+        assert 0 < evaluation.n_crossrow_banks <= evaluation.n_test_triggers
+        assert 0.0 <= evaluation.pattern_weighted.f1 <= 1.0
+        assert evaluation.icr.total_rows > 0
+        assert 0.0 <= evaluation.icr.icr <= 1.0
+
+    def test_pattern_classification_beats_majority(self, small_dataset,
+                                                   bank_split,
+                                                   fitted_cordial):
+        _, test = bank_split
+        evaluation = fitted_cordial.evaluate(small_dataset, test)
+        supports = {p: s.support
+                    for p, s in evaluation.pattern_scores.items()}
+        majority = max(supports.values()) / max(1, sum(supports.values()))
+        assert evaluation.pattern_weighted.recall > majority - 0.05
+
+    def test_single_row_is_best_classified(self, small_dataset, bank_split,
+                                           fitted_cordial):
+        """Table III shape: the single-row class scores highest."""
+        _, test = bank_split
+        evaluation = fitted_cordial.evaluate(small_dataset, test)
+        scores = evaluation.pattern_scores
+        single = scores[FailurePattern.SINGLE_ROW].f1
+        assert single >= scores[FailurePattern.DOUBLE_ROW].f1
+
+    def test_beats_neighbor_baseline_on_icr(self, small_dataset, bank_split,
+                                            fitted_cordial):
+        """Table IV shape: Cordial's ICR exceeds the reactive baseline."""
+        _, test = bank_split
+        evaluation = fitted_cordial.evaluate(small_dataset, test)
+        baseline = evaluate_neighbor_baseline(small_dataset, test)
+        assert evaluation.icr.icr > baseline.icr.icr
+        assert evaluation.block_scores.f1 > baseline.block_scores.f1
+
+    def test_evaluate_before_fit_raises(self, small_dataset, bank_split):
+        _, test = bank_split
+        with pytest.raises(RuntimeError):
+            Cordial().evaluate(small_dataset, test)
+
+    def test_fit_requires_triggering_banks(self, small_dataset):
+        # CE-only banks never trigger
+        ce_only = [k for k, t in small_dataset.bank_truth.items()
+                   if not t.uer_row_sequence][:5]
+        with pytest.raises(ValueError):
+            Cordial().fit(small_dataset, ce_only)
+
+
+class TestComponentsStandalone:
+    def test_classifier_roundtrip(self, small_dataset, bank_split):
+        train, test = bank_split
+        triggers = collect_triggers(small_dataset, train)
+        histories = [t.history for t in triggers]
+        patterns = [small_dataset.bank_truth[t.bank_key].pattern
+                    for t in triggers]
+        clf = FailurePatternClassifier("LightGBM", random_state=0)
+        clf.fit(histories, patterns)
+        predictions = clf.predict_many(histories[:10])
+        assert all(isinstance(p, FailurePattern) for p in predictions)
+        proba = clf.predict_proba_many(histories[:10])
+        stacked = np.column_stack([proba[p] for p in proba])
+        assert np.allclose(stacked.sum(axis=1), 1.0)
+        importances = clf.feature_importances
+        assert len(importances) == clf.featurizer.n_features
+
+    def test_crossrow_predictor_flags_blocks(self, small_dataset,
+                                             bank_split):
+        train, _ = bank_split
+        predictor = CrossRowPredictor("XGBoost", random_state=0)
+        xs, ys = [], []
+        for trigger in collect_triggers(small_dataset, train):
+            truth = small_dataset.bank_truth[trigger.bank_key]
+            if not truth.pattern.is_aggregation:
+                continue
+            X, y = predictor.build_samples(
+                trigger.history, trigger.uer_rows[-1], trigger.timestamp,
+                truth.future_uer_rows(trigger.timestamp))
+            xs.append(X)
+            ys.append(y)
+        predictor.fit_samples(np.vstack(xs), np.concatenate(ys))
+        trigger = collect_triggers(small_dataset, train)[0]
+        prediction = predictor.predict(trigger.history,
+                                       trigger.uer_rows[-1])
+        assert prediction.probabilities.shape == (16,)
+        assert ((prediction.probabilities >= 0)
+                & (prediction.probabilities <= 1)).all()
+        rows = prediction.rows_to_isolate()
+        assert len(rows) == 8 * prediction.flagged.sum()
+
+    def test_crossrow_rejects_single_class(self):
+        predictor = CrossRowPredictor()
+        X = np.zeros((32, predictor.featurizer.n_features))
+        with pytest.raises(ValueError):
+            predictor.fit_samples(X, np.zeros(32))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            CrossRowPredictor().predict([], 0)

@@ -1,0 +1,90 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.core.costmodel import CostParams
+from repro.core.isolation import ICRResult
+from repro.core.pipeline import CordialEvaluation
+from repro.core.report import render_markdown_report, write_markdown_report
+from repro.faults.types import FailurePattern
+from repro.ml.metrics import ClassScores, WeightedScores
+
+
+def make_evaluation(model="Random Forest", icr=0.2, f1=0.4):
+    scores = {
+        FailurePattern.SINGLE_ROW: ClassScores(0.9, 0.95, 0.92, 80),
+        FailurePattern.DOUBLE_ROW: ClassScores(0.7, 0.6, 0.65, 12),
+        FailurePattern.SCATTERED: ClassScores(0.88, 0.9, 0.89, 30),
+    }
+    return CordialEvaluation(
+        model_name=model,
+        pattern_scores=scores,
+        pattern_weighted=WeightedScores(0.88, 0.9, 0.89, 122),
+        block_scores=ClassScores(0.5, f1, f1, 60),
+        icr=ICRResult(covered_rows=int(icr * 500), total_rows=500,
+                      covered_by_bank_sparing=40, spared_rows=800,
+                      spared_banks=20),
+        n_test_triggers=122,
+        n_crossrow_banks=90,
+    )
+
+
+class TestRender:
+    def test_contains_all_sections(self):
+        text = render_markdown_report(make_evaluation())
+        for heading in ("# Cordial evaluation report",
+                        "## Failure-pattern classification",
+                        "## Cross-row block prediction",
+                        "## Isolation coverage"):
+            assert heading in text
+
+    def test_pattern_table_rows(self):
+        text = render_markdown_report(make_evaluation())
+        assert "| Single-row Clustering |" in text
+        assert "| **Weighted average** |" in text
+
+    def test_baseline_comparison(self):
+        text = render_markdown_report(make_evaluation(icr=0.2),
+                                      baseline=make_evaluation(
+                                          model="Neighbor Rows", icr=0.1,
+                                          f1=0.2))
+        assert "vs Neighbor-Rows baseline" in text
+        assert "relative ICR improvement" in text
+        assert "+100.0%" in text
+
+    def test_cost_section(self):
+        text = render_markdown_report(make_evaluation(),
+                                      cost_params=CostParams())
+        assert "## Cost model" in text
+        assert "net benefit" in text
+
+    def test_no_cost_section_without_params(self):
+        assert "## Cost model" not in render_markdown_report(
+            make_evaluation())
+
+    def test_custom_title(self):
+        text = render_markdown_report(make_evaluation(), title="Q3 review")
+        assert text.startswith("# Q3 review")
+
+
+class TestWrite:
+    def test_writes_file(self, tmp_path):
+        path = write_markdown_report(make_evaluation(),
+                                     tmp_path / "report.md")
+        assert path.exists()
+        assert "Isolation coverage" in path.read_text()
+
+    def test_roundtrip_with_real_evaluation(self, small_dataset, bank_split,
+                                            tmp_path):
+        from repro.core.pipeline import Cordial, evaluate_neighbor_baseline
+        train, test = bank_split
+        model = Cordial(model_name="LightGBM", random_state=0)
+        model.fit(small_dataset, train)
+        evaluation = model.evaluate(small_dataset, test)
+        baseline = evaluate_neighbor_baseline(small_dataset, test)
+        path = write_markdown_report(evaluation, tmp_path / "real.md",
+                                     baseline=baseline,
+                                     cost_params=CostParams())
+        text = path.read_text()
+        assert "LightGBM" in text
+        assert "## Cost model" in text

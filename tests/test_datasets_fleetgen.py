@@ -1,0 +1,139 @@
+"""Tests for fleet dataset generation and its calibration bands."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (CalibrationTargets, FleetGenConfig,
+                            generate_fleet_dataset, measure_calibration)
+from repro.faults.types import FailurePattern, FaultType
+from repro.hbm.address import MicroLevel
+from repro.telemetry.events import ErrorType
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        config = FleetGenConfig(scale=0.03)
+        a = generate_fleet_dataset(config, seed=5)
+        b = generate_fleet_dataset(config, seed=5)
+        assert len(a.store) == len(b.store)
+        assert a.bank_truth.keys() == b.bank_truth.keys()
+        for ra, rb in zip(list(a.store)[:200], list(b.store)[:200]):
+            assert ra == rb and ra.address == rb.address
+
+    def test_different_seed_differs(self):
+        config = FleetGenConfig(scale=0.03)
+        a = generate_fleet_dataset(config, seed=5)
+        b = generate_fleet_dataset(config, seed=6)
+        assert a.bank_truth.keys() != b.bank_truth.keys()
+
+
+class TestStructure:
+    def test_store_is_time_ordered(self, small_dataset):
+        times = [r.timestamp for r in small_dataset.store]
+        assert times == sorted(times)
+
+    def test_ground_truth_covers_all_uer_banks(self, small_dataset):
+        store_banks = small_dataset.store.units_with(MicroLevel.BANK,
+                                                     ErrorType.UER)
+        truth_banks = set(small_dataset.uer_banks)
+        assert store_banks == truth_banks
+
+    def test_truth_uer_rows_match_store(self, small_dataset):
+        for bank_key in small_dataset.uer_banks[:40]:
+            truth = small_dataset.bank_truth[bank_key]
+            store_rows = [r.row for r in
+                          small_dataset.store.uer_rows_of_bank(bank_key)]
+            assert [row for _, row in truth.uer_row_sequence] == store_rows
+
+    def test_cell_banks_have_no_pattern(self, small_dataset):
+        for truth in small_dataset.bank_truth.values():
+            if truth.fault_type is FaultType.CELL_FAULT:
+                assert truth.pattern is None
+                assert not truth.uer_row_sequence
+            else:
+                assert isinstance(truth.pattern, FailurePattern)
+
+    def test_future_uer_rows_strictly_after(self, small_dataset):
+        bank_key = small_dataset.uer_banks[0]
+        truth = small_dataset.bank_truth[bank_key]
+        t0 = truth.uer_row_sequence[0][0]
+        future = truth.future_uer_rows(t0)
+        assert all(t > t0 for t, _ in future)
+        assert len(future) == len(truth.uer_row_sequence) - 1
+
+    def test_pattern_of(self, small_dataset):
+        bank = small_dataset.uer_banks[0]
+        assert small_dataset.pattern_of(bank) is not None
+        assert small_dataset.pattern_of(("nope",)) is None
+
+
+class TestCalibrationBands:
+    """The generated fleet reproduces the paper's published statistics.
+
+    Tolerances are wide at test scale (the full-scale benches check
+    tighter): the point is to catch regressions that break the *shape*.
+    """
+
+    @pytest.fixture(scope="class")
+    def report(self, small_dataset):
+        return measure_calibration(small_dataset)
+
+    def test_predictable_ratio_decreases_towards_rows(self, report):
+        ratios = report.predictable_ratio
+        assert ratios["NPU"] >= ratios["Bank"] - 0.03
+        assert ratios["Bank"] > ratios["Row"]
+        assert ratios["Row"] < 0.12
+
+    def test_bank_level_sudden_dominates(self, report):
+        assert 0.15 < report.predictable_ratio["Bank"] < 0.45
+
+    def test_fig3b_single_row_dominates(self, report):
+        slices = report.fig3b_slices
+        assert slices["Single-row Clustering"] > 0.5
+        aggregation = (slices["Single-row Clustering"]
+                       + slices["Double-row Clustering"]
+                       + slices["Half Total-row Clustering"])
+        assert 0.65 < aggregation < 0.93
+
+    def test_locality_peak_band(self, report):
+        assert report.locality_peak in (64, 128, 256)
+
+    def test_table2_monotone_down_the_hierarchy(self, report):
+        counts = report.table2_counts
+        order = ["NPU", "HBM", "SID", "PS-CH", "BG", "Bank", "Row"]
+        for column in range(4):
+            values = [counts[level][column] for level in order]
+            assert values == sorted(values), f"column {column} not monotone"
+
+    def test_uer_rows_per_bank_band(self, report):
+        rows = report.table2_counts["Row"][2]
+        banks = report.table2_counts["Bank"][2]
+        assert 3.0 < rows / banks < 7.5
+
+    def test_ueo_concentration(self, report):
+        """UEOs concentrate in fewer banks than UERs (Table II structure)."""
+        ueo_banks = report.table2_counts["Bank"][1]
+        uer_banks = report.table2_counts["Bank"][2]
+        assert ueo_banks < uer_banks
+
+    def test_report_summary_renders(self, report):
+        text = report.summary_lines()
+        assert "Table I" in text and "Figure 4" in text
+
+    def test_errors_helpers(self, report):
+        errors = report.predictable_ratio_errors()
+        assert set(errors) == set(CalibrationTargets().predictable_ratio)
+        assert all(e >= 0 for e in errors.values())
+        fig_errors = report.fig3b_errors()
+        assert all(0 <= e <= 1 for e in fig_errors.values())
+
+
+class TestScaling:
+    def test_scaled_counts(self):
+        config = FleetGenConfig(scale=0.05)
+        assert config.scaled_bad_hbms == round(421 * 0.05)
+        assert config.scaled_cell_faults == round(8200 * 0.05)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            FleetGenConfig(scale=0.0)

@@ -1,0 +1,172 @@
+"""Tests for drift monitoring, stream compaction and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.core.drift import (PSI_RETRAIN, PSI_STABLE, FeatureDriftMonitor,
+                              population_stability_index)
+from repro.ml.tuning import grid_search
+from repro.ml.tree import DecisionTreeClassifier
+from repro.telemetry.dedup import StreamCompactor, compact_records
+from repro.hbm.address import DeviceAddress
+from repro.telemetry.events import ErrorRecord, ErrorType
+
+
+def rec(seq, t, row=5, column=0, error_type=ErrorType.CE):
+    address = DeviceAddress(node=0, npu=0, hbm=0, sid=0, channel=0,
+                            pseudo_channel=0, bank_group=0, bank=0,
+                            row=row, column=column)
+    return ErrorRecord(timestamp=t, sequence=seq, address=address,
+                       error_type=error_type)
+
+
+class TestPSI:
+    def test_identical_distributions_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=5000)
+        b = rng.normal(size=5000)
+        assert population_stability_index(a, b) < 0.02
+
+    def test_shifted_distribution_flags(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, size=5000)
+        b = rng.normal(2, 1, size=5000)
+        assert population_stability_index(a, b) > PSI_RETRAIN
+
+    def test_small_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            population_stability_index(np.ones(3), np.ones(5), n_bins=10)
+        with pytest.raises(ValueError):
+            population_stability_index(np.arange(20.0), np.array([]))
+
+    def test_constant_feature_stable(self):
+        a = np.zeros(100)
+        b = np.zeros(30)
+        assert population_stability_index(a, b) < 0.02
+
+
+class TestDriftMonitor:
+    def _monitor(self):
+        rng = np.random.default_rng(2)
+        reference = rng.normal(size=(500, 3))
+        return FeatureDriftMonitor(reference, ["a", "b", "c"])
+
+    def test_stable_on_same_distribution(self):
+        monitor = self._monitor()
+        rng = np.random.default_rng(3)
+        report = monitor.score(rng.normal(size=(300, 3)))
+        assert report.status == "stable"
+        assert report.drifting_features() == []
+
+    def test_detects_single_feature_shift(self):
+        monitor = self._monitor()
+        rng = np.random.default_rng(4)
+        live = rng.normal(size=(300, 3))
+        live[:, 1] += 3.0
+        report = monitor.score(live)
+        assert report.worst_feature == "b"
+        assert report.status == "retrain"
+        assert report.drifting_features() == ["b"]
+        assert "PSI" in report.format()
+
+    def test_scenario_shift_is_visible(self, small_dataset):
+        """The sudden-heavy scenario shifts the pattern features enough
+        for the monitor to notice."""
+        from repro.core.features import BankPatternFeaturizer
+        from repro.core.pipeline import collect_triggers
+        from repro.datasets import generate_fleet_dataset
+        from repro.faults.scenarios import SCENARIOS
+        featurizer = BankPatternFeaturizer()
+        reference = [t.history for t in collect_triggers(
+            small_dataset, small_dataset.uer_banks)]
+        monitor = FeatureDriftMonitor.from_triggers(featurizer, reference)
+        shifted = generate_fleet_dataset(SCENARIOS["ce-storm"](0.12),
+                                         seed=43)
+        live = [t.history for t in collect_triggers(shifted,
+                                                    shifted.uer_banks)]
+        report = monitor.score(featurizer.extract_many(live))
+        assert report.status in ("drifting", "retrain")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeatureDriftMonitor(np.zeros((5, 2)), ["a"])
+        monitor = self._monitor()
+        with pytest.raises(ValueError):
+            monitor.score(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            monitor.score(np.zeros((5, 99)))
+
+
+class TestStreamCompactor:
+    def test_suppresses_repeats_within_holdoff(self):
+        events = [rec(0, 0.0), rec(1, 10.0), rec(2, 5000.0)]
+        kept, stats = compact_records(events, holdoff_s=3600.0)
+        assert [r.sequence for r in kept] == [0, 2]
+        assert stats.suppressed == 1
+        assert stats.suppressed_by_type == {"CE": 1}
+
+    def test_different_cells_not_suppressed(self):
+        events = [rec(0, 0.0, row=1), rec(1, 1.0, row=2),
+                  rec(2, 2.0, row=1, column=3)]
+        kept, stats = compact_records(events)
+        assert len(kept) == 3
+
+    def test_uer_never_dropped(self):
+        events = [rec(0, 0.0, error_type=ErrorType.UER),
+                  rec(1, 1.0, error_type=ErrorType.UER)]
+        kept, _ = compact_records(events)
+        assert len(kept) == 2
+
+    def test_uer_droppable_when_configured(self):
+        compactor = StreamCompactor(holdoff_s=100.0, never_drop_uer=False)
+        kept = list(compactor.compact([
+            rec(0, 0.0, error_type=ErrorType.UER),
+            rec(1, 1.0, error_type=ErrorType.UER)]))
+        assert len(kept) == 1
+
+    def test_first_events_always_survive(self, small_dataset):
+        """Compaction must not change distinct-row or first-event
+        analyses."""
+        from repro.telemetry.store import ErrorStore
+        kept, stats = compact_records(small_dataset.store,
+                                      holdoff_s=7 * 86400.0)
+        compacted = ErrorStore(kept)
+        for bank in small_dataset.uer_banks[:30]:
+            original = [r.row for r in
+                        small_dataset.store.uer_rows_of_bank(bank)]
+            after = [r.row for r in compacted.uer_rows_of_bank(bank)]
+            assert original == after
+        assert stats.ratio < 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamCompactor(holdoff_s=-1)
+
+
+class TestGridSearch:
+    def test_finds_adequate_depth(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(300, 3))
+        y = ((X[:, 0] > 0) & (X[:, 1] > 0)).astype(int)  # needs depth 2
+        result = grid_search(
+            lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            {"max_depth": [1, 2, 4]}, X, y, n_splits=3, seed=0)
+        assert result.best_params["max_depth"] in (2, 4)
+        assert result.best_score > 0.9
+        assert len(result.results) == 3
+        # refit model predicts on new data
+        assert result.best_model.predict(X[:5]).shape == (5,)
+
+    def test_ranked_order(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] > 0).astype(int)
+        result = grid_search(
+            lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            {"max_depth": [1, 3]}, X, y)
+        ranked = result.ranked()
+        assert ranked[0][1] >= ranked[-1][1]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_search(lambda: None, {}, np.zeros((4, 1)), [0, 1, 0, 1])

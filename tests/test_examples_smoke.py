@@ -1,0 +1,54 @@
+"""Smoke tests: the cheap example scripts run end to end.
+
+The expensive examples (quickstart, fleet monitoring, capacity planning)
+train Random-Forest pipelines for minutes and are exercised implicitly by
+the pipeline tests; the two below finish quickly and cover the remaining
+example-only code paths (address decoding, file round trip).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestCheapExamples:
+    def test_address_decoding(self):
+        out = run_example("address_decoding.py", timeout=120)
+        assert "Decoded with the correct map" in out
+        assert "WRONG layout" in out
+
+    @pytest.mark.slow
+    def test_mce_log_pipeline(self):
+        out = run_example("mce_log_pipeline.py")
+        assert "Exported" in out
+        assert "Decisions from the parsed log stream" in out
+        assert "Done" in out
+
+
+class TestExampleHygiene:
+    def test_every_example_has_run_instructions(self):
+        for path in EXAMPLES.glob("*.py"):
+            text = path.read_text(encoding="utf-8")
+            assert "Run:" in text, path.name
+            assert text.startswith('"""'), path.name
+
+    def test_examples_only_use_public_imports(self):
+        """Examples must read like user code: imports from repro.* only
+        (plus stdlib), never test helpers."""
+        for path in EXAMPLES.glob("*.py"):
+            for line in path.read_text(encoding="utf-8").splitlines():
+                stripped = line.strip()
+                if stripped.startswith(("import repro", "from repro")):
+                    assert "._" not in stripped, (path.name, stripped)

@@ -1,0 +1,106 @@
+"""Tests for the experiment harness (result objects + the cheap runs).
+
+The expensive model-training experiments (E3/E4) are covered by the
+benchmark suite; here we run the analysis experiments on the shared small
+fleet and unit-test every result object's logic on synthetic values.
+"""
+
+import pytest
+
+from repro.experiments import fig3, fig4, table1, table2, table3, table4
+from repro.experiments.common import ExperimentContext
+from repro.experiments.runner import run_all
+
+
+@pytest.fixture(scope="module")
+def context(small_dataset):
+    ctx = ExperimentContext(scale=small_dataset.config.scale,
+                            seed=small_dataset.seed)
+    ctx._dataset = small_dataset  # reuse the session fleet
+    return ctx
+
+
+class TestAnalysisExperiments:
+    def test_table1_runs_and_formats(self, context):
+        result = table1.run(context)
+        assert set(result.rows) == {"NPU", "HBM", "SID", "PS-CH", "BG",
+                                    "Bank", "Row"}
+        assert result.is_monotone_decreasing()
+        text = result.format()
+        assert "Paper" in text and "Row" in text
+
+    def test_table2_runs_and_formats(self, context):
+        result = table2.run(context)
+        assert result.max_relative_error(levels=("Bank", "Row")) < 0.4
+        assert "measured/paper" in result.format()
+
+    def test_fig3_runs_and_formats(self, context):
+        result = fig3.run(context)
+        assert 0.5 < result.distribution["Single-row Clustering"] < 0.9
+        assert 0.6 < result.aggregation_share() < 0.95
+        assert "Single-row" in result.format()
+        assert "---" in result.format_examples()
+
+    def test_fig4_runs_and_formats(self, context):
+        result = fig4.run(context)
+        assert result.curve.peak_threshold in (64, 128, 256)
+        assert "peak" in result.format()
+
+    def test_runner_fast_path(self, context):
+        report = run_all(context, include_models=False,
+                         include_examples=True)
+        for marker in ("== E1", "== E2", "== E5/E6", "== E7"):
+            assert marker in report
+        assert "== E3" not in report
+
+
+class TestResultObjects:
+    def test_table3_helpers(self):
+        scores = {
+            model: {
+                "Double-row Clustering": (0.6, 0.5, 0.55),
+                "Single-row Clustering": (0.9, 0.95, 0.92),
+                "Scattered Pattern": (0.7, 0.6, 0.65),
+                "Weighted Average": (0.8, 0.8, weighted),
+            }
+            for model, weighted in (("LightGBM", 0.80),
+                                    ("XGBoost", 0.78),
+                                    ("Random Forest", 0.85))
+        }
+        result = table3.Table3Result(scores=scores,
+                                     paper=table3.PAPER_TABLE3)
+        assert result.best_model() == "Random Forest"
+        assert result.weighted_f1("XGBoost") == 0.78
+        assert result.single_row_is_best_classified("LightGBM")
+        assert "Random Forest" in result.format()
+
+    def test_table4_helpers(self):
+        rows = {
+            "Neighbor Rows": (0.3, 0.4, 0.35, 0.13),
+            "Cordial-LGBM": (0.6, 0.5, 0.55, 0.18),
+            "Cordial-XGB": (0.7, 0.5, 0.58, 0.19),
+            "Cordial-RF": (0.8, 0.55, 0.65, 0.20),
+        }
+        from repro.datasets.config import CalibrationTargets
+        result = table4.Table4Result(rows=rows,
+                                     paper=CalibrationTargets().table4)
+        assert result.cordial_beats_baseline()
+        assert result.f1_improvement() == pytest.approx((0.65 - 0.35) / 0.35)
+        assert result.icr_improvement() == pytest.approx((0.20 - 0.13) / 0.13)
+        assert "Cordial-RF" in result.format()
+
+    def test_table4_detects_baseline_win(self):
+        rows = {
+            "Neighbor Rows": (0.3, 0.4, 0.35, 0.25),
+            "Cordial-LGBM": (0.6, 0.5, 0.55, 0.18),
+            "Cordial-XGB": (0.7, 0.5, 0.58, 0.19),
+            "Cordial-RF": (0.8, 0.55, 0.65, 0.20),
+        }
+        from repro.datasets.config import CalibrationTargets
+        result = table4.Table4Result(rows=rows,
+                                     paper=CalibrationTargets().table4)
+        assert not result.cordial_beats_baseline()
+
+    def test_table1_error_helpers(self, context):
+        result = table1.run(context)
+        assert 0 <= result.max_abs_error() <= 1

@@ -1,0 +1,58 @@
+"""Tests for the experiment context caching and the runner CLI shell."""
+
+import pytest
+
+from repro.experiments.common import PAPER_MODEL_ORDER, ExperimentContext
+from repro.experiments.runner import main
+
+
+class TestExperimentContext:
+    def test_dataset_cached(self):
+        context = ExperimentContext(scale=0.02, seed=3)
+        assert context.dataset is context.dataset
+
+    def test_split_is_seven_three_partition(self):
+        context = ExperimentContext(scale=0.05, seed=3)
+        train, test = context.split
+        banks = set(context.dataset.uer_banks)
+        assert set(train) | set(test) == banks
+        assert not set(train) & set(test)
+        assert abs(len(test) / len(banks) - 0.3) < 0.05
+
+    def test_split_cached(self):
+        context = ExperimentContext(scale=0.02, seed=3)
+        assert context.split is context.split
+
+    def test_model_order_constant(self):
+        assert PAPER_MODEL_ORDER == ("LightGBM", "XGBoost", "Random Forest")
+
+    def test_model_and_evaluation_cached(self):
+        context = ExperimentContext(scale=0.05, seed=3)
+        model = context.model("LightGBM")
+        assert context.model("LightGBM") is model
+        evaluation = context.evaluation("LightGBM")
+        assert context.evaluation("LightGBM") is evaluation
+
+    def test_baseline_cached(self):
+        context = ExperimentContext(scale=0.05, seed=3)
+        assert (context.baseline_evaluation()
+                is context.baseline_evaluation())
+
+
+class TestRunnerCLI:
+    def test_fast_run_writes_output(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        code = main(["--scale", "0.05", "--seed", "3", "--fast",
+                     "--output", str(out_file)])
+        assert code == 0
+        text = out_file.read_text()
+        assert "== E1" in text and "== E7" in text
+        assert "== E3" not in text
+        printed = capsys.readouterr().out
+        assert "Table I" in printed
+
+    def test_examples_flag_adds_maps(self, tmp_path, capsys):
+        code = main(["--scale", "0.05", "--seed", "3", "--fast",
+                     "--examples"])
+        assert code == 0
+        assert "---" in capsys.readouterr().out

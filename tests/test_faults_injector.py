@@ -1,0 +1,133 @@
+"""Tests for fleet fault placement."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import (DEFAULT_PATTERN_WEIGHTS, FaultInjector,
+                                   PlantedFault)
+from repro.faults.types import FaultType
+from repro.hbm.geometry import FleetGeometry
+
+
+@pytest.fixture()
+def injector():
+    return FaultInjector(FleetGeometry())
+
+
+class TestUCEPlacement:
+    def test_bad_hbm_count(self, injector):
+        rng = np.random.default_rng(0)
+        faults = injector.plant_uce_faults(30, extra_banks_mean=1.5, rng=rng)
+        hbms = {f.bank_key[:3] for f in faults}
+        assert len(hbms) == 30
+
+    def test_banks_distinct(self, injector):
+        rng = np.random.default_rng(1)
+        faults = injector.plant_uce_faults(40, extra_banks_mean=2.0, rng=rng)
+        keys = [f.bank_key for f in faults]
+        assert len(keys) == len(set(keys))
+
+    def test_clustering_per_hbm(self, injector):
+        rng = np.random.default_rng(2)
+        faults = injector.plant_uce_faults(200, extra_banks_mean=1.55,
+                                           rng=rng)
+        per_hbm = len(faults) / 200
+        assert 2.0 < per_hbm < 3.2  # 1 + Poisson(1.55)
+
+    def test_spill_prefers_same_bank_group(self, injector):
+        rng = np.random.default_rng(3)
+        faults = injector.plant_uce_faults(300, extra_banks_mean=1.55,
+                                           rng=rng)
+        bg_keys = {f.bank_key[:7] for f in faults}
+        bank_keys = {f.bank_key for f in faults}
+        # strong clustering: clearly fewer bank groups than banks
+        assert len(bg_keys) < 0.85 * len(bank_keys)
+
+    def test_pattern_mix_matches_weights(self, injector):
+        rng = np.random.default_rng(4)
+        faults = injector.plant_uce_faults(400, extra_banks_mean=1.55,
+                                           rng=rng)
+        share = (sum(f.fault_type is FaultType.SWD_FAULT for f in faults)
+                 / len(faults))
+        assert abs(share - DEFAULT_PATTERN_WEIGHTS[FaultType.SWD_FAULT]) < 0.08
+
+    def test_valid_coordinates(self, injector):
+        rng = np.random.default_rng(5)
+        fleet = FleetGeometry()
+        faults = injector.plant_uce_faults(50, extra_banks_mean=1.0, rng=rng)
+        limits = (fleet.nodes, fleet.npus_per_node, fleet.hbms_per_npu,
+                  fleet.hbm.sids, fleet.hbm.channels,
+                  fleet.hbm.pseudo_channels, fleet.hbm.bank_groups,
+                  fleet.hbm.banks)
+        for fault in faults:
+            for value, limit in zip(fault.bank_key, limits):
+                assert 0 <= value < limit
+
+    def test_zero_hbms(self, injector):
+        rng = np.random.default_rng(6)
+        assert injector.plant_uce_faults(0, 1.0, rng) == []
+
+
+class TestCellPlacement:
+    def test_count_and_type(self, injector):
+        rng = np.random.default_rng(0)
+        anchors = injector.plant_uce_faults(20, 1.0, rng)
+        cells = injector.plant_cell_faults(100, anchors, rng)
+        assert len(cells) == 100
+        assert all(f.fault_type is FaultType.CELL_FAULT for f in cells)
+        assert all(not f.realization.has_uer for f in cells)
+
+    def test_avoids_uer_banks(self, injector):
+        rng = np.random.default_rng(1)
+        anchors = injector.plant_uce_faults(50, 1.5, rng)
+        cells = injector.plant_cell_faults(300, anchors, rng)
+        anchor_keys = {f.bank_key for f in anchors}
+        assert not anchor_keys & {f.bank_key for f in cells}
+
+    def test_cell_banks_distinct(self, injector):
+        rng = np.random.default_rng(2)
+        cells = injector.plant_cell_faults(200, [], rng)
+        keys = [f.bank_key for f in cells]
+        assert len(set(keys)) == len(keys)
+
+    def test_coloc_times_cluster_near_anchor_first_uer(self, injector):
+        rng = np.random.default_rng(3)
+        anchors = injector.plant_uce_faults(10, 1.0, rng)
+        # force full co-location to observe the retiming
+        injector.coloc_probs = {"same_bg": 0.99}
+        cells = injector.plant_cell_faults(30, anchors, rng)
+        anchors_by_bg = {}
+        for a in anchors:
+            anchors_by_bg.setdefault(a.bank_key[:7], []).append(a)
+        matched = 0
+        for cell in cells:
+            candidates = anchors_by_bg.get(cell.bank_key[:7])
+            if not candidates:
+                continue
+            matched += 1
+            windows = [(a.realization.uer_row_sequence[0][0] - 0.26 * 86400,
+                        a.realization.uer_row_sequence[0][0] + 1.01 * 86400)
+                       for a in candidates]
+            for event in cell.realization.events:
+                assert any(lo <= event.time <= hi for lo, hi in windows)
+        assert matched > 10
+
+
+class TestValidation:
+    def test_pattern_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            FaultInjector(FleetGeometry(),
+                          pattern_weights={FaultType.SWD_FAULT: 0.5})
+
+    def test_coloc_probs_must_stay_below_one(self):
+        with pytest.raises(ValueError):
+            FaultInjector(FleetGeometry(),
+                          coloc_probs={"same_bg": 0.7, "same_npu": 0.5})
+
+    def test_negative_counts_rejected(self):
+        injector = FaultInjector(FleetGeometry())
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            injector.plant_uce_faults(-1, 1.0, rng)
+        with pytest.raises(ValueError):
+            injector.plant_cell_faults(-1, [], rng)

@@ -1,0 +1,200 @@
+"""Tests for fault types and their error processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.processes import (DAY_S, FaultProcess, FaultProcessParams,
+                                    PitchWalkKernel)
+from repro.faults.types import (PATTERN_OF_FAULT, FailurePattern, FaultType)
+from repro.telemetry.events import ErrorType
+
+
+class TestTaxonomy:
+    def test_every_uce_fault_has_a_pattern(self):
+        for fault_type in FaultType:
+            if fault_type.produces_uer:
+                assert fault_type in PATTERN_OF_FAULT
+
+    def test_cell_fault_produces_no_uer(self):
+        assert not FaultType.CELL_FAULT.produces_uer
+        assert FaultType.CELL_FAULT not in PATTERN_OF_FAULT
+
+    def test_aggregation_property(self):
+        assert FailurePattern.SINGLE_ROW.is_aggregation
+        assert FailurePattern.DOUBLE_ROW.is_aggregation
+        assert not FailurePattern.SCATTERED.is_aggregation
+
+
+class TestCellFault:
+    def test_only_ces(self):
+        process = FaultProcess()
+        rng = np.random.default_rng(0)
+        realization = process.realize(FaultType.CELL_FAULT, rng)
+        assert realization.pattern is None
+        assert not realization.has_uer
+        assert all(e.kind is ErrorType.CE for e in realization.events)
+        assert realization.events
+
+    def test_events_sorted_and_inside_window(self):
+        process = FaultProcess()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            r = process.realize(FaultType.CELL_FAULT, rng)
+            times = [e.time for e in r.events]
+            assert times == sorted(times)
+            assert all(0 <= t <= process.params.window_s for t in times)
+
+
+@pytest.mark.parametrize("fault_type", [
+    FaultType.SWD_FAULT, FaultType.DOUBLE_SWD_FAULT,
+    FaultType.HALF_TOTAL_FAULT, FaultType.TSV_FAULT,
+    FaultType.COLUMN_DRIVER_FAULT,
+])
+class TestUCEFaults:
+    def test_realization_invariants(self, fault_type):
+        process = FaultProcess()
+        rng = np.random.default_rng(2)
+        for _ in range(15):
+            r = process.realize(fault_type, rng)
+            assert r.pattern is PATTERN_OF_FAULT[fault_type]
+            assert r.has_uer
+            times = [e.time for e in r.events]
+            assert times == sorted(times)
+            rows = [row for _, row in r.uer_row_sequence]
+            assert len(rows) == len(set(rows)), "UER rows must be distinct"
+            assert all(0 <= row < process.params.rows for row in rows)
+            # uer_row_sequence times are increasing
+            seq_times = [t for t, _ in r.uer_row_sequence]
+            assert seq_times == sorted(seq_times)
+
+    def test_sudden_without_precursors(self, fault_type):
+        process = FaultProcess()
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            r = process.realize(fault_type, rng, emit_precursors=False)
+            first_uer = r.uer_row_sequence[0][0]
+            precursors = [e for e in r.events if e.kind is not ErrorType.UER
+                          and e.time < first_uer]
+            assert not precursors
+
+    def test_precursors_precede_first_uer(self, fault_type):
+        process = FaultProcess()
+        rng = np.random.default_rng(4)
+        found = 0
+        for _ in range(30):
+            r = process.realize(fault_type, rng, emit_precursors=True)
+            first_uer = r.uer_row_sequence[0][0]
+            uer_rows = {row for _, row in r.uer_row_sequence}
+            pre = [e for e in r.events if e.time < first_uer]
+            # in-row precursors may come later; bank precursors must exist
+            if pre:
+                found += 1
+                assert all(e.kind is not ErrorType.UER for e in pre)
+        assert found >= 25  # nearly every precursor bank materialises some
+
+
+class TestSpatialStructure:
+    def test_single_row_clusters_are_narrow(self):
+        process = FaultProcess()
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            r = process.realize(FaultType.SWD_FAULT, rng,
+                                emit_precursors=False)
+            rows = sorted(row for _, row in r.uer_row_sequence)
+            if len(rows) < 3:
+                continue
+            core = [row for row in rows
+                    if abs(row - r.anchor_rows[0]) <= 4096]
+            assert len(core) >= 0.7 * len(rows)
+
+    def test_half_total_interval_is_half_the_bank(self):
+        process = FaultProcess()
+        rng = np.random.default_rng(6)
+        r = process.realize(FaultType.HALF_TOTAL_FAULT, rng)
+        assert len(r.anchor_rows) == 2
+        assert abs(r.anchor_rows[1] - r.anchor_rows[0]) == 32768 // 2
+
+    def test_double_interval_in_range(self):
+        process = FaultProcess()
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            r = process.realize(FaultType.DOUBLE_SWD_FAULT, rng)
+            interval = abs(r.anchor_rows[1] - r.anchor_rows[0])
+            assert 1024 <= interval <= 8192
+
+    def test_column_fault_uses_one_column(self):
+        process = FaultProcess()
+        rng = np.random.default_rng(8)
+        r = process.realize(FaultType.COLUMN_DRIVER_FAULT, rng)
+        columns = {e.column for e in r.events}
+        assert len(columns) == 1
+
+    def test_tsv_rows_span_its_region(self):
+        process = FaultProcess()
+        rng = np.random.default_rng(9)
+        r = process.realize(FaultType.TSV_FAULT, rng)
+        rows = [row for _, row in r.uer_row_sequence]
+        assert max(rows) - min(rows) >= 0  # within the bank
+        assert r.anchor_rows == ()
+
+    def test_lattice_predictability(self):
+        """Future UER rows of SWD faults often sit on the pitch lattice of
+        the first rows — the property Cordial's cross-row stage exploits."""
+        process = FaultProcess()
+        rng = np.random.default_rng(10)
+        on_lattice, total = 0, 0
+        for _ in range(400):
+            r = process.realize(FaultType.SWD_FAULT, rng,
+                                emit_precursors=False)
+            rows = [row for _, row in r.uer_row_sequence]
+            if len(rows) < 4:
+                continue
+            step = rows[2] - rows[1]
+            if step == 0:
+                continue
+            total += 1
+            if any(abs(abs(rows[3] - rows[2]) - k * abs(step)) <= 4
+                   for k in (1, 2, 3)):
+                on_lattice += 1
+        assert total > 50
+        assert on_lattice / total > 0.45
+
+    def test_ce_noise_rarely_hits_weak_rows(self):
+        """Noise flanks its target row (offset 1-3), so direct hits on a
+        planned UER row only happen when two weak rows sit 2-6 rows apart
+        (adjacent-recurrence rows) — rare."""
+        params = FaultProcessParams()
+        rng = np.random.default_rng(11)
+        hits = trials = 0
+        for seed in range(30):
+            kernel = PitchWalkKernel([5000], params,
+                                     np.random.default_rng(seed))
+            planned = set(kernel.plan_uer_rows(5, rng))
+            for _ in range(30):
+                trials += 1
+                hits += kernel.noise_row(rng) in planned
+        assert hits / trials < 0.1
+
+
+class TestTemporalStructure:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_all_events_within_window(self, seed):
+        process = FaultProcess()
+        rng = np.random.default_rng(seed)
+        for fault_type in FaultType:
+            r = process.realize(fault_type, rng)
+            assert all(0 <= e.time <= process.params.window_s
+                       for e in r.events)
+
+    def test_post_onset_streams_after_first_uer(self):
+        process = FaultProcess()
+        rng = np.random.default_rng(12)
+        for _ in range(20):
+            r = process.realize(FaultType.TSV_FAULT, rng,
+                                emit_precursors=False)
+            first_uer = r.uer_row_sequence[0][0]
+            for event in r.events:
+                if event.kind in (ErrorType.CE, ErrorType.UEO):
+                    assert event.time >= first_uer

@@ -1,0 +1,94 @@
+"""Unit and property tests for device addresses and micro-levels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hbm.address import PACKED_ADDRESS_BITS, DeviceAddress, MicroLevel
+from repro.hbm.geometry import FleetGeometry
+
+
+def make_address(**overrides):
+    fields = dict(node=3, npu=1, hbm=2, sid=1, channel=5, pseudo_channel=0,
+                  bank_group=2, bank=3, row=12345, column=17)
+    fields.update(overrides)
+    return DeviceAddress(**fields)
+
+
+address_strategy = st.builds(
+    DeviceAddress,
+    node=st.integers(0, 1279), npu=st.integers(0, 7),
+    hbm=st.integers(0, 7), sid=st.integers(0, 1),
+    channel=st.integers(0, 7), pseudo_channel=st.integers(0, 1),
+    bank_group=st.integers(0, 3), bank=st.integers(0, 3),
+    row=st.integers(0, 32767), column=st.integers(0, 127),
+)
+
+
+class TestKeys:
+    def test_paper_levels_order(self):
+        labels = [level.label for level in MicroLevel.paper_levels()]
+        assert labels == ["NPU", "HBM", "SID", "PS-CH", "BG", "Bank", "Row"]
+
+    def test_key_lengths_increase(self):
+        address = make_address()
+        lengths = [len(address.key(level))
+                   for level in MicroLevel.paper_levels()]
+        assert lengths == sorted(lengths)
+        assert lengths[0] == 2 and lengths[-1] == 9
+
+    def test_keys_are_prefixes(self):
+        address = make_address()
+        row_key = address.key(MicroLevel.ROW)
+        for level in MicroLevel.paper_levels():
+            key = address.key(level)
+            assert row_key[:len(key)] == key
+
+    def test_bank_key_matches_level(self):
+        address = make_address()
+        assert address.bank_key() == address.key(MicroLevel.BANK)
+
+    def test_same_bank_different_rows_share_bank_key(self):
+        a = make_address(row=1)
+        b = a.with_cell(row=2, column=5)
+        assert a.bank_key() == b.bank_key()
+        assert a.key(MicroLevel.ROW) != b.key(MicroLevel.ROW)
+
+
+class TestValidate:
+    def test_valid_address_passes(self):
+        make_address().validate(FleetGeometry())
+
+    @pytest.mark.parametrize("field,value", [
+        ("node", 1280), ("npu", 8), ("hbm", 8), ("sid", 2),
+        ("channel", 8), ("pseudo_channel", 2), ("bank_group", 4),
+        ("bank", 4), ("row", 32768), ("column", 128),
+    ])
+    def test_out_of_range_fails(self, field, value):
+        with pytest.raises(ValueError):
+            make_address(**{field: value}).validate(FleetGeometry())
+
+
+class TestPacking:
+    @given(address_strategy)
+    def test_pack_unpack_roundtrip(self, address):
+        assert DeviceAddress.unpack(address.pack()) == address
+
+    @given(address_strategy)
+    def test_pack_fits_declared_bits(self, address):
+        assert 0 <= address.pack() < (1 << PACKED_ADDRESS_BITS)
+
+    def test_unpack_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DeviceAddress.unpack(-1)
+        with pytest.raises(ValueError):
+            DeviceAddress.unpack(1 << PACKED_ADDRESS_BITS)
+
+    def test_pack_rejects_oversized_field(self):
+        address = make_address(node=1 << 14)
+        with pytest.raises(ValueError):
+            address.pack()
+
+    @given(address_strategy, address_strategy)
+    def test_distinct_addresses_pack_distinctly(self, a, b):
+        if a != b:
+            assert a.pack() != b.pack()

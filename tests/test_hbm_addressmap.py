@@ -1,0 +1,123 @@
+"""Tests for the physical-address codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hbm.addressmap import (FIELDS, AddressLayout, AddressMapper,
+                                  default_hbm2e_mapper)
+from repro.hbm.geometry import HBMGeometry
+
+coordinate_strategy = st.fixed_dictionaries({
+    "column": st.integers(0, 127),
+    "channel": st.integers(0, 7),
+    "pseudo_channel": st.integers(0, 1),
+    "bank_group": st.integers(0, 3),
+    "bank": st.integers(0, 3),
+    "sid": st.integers(0, 1),
+    "row": st.integers(0, 32767),
+})
+
+
+class TestLayout:
+    def test_order_must_be_permutation(self):
+        with pytest.raises(ValueError):
+            AddressLayout(order=("row", "row", "column", "channel",
+                                 "pseudo_channel", "bank_group", "bank"))
+
+    def test_address_bits_total(self):
+        mapper = AddressMapper()
+        # 7 col + 3 ch + 1 psch + 2 bg + 2 bank + 1 sid + 15 row = 31
+        assert mapper.address_bits == 31
+
+
+class TestRoundtrip:
+    @given(coordinate_strategy)
+    def test_encode_decode_identity(self, coordinate):
+        mapper = AddressMapper()
+        assert mapper.decode(mapper.encode(coordinate)) == coordinate
+
+    @given(coordinate_strategy)
+    def test_roundtrip_with_bank_hash(self, coordinate):
+        mapper = default_hbm2e_mapper()
+        assert mapper.decode(mapper.encode(coordinate)) == coordinate
+
+    @given(coordinate_strategy, coordinate_strategy)
+    def test_distinct_coordinates_distinct_addresses(self, a, b):
+        mapper = default_hbm2e_mapper()
+        if a != b:
+            assert mapper.encode(a) != mapper.encode(b)
+
+
+class TestSemantics:
+    def test_channel_interleaves_low(self):
+        """Consecutive column+channel increments stay below the row
+        stride — the interleaving property the layout encodes."""
+        mapper = AddressMapper()
+        base = {name: 0 for name in FIELDS}
+        a0 = mapper.encode(base)
+        a1 = mapper.encode({**base, "channel": 1})
+        assert abs(a1 - a0) < mapper.row_stride()
+
+    def test_row_stride(self):
+        mapper = AddressMapper()
+        base = {name: 0 for name in FIELDS}
+        next_row = mapper.encode({**base, "row": 1})
+        assert next_row - mapper.encode(base) == mapper.row_stride()
+
+    def test_bank_hash_spreads_consecutive_rows(self):
+        """With bank hashing, the *stored* bank bits differ across rows,
+        but decode still recovers the true bank."""
+        mapper = default_hbm2e_mapper()
+        base = {name: 0 for name in FIELDS}
+        raw_banks = set()
+        for row in range(4):
+            address = mapper.encode({**base, "row": row})
+            stored_bank = (address >> mapper._offsets["bank"]) & 0b11
+            raw_banks.add(stored_bank)
+            assert mapper.decode(address)["bank"] == 0
+        assert len(raw_banks) > 1
+
+    def test_neighbours_in_address_space(self):
+        mapper = default_hbm2e_mapper()
+        base = {name: 3 if name != "row" else 1000 for name in FIELDS}
+        base["pseudo_channel"] = 1
+        base["sid"] = 0
+        base["bank"] = 2
+        address = mapper.encode(base)
+        neighbour = mapper.neighbours_in_address_space(address, row_delta=5)
+        decoded = mapper.decode(neighbour)
+        assert decoded["row"] == 1005
+        assert decoded["bank"] == base["bank"]
+
+    def test_neighbour_outside_bank_rejected(self):
+        mapper = AddressMapper()
+        base = {name: 0 for name in FIELDS}
+        with pytest.raises(ValueError):
+            mapper.neighbours_in_address_space(mapper.encode(base), -1)
+
+
+class TestValidation:
+    def test_out_of_range_field(self):
+        mapper = AddressMapper()
+        base = {name: 0 for name in FIELDS}
+        with pytest.raises(ValueError):
+            mapper.encode({**base, "row": 32768})
+
+    def test_missing_field(self):
+        with pytest.raises(ValueError):
+            AddressMapper().encode({"row": 0})
+
+    def test_decode_out_of_range(self):
+        mapper = AddressMapper()
+        with pytest.raises(ValueError):
+            mapper.decode(1 << mapper.address_bits)
+
+    def test_non_power_of_two_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMapper(geometry=HBMGeometry(rows=1000))
+
+    def test_bad_hash_spec(self):
+        with pytest.raises(ValueError):
+            AddressMapper(layout=AddressLayout(bank_xor_row_bits=(0,)))
+        with pytest.raises(ValueError):
+            AddressMapper(layout=AddressLayout(bank_xor_row_bits=(0, 99)))

@@ -1,0 +1,89 @@
+"""Tests for per-bank bookkeeping and the sparse fleet containers."""
+
+import pytest
+
+from repro.hbm.bank import BankState
+from repro.hbm.device import FleetState
+from repro.hbm.ecc import ECCOutcome
+from repro.hbm.address import DeviceAddress, MicroLevel
+
+
+def make_address(row=10, column=3, bank=0):
+    return DeviceAddress(node=0, npu=0, hbm=0, sid=0, channel=0,
+                         pseudo_channel=0, bank_group=0, bank=bank,
+                         row=row, column=column)
+
+
+class TestBankState:
+    def test_record_and_query(self):
+        bank = BankState(bank_key=("b",), rows=100, columns=8)
+        bank.record(1.0, 10, 2, ECCOutcome.CE)
+        bank.record(2.0, 11, 2, ECCOutcome.UER)
+        bank.record(3.0, 11, 3, ECCOutcome.UER)
+        assert bank.rows_with(ECCOutcome.CE) == {10}
+        assert bank.rows_with(ECCOutcome.UER) == {11}
+        assert bank.event_count(ECCOutcome.UER) == 2
+        assert bank.first_event_time(ECCOutcome.UER) == 2.0
+        assert bank.first_event_time(ECCOutcome.UEO) is None
+
+    def test_uer_rows_in_order_deduplicates(self):
+        bank = BankState(bank_key=("b",), rows=100, columns=8)
+        for t, row in [(1.0, 5), (2.0, 9), (3.0, 5), (4.0, 2)]:
+            bank.record(t, row, 0, ECCOutcome.UER)
+        assert bank.uer_rows_in_order() == [5, 9, 2]
+
+    def test_rejects_out_of_range(self):
+        bank = BankState(bank_key=("b",), rows=100, columns=8)
+        with pytest.raises(ValueError):
+            bank.record(1.0, 100, 0, ECCOutcome.CE)
+        with pytest.raises(ValueError):
+            bank.record(1.0, 0, 8, ECCOutcome.CE)
+
+    def test_rejects_time_travel(self):
+        bank = BankState(bank_key=("b",), rows=100, columns=8)
+        bank.record(5.0, 1, 0, ECCOutcome.CE)
+        with pytest.raises(ValueError):
+            bank.record(4.0, 2, 0, ECCOutcome.CE)
+
+    def test_error_map_counts_hits(self):
+        bank = BankState(bank_key=("b",), rows=100, columns=8)
+        bank.record(1.0, 7, 1, ECCOutcome.CE)
+        bank.record(2.0, 7, 1, ECCOutcome.CE)
+        assert bank.error_map() == {(7, 1): 2}
+
+
+class TestFleetState:
+    def test_lazy_population(self):
+        fleet = FleetState()
+        assert fleet.touched_bank_count == 0
+        fleet.record(1.0, make_address(), ECCOutcome.CE)
+        assert fleet.touched_bank_count == 1
+
+    def test_same_bank_reused(self):
+        fleet = FleetState()
+        b1 = fleet.record(1.0, make_address(row=5), ECCOutcome.CE)
+        b2 = fleet.record(2.0, make_address(row=6), ECCOutcome.UER)
+        assert b1 is b2
+        assert b1.event_count(ECCOutcome.CE) == 1
+        assert b1.event_count(ECCOutcome.UER) == 1
+
+    def test_different_banks_separate(self):
+        fleet = FleetState()
+        fleet.record(1.0, make_address(bank=0), ECCOutcome.CE)
+        fleet.record(2.0, make_address(bank=1), ECCOutcome.CE)
+        assert fleet.touched_bank_count == 2
+        keys = {key for key, _ in fleet.iter_banks()}
+        assert len(keys) == 2
+
+    def test_validate_flag(self):
+        fleet = FleetState()
+        bad = DeviceAddress(node=99999, npu=0, hbm=0, sid=0, channel=0,
+                            pseudo_channel=0, bank_group=0, bank=0, row=0)
+        with pytest.raises(ValueError):
+            fleet.record(1.0, bad, ECCOutcome.CE, validate=True)
+
+    def test_bank_key_consistency(self):
+        fleet = FleetState()
+        address = make_address()
+        bank = fleet.record(1.0, address, ECCOutcome.CE)
+        assert bank.bank_key == address.key(MicroLevel.BANK)

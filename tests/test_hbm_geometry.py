@@ -1,0 +1,102 @@
+"""Unit tests for the HBM and fleet geometry model."""
+
+import pytest
+
+from repro.hbm.geometry import FleetGeometry, HBMGeometry
+
+
+class TestHBMGeometry:
+    def test_default_counts_match_hbm2e(self):
+        geo = HBMGeometry()
+        assert geo.sids == 2
+        assert geo.channels == 8
+        assert geo.pseudo_channels == 2
+        assert geo.bank_groups == 4
+        assert geo.banks == 4
+        assert geo.rows == 32768
+        assert geo.columns == 128
+
+    def test_banks_per_device(self):
+        geo = HBMGeometry()
+        assert geo.banks_per_device == 2 * 8 * 2 * 4 * 4
+
+    def test_rows_per_device(self):
+        geo = HBMGeometry()
+        assert geo.rows_per_device == geo.banks_per_device * 32768
+
+    def test_cells_per_bank(self):
+        assert HBMGeometry().cells_per_bank == 32768 * 128
+
+    def test_bank_index_roundtrip_exhaustive(self):
+        geo = HBMGeometry()
+        seen = set()
+        for index in range(geo.banks_per_device):
+            coord = geo.bank_coord(index)
+            assert geo.bank_index(*coord) == index
+            seen.add(coord)
+        assert len(seen) == geo.banks_per_device
+
+    def test_bank_index_rejects_out_of_range(self):
+        geo = HBMGeometry()
+        with pytest.raises(ValueError):
+            geo.bank_index(2, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            geo.bank_index(0, 8, 0, 0, 0)
+        with pytest.raises(ValueError):
+            geo.bank_index(0, 0, 0, 0, -1)
+
+    def test_bank_coord_rejects_out_of_range(self):
+        geo = HBMGeometry()
+        with pytest.raises(ValueError):
+            geo.bank_coord(geo.banks_per_device)
+        with pytest.raises(ValueError):
+            geo.bank_coord(-1)
+
+    def test_validate_cell(self):
+        geo = HBMGeometry()
+        geo.validate_cell(0, 0)
+        geo.validate_cell(32767, 127)
+        with pytest.raises(ValueError):
+            geo.validate_cell(32768, 0)
+        with pytest.raises(ValueError):
+            geo.validate_cell(0, 128)
+
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(ValueError):
+            HBMGeometry(rows=0)
+        with pytest.raises(ValueError):
+            HBMGeometry(channels=-1)
+
+
+class TestFleetGeometry:
+    def test_paper_scale(self):
+        fleet = FleetGeometry()
+        assert fleet.total_npus == 1280 * 8
+        assert fleet.total_npus > 10000
+        assert fleet.total_hbms == fleet.total_npus * 8
+        assert fleet.total_hbms > 80000
+
+    def test_total_banks(self):
+        fleet = FleetGeometry()
+        assert fleet.total_banks == fleet.total_hbms * fleet.hbm.banks_per_device
+        assert fleet.hbm.banks_per_device == 512
+
+    def test_scaled_reduces_nodes(self):
+        fleet = FleetGeometry()
+        small = fleet.scaled(0.1)
+        assert small.nodes == 128
+        assert small.npus_per_node == fleet.npus_per_node
+        assert small.hbm == fleet.hbm
+
+    def test_scaled_never_below_one_node(self):
+        assert FleetGeometry().scaled(1e-9).nodes == 1
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FleetGeometry().scaled(0)
+
+    def test_rejects_invalid_counts(self):
+        with pytest.raises(ValueError):
+            FleetGeometry(nodes=0)
+        with pytest.raises(ValueError):
+            FleetGeometry(npus_per_node=0)

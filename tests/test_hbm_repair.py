@@ -1,0 +1,81 @@
+"""Tests for the post-package repair (PPR) flow."""
+
+import pytest
+
+from repro.hbm.repair import PPRManager, PPRPolicy, RepairState
+
+BANK = (0,) * 8
+
+
+class TestPPRPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PPRPolicy(soft_latency_s=-1)
+        with pytest.raises(ValueError):
+            PPRPolicy(hard_failure_prob=1.5)
+
+
+class TestPPRManager:
+    def test_successful_repair_protects_after_latency(self):
+        manager = PPRManager(PPRPolicy(soft_latency_s=10.0,
+                                       soft_failure_prob=0.0,
+                                       hard_failure_prob=0.0), seed=0)
+        record = manager.request_repair(BANK, 5, timestamp=100.0)
+        assert record.state is RepairState.HARD_REPAIRED
+        assert not manager.is_protected(BANK, 5, at_time=105.0)  # in flight
+        assert manager.is_protected(BANK, 5, at_time=111.0)
+
+    def test_soft_failure_leaves_row_unprotected(self):
+        manager = PPRManager(PPRPolicy(soft_failure_prob=1.0), seed=0)
+        record = manager.request_repair(BANK, 5, timestamp=0.0)
+        assert record.state is RepairState.FAILED
+        assert not manager.is_protected(BANK, 5)
+
+    def test_hard_failure_still_soft_protects(self):
+        manager = PPRManager(PPRPolicy(soft_failure_prob=0.0,
+                                       hard_failure_prob=1.0), seed=0)
+        record = manager.request_repair(BANK, 5, timestamp=0.0)
+        assert record.state is RepairState.SOFT_REPAIRED
+        assert manager.is_protected(BANK, 5, at_time=10.0)
+
+    def test_budget_exhaustion_fails_requests(self):
+        manager = PPRManager(PPRPolicy(soft_failure_prob=0.0,
+                                       hard_failure_prob=0.0),
+                             spares_per_bank=2, seed=0)
+        states = [manager.request_repair(BANK, row, 0.0).state
+                  for row in range(4)]
+        assert states[:2] == [RepairState.HARD_REPAIRED] * 2
+        assert states[2:] == [RepairState.FAILED] * 2
+
+    def test_idempotent_repair(self):
+        manager = PPRManager(PPRPolicy(soft_failure_prob=0.0,
+                                       hard_failure_prob=0.0), seed=0)
+        manager.request_repair(BANK, 5, timestamp=0.0)
+        again = manager.request_repair(BANK, 5, timestamp=50.0)
+        assert again.state is RepairState.SOFT_REPAIRED
+        assert manager.controller.spared_row_count(BANK) == 1
+
+    def test_request_block(self):
+        manager = PPRManager(PPRPolicy(soft_failure_prob=0.0,
+                                       hard_failure_prob=0.0), seed=0)
+        records = manager.request_block(BANK, range(100, 108), 0.0)
+        assert len(records) == 8
+        assert all(r.state is RepairState.HARD_REPAIRED for r in records)
+
+    def test_summary_counts(self):
+        manager = PPRManager(PPRPolicy(soft_failure_prob=0.0,
+                                       hard_failure_prob=0.5), seed=1)
+        for row in range(40):
+            manager.request_repair(BANK, row, 0.0)
+        summary = manager.summary()
+        assert summary["hard"] + summary["soft"] + summary["failed"] == 40
+        assert summary["soft"] > 5  # ~half fail the fuse stage
+
+    def test_power_cycle_survival(self):
+        manager = PPRManager(PPRPolicy(soft_failure_prob=0.0,
+                                       hard_failure_prob=0.5), seed=2)
+        for row in range(30):
+            manager.request_repair(BANK, row, 0.0)
+        surviving, lost = manager.survival_after_power_cycle()
+        assert surviving + lost == 30
+        assert surviving > 0 and lost > 0

@@ -1,0 +1,113 @@
+"""Tests for the sparing controllers (row / bank / page offlining)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hbm.sparing import (BankSparingController, PageOfflineManager,
+                               RowSparingController, SparingExhaustedError,
+                               covered_rows)
+
+BANK = ("n", 0, 0, 0, 0, 0, 0, 0)
+
+
+class TestRowSparing:
+    def test_spare_and_query(self):
+        ctrl = RowSparingController(spares_per_bank=4)
+        assert ctrl.spare_row(BANK, 10, timestamp=5.0)
+        assert ctrl.is_isolated(BANK, 10)
+        assert ctrl.isolation_time(BANK, 10) == 5.0
+        assert not ctrl.is_isolated(BANK, 11)
+
+    def test_idempotent(self):
+        ctrl = RowSparingController(spares_per_bank=4)
+        assert ctrl.spare_row(BANK, 10, 5.0)
+        assert not ctrl.spare_row(BANK, 10, 9.0)
+        # first isolation time wins
+        assert ctrl.isolation_time(BANK, 10) == 5.0
+
+    def test_budget_exhaustion_raises(self):
+        ctrl = RowSparingController(spares_per_bank=2)
+        ctrl.spare_row(BANK, 1, 0.0)
+        ctrl.spare_row(BANK, 2, 0.0)
+        with pytest.raises(SparingExhaustedError):
+            ctrl.spare_row(BANK, 3, 0.0)
+
+    def test_bulk_spare_truncates_softly(self):
+        ctrl = RowSparingController(spares_per_bank=3)
+        spared = ctrl.spare_rows(BANK, range(10), timestamp=1.0)
+        assert spared == 3
+        assert ctrl.remaining(BANK) == 0
+
+    def test_time_aware_coverage(self):
+        ctrl = RowSparingController()
+        ctrl.spare_row(BANK, 10, timestamp=5.0)
+        assert ctrl.is_isolated(BANK, 10, at_time=6.0)
+        assert not ctrl.is_isolated(BANK, 10, at_time=5.0)  # strict
+        assert not ctrl.is_isolated(BANK, 10, at_time=4.0)
+
+    def test_budgets_are_per_bank(self):
+        ctrl = RowSparingController(spares_per_bank=1)
+        other = BANK[:-1] + (1,)
+        ctrl.spare_row(BANK, 1, 0.0)
+        assert ctrl.spare_row(other, 1, 0.0)
+        assert ctrl.total_spared_rows() == 2
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=50))
+    def test_spared_count_never_exceeds_budget(self, rows):
+        ctrl = RowSparingController(spares_per_bank=8)
+        ctrl.spare_rows(BANK, rows, timestamp=0.0)
+        assert ctrl.spared_row_count(BANK) <= 8
+        assert ctrl.spared_row_count(BANK) <= len(set(rows))
+
+
+class TestBankSparing:
+    def test_spare_and_query(self):
+        ctrl = BankSparingController()
+        assert ctrl.spare_bank(BANK, 3.0)
+        assert not ctrl.spare_bank(BANK, 9.0)
+        assert ctrl.isolation_time(BANK) == 3.0
+        assert ctrl.is_isolated(BANK, at_time=4.0)
+        assert not ctrl.is_isolated(BANK, at_time=3.0)
+
+    def test_counts(self):
+        ctrl = BankSparingController()
+        ctrl.spare_bank(BANK, 0.0)
+        ctrl.spare_bank(BANK[:-1] + (1,), 0.0)
+        assert ctrl.spared_bank_count() == 2
+
+
+class TestPageOfflining:
+    def test_rows_smaller_than_pages_share_one_page(self):
+        mgr = PageOfflineManager(page_bytes=4096, row_bytes=1024)
+        assert mgr.pages_for_row(0) == [0]
+        assert mgr.pages_for_row(3) == [0]
+        assert mgr.pages_for_row(4) == [1]
+
+    def test_rows_larger_than_pages_span_many(self):
+        mgr = PageOfflineManager(page_bytes=1024, row_bytes=4096)
+        assert mgr.pages_for_row(1) == [4, 5, 6, 7]
+
+    def test_offline_row_and_query(self):
+        mgr = PageOfflineManager()
+        assert mgr.offline_row(BANK, 8, timestamp=2.0)
+        assert mgr.is_row_offline(BANK, 8, at_time=3.0)
+        assert not mgr.is_row_offline(BANK, 8, at_time=2.0)
+
+    def test_locked_page_fails(self):
+        mgr = PageOfflineManager()
+        assert not mgr.offline_row(BANK, 8, timestamp=2.0, locked=True)
+        assert mgr.failed_requests == 1
+        assert not mgr.is_row_offline(BANK, 8)
+
+
+class TestCoveredRows:
+    def test_row_and_bank_coverage(self):
+        row_ctrl = RowSparingController()
+        bank_ctrl = BankSparingController()
+        row_ctrl.spare_row(BANK, 5, timestamp=1.0)
+        bank_ctrl.spare_bank(BANK, timestamp=10.0)
+        uer_rows = [(5, 2.0),    # covered by row sparing at t=1
+                    (6, 5.0),    # not covered (bank spared later)
+                    (7, 11.0)]   # covered by bank sparing
+        covered = covered_rows(row_ctrl, bank_ctrl, BANK, uer_rows)
+        assert covered == {5, 7}

@@ -1,0 +1,182 @@
+"""Tests for quantile binning and the histogram tree growers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml._binning import BinMapper
+from repro.ml._hist import (TreeParams, grow_classification_tree,
+                            grow_regression_tree)
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestBinMapper:
+    def test_few_distinct_values_get_own_bins(self):
+        X = np.array([[0.0], [1.0], [2.0], [1.0]])
+        mapper = BinMapper(max_bins=255)
+        binned = mapper.fit_transform(X)
+        assert len(np.unique(binned)) == 3
+        # order preserved
+        assert binned[0, 0] < binned[1, 0] < binned[2, 0]
+
+    def test_many_values_capped_at_max_bins(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(10_000, 1))
+        mapper = BinMapper(max_bins=64)
+        binned = mapper.fit_transform(X)
+        assert binned.max() < 64
+
+    def test_transform_monotonic(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(500, 1))
+        mapper = BinMapper(max_bins=32).fit(X)
+        order = np.argsort(X[:, 0])
+        codes = mapper.transform(X)[order, 0]
+        assert (np.diff(codes.astype(int)) >= 0).all()
+
+    def test_nan_goes_to_missing_bin(self):
+        X = np.array([[0.0], [1.0], [np.nan]])
+        mapper = BinMapper()
+        binned = mapper.fit_transform(X)
+        assert binned[2, 0] == mapper.missing_bin_[0]
+
+    def test_out_of_range_values_clamp(self):
+        mapper = BinMapper().fit(np.array([[0.0], [1.0], [2.0]]))
+        binned = mapper.transform(np.array([[-100.0], [100.0]]))
+        assert binned[0, 0] == 0
+        assert binned[1, 0] >= binned[0, 0]
+
+    def test_feature_count_mismatch_rejected(self):
+        mapper = BinMapper().fit(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            mapper.transform(np.zeros((4, 3)))
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            BinMapper().transform(np.zeros((1, 1)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_fit_transform_deterministic(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(100, 3))
+        a = BinMapper(max_bins=16).fit_transform(X)
+        b = BinMapper(max_bins=16).fit_transform(X)
+        assert (a == b).all()
+
+
+class TestClassificationGrower:
+    def _grow(self, X, y, w=None, **kw):
+        mapper = BinMapper()
+        binned = mapper.fit_transform(X)
+        n_bins = int(mapper.n_bins_.max())
+        params = TreeParams(**kw)
+        rng = np.random.default_rng(0)
+        weights = np.ones(len(y)) if w is None else np.asarray(w, float)
+        tree = grow_classification_tree(
+            binned, np.asarray(y, dtype=np.int64), weights,
+            int(np.max(y)) + 1, n_bins, params, rng)
+        return tree, mapper
+
+    def test_separable_data_pure_leaves(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = [0, 0, 1, 1]
+        tree, mapper = self._grow(X, y)
+        proba = tree.predict_value(mapper.transform(X))
+        assert (np.argmax(proba, axis=1) == y).all()
+
+    def test_matches_exact_tree_on_clean_data(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(400, 5))
+        y = ((X[:, 0] > 0.2) & (X[:, 3] < 0.5)).astype(int)
+        tree, mapper = self._grow(X, y, max_depth=4)
+        hist_pred = np.argmax(tree.predict_value(mapper.transform(X)), axis=1)
+        exact = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        exact_pred = exact.predict(X)
+        agreement = (hist_pred == exact_pred).mean()
+        assert agreement > 0.98
+
+    def test_min_samples_leaf(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(64, 2))
+        y = rng.integers(0, 2, size=64)
+        tree, _ = self._grow(X, y, min_samples_leaf=32)
+        assert tree.n_leaves <= 2
+
+    def test_weighted_majority(self):
+        X = np.zeros((3, 1))
+        y = [0, 0, 1]
+        tree, mapper = self._grow(X, y, w=[1.0, 1.0, 10.0])
+        proba = tree.predict_value(mapper.transform(X))
+        assert np.argmax(proba[0]) == 1
+
+
+class TestRegressionGrower:
+    def _grow(self, X, grad, hess, leafwise=False, **kw):
+        mapper = BinMapper()
+        binned = mapper.fit_transform(X)
+        n_bins = int(mapper.n_bins_.max())
+        params = TreeParams(**kw)
+        rng = np.random.default_rng(0)
+        tree = grow_regression_tree(binned, np.asarray(grad, float),
+                                    np.asarray(hess, float), n_bins, params,
+                                    rng, leafwise=leafwise)
+        return tree, mapper
+
+    def test_leaf_values_are_newton_steps(self):
+        # one leaf only: value must be -G/(H + lambda)
+        X = np.zeros((4, 1))
+        grad = [1.0, 1.0, 1.0, 1.0]
+        hess = [1.0, 1.0, 1.0, 1.0]
+        tree, mapper = self._grow(X, grad, hess, reg_lambda=1.0)
+        value = tree.predict_value(mapper.transform(X))[0, 0]
+        assert value == pytest.approx(-4.0 / 5.0)
+
+    def test_split_separates_gradient_signs(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        grad = np.array([1.0, 1.0, -1.0, -1.0])
+        hess = np.ones(4)
+        tree, mapper = self._grow(X, grad, hess, reg_lambda=0.0)
+        values = tree.predict_value(mapper.transform(X))[:, 0]
+        assert values[0] == pytest.approx(-1.0)
+        assert values[2] == pytest.approx(1.0)
+
+    def test_gamma_blocks_weak_splits(self):
+        X = np.array([[0.0], [1.0]] * 10)
+        grad = np.array([0.01, -0.01] * 10)
+        hess = np.ones(20)
+        tree, _ = self._grow(X, grad, hess, gamma=100.0)
+        assert len(tree) == 1  # root only
+
+    def test_leafwise_respects_max_leaves(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(500, 4))
+        grad = rng.normal(size=500)
+        hess = np.ones(500)
+        tree, _ = self._grow(X, grad, hess, leafwise=True, max_leaves=8,
+                             min_samples_leaf=5)
+        assert tree.n_leaves <= 8
+
+    def test_leafwise_greedy_order(self):
+        # leaf-wise growth with 2 leaves must take the single best split,
+        # identical to depth-wise with depth 1.
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(300, 3))
+        grad = np.where(X[:, 1] > 0, 1.0, -1.0) + rng.normal(0, .1, 300)
+        hess = np.ones(300)
+        leafwise, mapper = self._grow(X, grad, hess, leafwise=True,
+                                      max_leaves=2)
+        depthwise, _ = self._grow(X, grad, hess, leafwise=False, max_depth=1)
+        binned = mapper.transform(X)
+        assert np.allclose(leafwise.predict_value(binned),
+                           depthwise.predict_value(binned))
+
+    def test_sample_idx_restricts_training_rows(self):
+        X = np.vstack([np.zeros((10, 1)), np.ones((10, 1))])
+        grad = np.concatenate([np.ones(10), -np.ones(10)])
+        hess = np.ones(20)
+        # train only on the first half: no split possible, leaf from subset
+        tree, mapper = self._grow(X, grad, hess)
+        sub_tree, _ = self._grow(X[:10], grad[:10], hess[:10])
+        assert len(tree) > 1
+        assert len(sub_tree) == 1

@@ -1,0 +1,91 @@
+"""Tests for the cross-validation splitters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.cv import GroupKFold, KFold, StratifiedKFold, cross_val_score
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestKFold:
+    def test_partition(self):
+        folds = list(KFold(n_splits=4, seed=0).split(20))
+        assert len(folds) == 4
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(20))
+        for train, test in folds:
+            assert set(train) & set(test) == set()
+            assert len(train) + len(test) == 20
+
+    def test_deterministic(self):
+        a = [t.tolist() for _, t in KFold(3, seed=5).split(10)]
+        b = [t.tolist() for _, t in KFold(3, seed=5).split(10)]
+        assert a == b
+
+    def test_no_shuffle_is_contiguous(self):
+        folds = list(KFold(2, shuffle=False).split(4))
+        assert folds[0][1].tolist() == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+        with pytest.raises(ValueError):
+            list(KFold(5).split(3))
+
+
+class TestStratifiedKFold:
+    def test_class_balance_preserved(self):
+        y = np.array([0] * 80 + [1] * 20)
+        for train, test in StratifiedKFold(4, seed=0).split(y):
+            positive_rate = y[test].mean()
+            assert 0.1 <= positive_rate <= 0.3
+
+    def test_partition(self):
+        y = np.array([0, 1] * 15)
+        all_test = np.concatenate(
+            [test for _, test in StratifiedKFold(3, seed=1).split(y)])
+        assert sorted(all_test.tolist()) == list(range(30))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_every_fold_has_both_classes(self, seed):
+        y = np.array([0] * 12 + [1] * 12)
+        for train, test in StratifiedKFold(3, seed=seed).split(y):
+            assert len(np.unique(y[train])) == 2
+
+
+class TestGroupKFold:
+    def test_groups_never_split(self):
+        groups = ["a", "a", "b", "b", "c", "c", "d", "d"]
+        for train, test in GroupKFold(2, seed=0).split(groups):
+            train_groups = {groups[i] for i in train}
+            test_groups = {groups[i] for i in test}
+            assert train_groups & test_groups == set()
+
+    def test_too_few_groups(self):
+        with pytest.raises(ValueError):
+            list(GroupKFold(5).split(["a", "b"]))
+
+
+class TestCrossValScore:
+    def test_scores_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 0] > 0).astype(int)
+        scores = cross_val_score(
+            lambda: DecisionTreeClassifier(max_depth=3), X, y,
+            n_splits=4, seed=0)
+        assert scores.shape == (4,)
+        assert (scores > 0.8).all()
+
+    def test_custom_scorer(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = (X[:, 0] > 0).astype(int)
+        scores = cross_val_score(
+            lambda: DecisionTreeClassifier(max_depth=2), X, y,
+            n_splits=3, seed=0,
+            scorer=lambda a, b: 1.0 - float(np.mean(np.asarray(a)
+                                                    == np.asarray(b))))
+        assert (scores < 0.3).all()

@@ -1,0 +1,193 @@
+"""Tests for logistic regression, scaling, and probability calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.calibration import (IsotonicCalibrator, PlattCalibrator,
+                                  brier_score, expected_calibration_error)
+from repro.ml.linear import LogisticRegressionClassifier, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5, 3, size=(500, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+
+class TestLogisticRegression:
+    def test_linearly_separable(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 3))
+        y = (X @ np.array([2.0, -1.0, 0.5]) > 0).astype(int)
+        model = LogisticRegressionClassifier(reg_lambda=0.01).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.97
+
+    def test_recovers_coefficient_signs(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(2000, 2))
+        y = (X[:, 0] - 2 * X[:, 1] > 0).astype(int)
+        model = LogisticRegressionClassifier(reg_lambda=0.1).fit(X, y)
+        assert model.coef_[0, 0] > 0 > model.coef_[0, 1]
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(600, 2))
+        y = (X[:, 0] > 0).astype(int) + (X[:, 1] > 0).astype(int)
+        model = LogisticRegressionClassifier().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.7
+        proba = model.predict_proba(X[:20])
+        assert proba.shape == (20, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_regularisation_shrinks_weights(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 0] > 0).astype(int)
+        loose = LogisticRegressionClassifier(reg_lambda=0.001).fit(X, y)
+        tight = LogisticRegressionClassifier(reg_lambda=100.0).fit(X, y)
+        assert (np.abs(tight.coef_).sum() < np.abs(loose.coef_).sum())
+
+    def test_sample_weight(self):
+        X = np.array([[0.0], [0.0]])
+        y = np.array([0, 1])
+        model = LogisticRegressionClassifier(scale_features=False)
+        model.fit(X, y, sample_weight=[1.0, 20.0])
+        assert model.predict_proba(X)[0, 1] > 0.8
+
+    def test_string_labels(self):
+        X = np.array([[-1.0], [1.0]] * 30)
+        y = np.array(["neg", "pos"] * 30)
+        model = LogisticRegressionClassifier().fit(X, y)
+        assert set(model.predict(X)) == {"neg", "pos"}
+
+    def test_trees_beat_linear_on_lattice_task(self):
+        """The cross-row task is non-linear (lattice residuals); trees
+        should beat the linear baseline — the paper's model-choice
+        rationale."""
+        from repro.ml.forest import RandomForestClassifier
+        rng = np.random.default_rng(5)
+        X = rng.uniform(-64, 64, size=(1500, 2))
+        pitch = 24
+        y = (np.abs(np.abs(X[:, 0]) % pitch) < 4).astype(int)
+        linear = LogisticRegressionClassifier().fit(X[:1000], y[:1000])
+        forest = RandomForestClassifier(n_estimators=40,
+                                        random_state=0).fit(X[:1000],
+                                                            y[:1000])
+        acc_linear = (linear.predict(X[1000:]) == y[1000:]).mean()
+        acc_forest = (forest.predict(X[1000:]) == y[1000:]).mean()
+        assert acc_forest > acc_linear + 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier(reg_lambda=-1)
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier().fit(np.zeros((3, 1)), [1, 1, 1])
+        with pytest.raises(RuntimeError):
+            LogisticRegressionClassifier().predict(np.zeros((1, 1)))
+
+
+class TestPlatt:
+    def test_identity_on_calibrated_scores(self):
+        rng = np.random.default_rng(6)
+        scores = rng.normal(size=4000)
+        p_true = 1 / (1 + np.exp(-scores))
+        labels = rng.random(4000) < p_true
+        cal = PlattCalibrator().fit(scores, labels)
+        assert cal.a_ == pytest.approx(1.0, abs=0.15)
+        assert cal.b_ == pytest.approx(0.0, abs=0.15)
+
+    def test_fixes_scaled_scores(self):
+        rng = np.random.default_rng(7)
+        scores = rng.normal(size=4000)
+        p_true = 1 / (1 + np.exp(-2.5 * scores))
+        labels = rng.random(4000) < p_true
+        cal = PlattCalibrator().fit(scores, labels)
+        calibrated = cal.transform(scores)
+        raw = 1 / (1 + np.exp(-scores))
+        assert brier_score(calibrated, labels) < brier_score(raw, labels)
+
+    def test_monotone(self):
+        rng = np.random.default_rng(8)
+        cal = PlattCalibrator().fit(rng.normal(size=200),
+                                    rng.random(200) < 0.5)
+        s = np.linspace(-3, 3, 50)
+        out = cal.transform(s)
+        assert (np.diff(out) >= -1e-12).all()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PlattCalibrator().fit([], [])
+
+
+class TestIsotonic:
+    def test_perfectly_separable(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        cal = IsotonicCalibrator().fit(scores, labels)
+        out = cal.transform([0.15, 0.85])
+        assert out[0] < 0.5 < out[1]
+
+    def test_monotone_output(self):
+        rng = np.random.default_rng(9)
+        scores = rng.random(500)
+        labels = rng.random(500) < scores
+        cal = IsotonicCalibrator().fit(scores, labels)
+        out = cal.transform(np.linspace(0, 1, 100))
+        assert (np.diff(out) >= -1e-12).all()
+
+    def test_pava_pools_violations(self):
+        # decreasing labels must pool to one constant block
+        scores = np.array([1.0, 2.0, 3.0])
+        labels = np.array([1.0, 0.0, 0.0])
+        cal = IsotonicCalibrator().fit(scores, labels)
+        out = cal.transform(scores)
+        assert np.allclose(out, out[0])
+        assert out[0] == pytest.approx(1 / 3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_fit_never_worsens_brier_much(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(300)
+        labels = rng.random(300) < np.clip(scores + rng.normal(0, .2, 300),
+                                           0, 1)
+        cal = IsotonicCalibrator().fit(scores, labels)
+        # in-sample isotonic fit is the least-squares monotone fit:
+        assert (brier_score(cal.transform(scores), labels)
+                <= brier_score(scores, labels) + 1e-9)
+
+
+class TestCalibrationMetrics:
+    def test_brier_hand_example(self):
+        assert brier_score([1.0, 0.0], [1, 0]) == 0.0
+        assert brier_score([0.5, 0.5], [1, 0]) == pytest.approx(0.25)
+
+    def test_ece_perfect_calibration(self):
+        rng = np.random.default_rng(10)
+        p = rng.random(20000)
+        y = rng.random(20000) < p
+        assert expected_calibration_error(p, y) < 0.03
+
+    def test_ece_overconfident(self):
+        p = np.full(1000, 0.99)
+        y = np.zeros(1000)
+        assert expected_calibration_error(p, y) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            brier_score([0.5], [1, 0])
+        with pytest.raises(ValueError):
+            expected_calibration_error([], [])

@@ -1,0 +1,132 @@
+"""Tests for classification metrics and group-aware splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml.metrics import (accuracy_score, binary_scores,
+                              classification_report, confusion_matrix,
+                              precision_recall_f1, weighted_average)
+from repro.ml.selection import group_mask, train_test_split_groups
+
+
+class TestConfusionAndAccuracy:
+    def test_confusion_matrix_hand_example(self):
+        y_true = ["a", "a", "b", "b", "c"]
+        y_pred = ["a", "b", "b", "b", "a"]
+        matrix = confusion_matrix(y_true, y_pred, labels=["a", "b", "c"])
+        assert matrix.tolist() == [[1, 1, 0], [0, 2, 0], [1, 0, 0]]
+
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([1, 2], [1])
+
+
+class TestPrecisionRecallF1:
+    def test_hand_computed(self):
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        scores = precision_recall_f1(y_true, y_pred)
+        assert scores[1].precision == pytest.approx(2 / 3)
+        assert scores[1].recall == pytest.approx(2 / 3)
+        assert scores[1].f1 == pytest.approx(2 / 3)
+        assert scores[0].precision == pytest.approx(1 / 2)
+        assert scores[0].support == 2
+
+    def test_zero_division_convention(self):
+        scores = precision_recall_f1([0, 0], [0, 0], labels=[0, 1])
+        assert scores[1].precision == 0.0
+        assert scores[1].recall == 0.0
+        assert scores[1].f1 == 0.0
+
+    def test_weighted_average(self):
+        scores = precision_recall_f1([1, 1, 1, 0], [1, 1, 1, 1])
+        avg = weighted_average(scores)
+        # class 1: P=3/4 R=1 F1=6/7 support 3; class 0: all 0, support 1
+        assert avg.recall == pytest.approx(3 / 4)
+        assert avg.f1 == pytest.approx((6 / 7) * 3 / 4)
+        assert avg.support == 4
+
+    def test_binary_scores_positive_class(self):
+        scores = binary_scores([True, True, False, False],
+                               [True, False, True, False])
+        assert scores.precision == pytest.approx(0.5)
+        assert scores.recall == pytest.approx(0.5)
+        assert scores.support == 2
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=50))
+    def test_perfect_prediction_scores_one_or_zero(self, y):
+        scores = binary_scores(y, y)
+        if any(y):
+            assert scores.precision == 1.0
+            assert scores.recall == 1.0
+            assert scores.f1 == 1.0
+        else:
+            assert scores.f1 == 0.0
+
+    @given(st.lists(st.sampled_from([0, 1, 2]), min_size=2, max_size=60),
+           st.lists(st.sampled_from([0, 1, 2]), min_size=2, max_size=60))
+    def test_metric_bounds(self, y_true, y_pred):
+        n = min(len(y_true), len(y_pred))
+        scores = precision_recall_f1(y_true[:n], y_pred[:n])
+        for s in scores.values():
+            assert 0.0 <= s.precision <= 1.0
+            assert 0.0 <= s.recall <= 1.0
+            assert 0.0 <= s.f1 <= 1.0
+
+    def test_report_renders(self):
+        text = classification_report([0, 1, 1], [0, 1, 0])
+        assert "weighted avg" in text
+        assert "precision" in text
+
+
+class TestGroupSplit:
+    def test_split_is_partition(self):
+        groups = [f"bank{i}" for i in range(100)]
+        train, test = train_test_split_groups(groups, 0.3, seed=0)
+        assert set(train) | set(test) == set(groups)
+        assert set(train) & set(test) == set()
+        assert len(test) == 30
+
+    def test_duplicates_collapse(self):
+        groups = ["a", "a", "b", "b", "c"]
+        train, test = train_test_split_groups(groups, 0.34, seed=1)
+        assert set(train) | set(test) == {"a", "b", "c"}
+
+    def test_deterministic_under_seed(self):
+        groups = list(range(50))
+        assert (train_test_split_groups(groups, 0.3, seed=5)
+                == train_test_split_groups(groups, 0.3, seed=5))
+        assert (train_test_split_groups(groups, 0.3, seed=5)
+                != train_test_split_groups(groups, 0.3, seed=6))
+
+    def test_never_empty_sides(self):
+        train, test = train_test_split_groups(["a", "b"], 0.99, seed=0)
+        assert train and test
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split_groups(["a", "b"], 0.0)
+        with pytest.raises(ValueError):
+            train_test_split_groups(["a", "b"], 1.0)
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split_groups(["a", "a"], 0.5)
+
+    def test_group_mask(self):
+        groups = ["a", "b", "a", "c"]
+        mask = group_mask(groups, ["a", "c"])
+        assert mask.tolist() == [True, False, True, True]
+
+    @given(st.integers(0, 500))
+    def test_fraction_respected_property(self, seed):
+        groups = list(range(40))
+        train, test = train_test_split_groups(groups, 0.25, seed=seed)
+        assert len(test) == 10
+        assert len(train) == 30

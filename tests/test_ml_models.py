@@ -1,0 +1,190 @@
+"""Tests for the three ensemble models (forest, XGBoost-style, LightGBM-style)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (LGBMClassifier, RandomForestClassifier, XGBClassifier)
+
+
+def binary_data(seed=0, n=400, d=6):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = ((X[:, 0] + 0.5 * X[:, 1] * X[:, 2]) > 0).astype(int)
+    return X, y
+
+
+def multiclass_data(seed=0, n=450, d=5):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = (X[:, 0] > 0.4).astype(int) + (X[:, 1] > -0.2).astype(int)
+    return X, y
+
+
+ALL_MODELS = [
+    lambda: RandomForestClassifier(n_estimators=40, random_state=0),
+    lambda: XGBClassifier(n_estimators=50, random_state=0),
+    lambda: LGBMClassifier(n_estimators=50, random_state=0),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_MODELS)
+class TestCommonBehaviour:
+    def test_binary_accuracy(self, factory):
+        X, y = binary_data()
+        Xt, yt = binary_data(seed=1)
+        model = factory().fit(X, y)
+        assert (model.predict(Xt) == yt).mean() > 0.8
+
+    def test_multiclass_accuracy(self, factory):
+        X, y = multiclass_data()
+        Xt, yt = multiclass_data(seed=1)
+        model = factory().fit(X, y)
+        assert (model.predict(Xt) == yt).mean() > 0.85
+
+    def test_proba_normalised(self, factory):
+        X, y = multiclass_data()
+        model = factory().fit(X, y)
+        proba = model.predict_proba(X[:50])
+        assert proba.shape == (50, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_deterministic_under_seed(self, factory):
+        X, y = binary_data()
+        p1 = factory().fit(X, y).predict_proba(X[:20])
+        p2 = factory().fit(X, y).predict_proba(X[:20])
+        assert np.allclose(p1, p2)
+
+    def test_string_labels_roundtrip(self, factory):
+        X, y = binary_data(n=200)
+        labels = np.where(y == 1, "bad", "good")
+        model = factory().fit(X, labels)
+        predictions = model.predict(X[:10])
+        assert set(predictions) <= {"bad", "good"}
+
+    def test_feature_importances_shape(self, factory):
+        X, y = binary_data()
+        model = factory().fit(X, y)
+        assert model.feature_importances_.shape == (X.shape[1],)
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+        # the informative feature dominates
+        assert np.argmax(model.feature_importances_) == 0
+
+    def test_rejects_empty(self, factory):
+        with pytest.raises(ValueError):
+            factory().fit(np.empty((0, 3)), [])
+
+    def test_predict_before_fit(self, factory):
+        with pytest.raises(RuntimeError):
+            factory().predict(np.zeros((1, 3)))
+
+
+class TestRandomForestSpecific:
+    def test_more_trees_reduce_variance(self):
+        X, y = binary_data(n=300)
+        Xt, yt = binary_data(seed=9, n=300)
+        accs = {}
+        for n in (1, 50):
+            scores = []
+            for seed in range(5):
+                model = RandomForestClassifier(n_estimators=n,
+                                               random_state=seed)
+                scores.append((model.fit(X, y).predict(Xt) == yt).mean())
+            accs[n] = np.std(scores)
+        assert accs[50] <= accs[1]
+
+    def test_class_weight_balanced_helps_minority_recall(self):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(600, 4))
+        y = (X[:, 0] > 1.6).astype(int)  # ~5% positives
+        plain = RandomForestClassifier(n_estimators=40, max_depth=4,
+                                       random_state=0).fit(X, y)
+        balanced = RandomForestClassifier(n_estimators=40, max_depth=4,
+                                          class_weight="balanced",
+                                          random_state=0).fit(X, y)
+        recall_plain = (plain.predict(X)[y == 1] == 1).mean()
+        recall_balanced = (balanced.predict(X)[y == 1] == 1).mean()
+        assert recall_balanced >= recall_plain
+
+    def test_bootstrap_off_is_deterministic_ensemble(self):
+        X, y = binary_data(n=150)
+        model = RandomForestClassifier(n_estimators=5, bootstrap=False,
+                                       max_features=None, random_state=0)
+        model.fit(X, y)
+        # without bootstrap or feature subsampling all trees are identical
+        p = model.predict_proba(X)
+        single = model.trees_[0].predict_value(
+            model._mapper.transform(X))
+        assert np.allclose(p, single)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            RandomForestClassifier(class_weight="heavy")
+
+
+class TestXGBSpecific:
+    def test_more_rounds_reduce_training_loss(self):
+        X, y = binary_data(n=300)
+        few = XGBClassifier(n_estimators=5, random_state=0).fit(X, y)
+        many = XGBClassifier(n_estimators=80, random_state=0).fit(X, y)
+
+        def logloss(model):
+            p = np.clip(model.predict_proba(X)[:, 1], 1e-9, 1 - 1e-9)
+            return -np.mean(y * np.log(p) + (1 - y) * np.log(1 - p))
+
+        assert logloss(many) < logloss(few)
+
+    def test_base_score_sets_prior(self):
+        X = np.zeros((10, 1))
+        y = np.asarray([0] * 8 + [1] * 2)
+        model = XGBClassifier(n_estimators=1, learning_rate=1e-9,
+                              base_score=0.2, random_state=0).fit(X, y)
+        # with negligible learning the prediction stays at the prior
+        assert model.predict_proba(X)[0, 1] == pytest.approx(0.2, abs=0.01)
+
+    def test_decision_function_binary_shape(self):
+        X, y = binary_data(n=100)
+        model = XGBClassifier(n_estimators=5, random_state=0).fit(X, y)
+        assert model.decision_function(X).shape == (100,)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            XGBClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            XGBClassifier(subsample=0.0)
+        with pytest.raises(ValueError):
+            XGBClassifier(base_score=1.0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            XGBClassifier().fit(np.zeros((5, 1)), [1, 1, 1, 1, 1])
+
+
+class TestLGBMSpecific:
+    def test_num_leaves_respected(self):
+        X, y = binary_data(n=500)
+        model = LGBMClassifier(n_estimators=3, num_leaves=4,
+                               min_child_samples=1, random_state=0)
+        model.fit(X, y)
+        for round_trees in model.trees_:
+            for tree in round_trees:
+                assert tree.n_leaves <= 4
+
+    def test_goss_still_learns(self):
+        X, y = binary_data(n=600)
+        Xt, yt = binary_data(seed=3, n=300)
+        model = LGBMClassifier(n_estimators=60, goss=True, top_rate=0.2,
+                               other_rate=0.2, random_state=0).fit(X, y)
+        assert (model.predict(Xt) == yt).mean() > 0.75
+
+    def test_invalid_goss_rates(self):
+        with pytest.raises(ValueError):
+            LGBMClassifier(goss=True, top_rate=0.9, other_rate=0.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LGBMClassifier(num_leaves=1)
+        with pytest.raises(ValueError):
+            LGBMClassifier(n_estimators=0)

@@ -1,0 +1,152 @@
+"""Tests for the exact CART trees (the reference implementation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.tree import (DecisionTreeClassifier, DecisionTreeRegressor,
+                           resolve_max_features)
+
+
+class TestResolveMaxFeatures:
+    def test_variants(self):
+        assert resolve_max_features(None, 10) == 10
+        assert resolve_max_features("sqrt", 16) == 4
+        assert resolve_max_features("log2", 16) == 4
+        assert resolve_max_features(3, 10) == 3
+        assert resolve_max_features(0.5, 10) == 5
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            resolve_max_features("cube", 10)
+        with pytest.raises(ValueError):
+            resolve_max_features(0, 10)
+        with pytest.raises(ValueError):
+            resolve_max_features(1.5, 10)
+        with pytest.raises(TypeError):
+            resolve_max_features([], 10)
+
+
+class TestClassifier:
+    def test_separable_1d(self):
+        X = [[0.0], [1.0], [2.0], [3.0]]
+        y = [0, 0, 1, 1]
+        model = DecisionTreeClassifier().fit(X, y)
+        assert list(model.predict([[0.5], [2.5]])) == [0, 1]
+        assert model.predict_proba([[0.5]])[0, 0] == 1.0
+
+    def test_conjunction_needs_depth_two(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 10, dtype=float)
+        y = (X[:, 0].astype(int) & X[:, 1].astype(int))
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert (shallow.predict(X) == y).mean() < 1.0
+        assert (deep.predict(X) == y).mean() == 1.0
+
+    def test_zero_gain_split_not_taken(self):
+        # XOR: every single split has zero gini gain, so CART stays a stump.
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 5, dtype=float)
+        y = (X[:, 0].astype(int) ^ X[:, 1].astype(int))
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.node_count == 1
+
+    def test_string_labels(self):
+        model = DecisionTreeClassifier().fit([[0.0], [1.0]], ["a", "b"])
+        assert list(model.predict([[0.0], [1.0]])) == ["a", "b"]
+
+    def test_sample_weight_shifts_majority(self):
+        X = [[0.0], [0.0], [0.0]]
+        y = [0, 0, 1]
+        w = [1.0, 1.0, 10.0]
+        model = DecisionTreeClassifier().fit(X, y, sample_weight=w)
+        assert model.predict([[0.0]])[0] == 1
+
+    def test_min_samples_leaf_respected(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(int)
+        model = DecisionTreeClassifier(min_samples_leaf=20).fit(X, y)
+        # a tree that honours 20-sample leaves has at most 5 leaves
+        leaves = sum(1 for f in model._nodes.feature if f == -1)
+        assert leaves <= 5
+
+    def test_max_depth_limits_depth(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 4))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        model = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert model.depth <= 3
+
+    def test_entropy_criterion_works(self):
+        X = [[0.0], [1.0], [2.0], [3.0]]
+        y = [0, 0, 1, 1]
+        model = DecisionTreeClassifier(criterion="entropy").fit(X, y)
+        assert (model.predict(X) == np.asarray(y)).all()
+
+    def test_feature_importances_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(200, 5))
+        y = (X[:, 2] > 0).astype(int)
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+        assert np.argmax(model.feature_importances_) == 2
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit([[0.0]], [0, 1])
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.empty((0, 2)), [])
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(criterion="nope")
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict([[0.0]])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_training_accuracy_beats_majority(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 4))
+        y = rng.integers(0, 3, size=60)
+        model = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        accuracy = (model.predict(X) == y).mean()
+        majority = np.bincount(y).max() / 60
+        assert accuracy >= majority - 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_unlimited_tree_interpolates_distinct_points(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.permutation(40).reshape(-1, 1).astype(float)
+        y = rng.integers(0, 2, size=40)
+        model = DecisionTreeClassifier().fit(X, y)
+        assert (model.predict(X) == y).all()
+
+
+class TestRegressor:
+    def test_piecewise_constant(self):
+        X = [[0.0], [1.0], [10.0], [11.0]]
+        y = [1.0, 1.0, 5.0, 5.0]
+        model = DecisionTreeRegressor().fit(X, y)
+        predictions = model.predict([[0.5], [10.5]])
+        assert predictions[0] == pytest.approx(1.0)
+        assert predictions[1] == pytest.approx(5.0)
+
+    def test_leaf_value_is_weighted_mean(self):
+        X = [[0.0], [0.0]]
+        y = [0.0, 10.0]
+        model = DecisionTreeRegressor().fit(X, y, sample_weight=[3.0, 1.0])
+        assert model.predict([[0.0]])[0] == pytest.approx(2.5)
+
+    def test_variance_reduction_on_linear_data(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, size=(300, 1))
+        y = 4.0 * X[:, 0]
+        model = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        residual = np.mean((model.predict(X) - y) ** 2)
+        assert residual < np.var(y) * 0.05
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit([[0.0]], [1.0, 2.0])

@@ -1,0 +1,76 @@
+"""Package-level sanity: exports, version, docs and deliverables exist."""
+
+import pathlib
+
+import pytest
+
+import repro
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.core
+        import repro.datasets
+        import repro.experiments
+        import repro.faults
+        import repro.hbm
+        import repro.ml
+        import repro.telemetry
+        for module in (repro.core, repro.ml, repro.hbm, repro.telemetry,
+                       repro.faults, repro.analysis, repro.datasets):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_import_order_independent(self):
+        """Any package may be imported first (no hidden cycles)."""
+        import importlib
+        import subprocess
+        import sys
+        for first in ("repro.analysis", "repro.faults", "repro.core",
+                      "repro.datasets"):
+            code = subprocess.run(
+                [sys.executable, "-c", f"import {first}"],
+                capture_output=True)
+            assert code.returncode == 0, code.stderr.decode()[:500]
+
+
+class TestDeliverables:
+    @pytest.mark.parametrize("name", [
+        "README.md", "DESIGN.md", "EXPERIMENTS.md", "pyproject.toml",
+        "docs/ARCHITECTURE.md", "docs/API_GUIDE.md",
+    ])
+    def test_docs_exist(self, name):
+        assert (ROOT / name).is_file(), name
+
+    def test_examples_present_and_documented(self):
+        examples = sorted(p.name for p in (ROOT / "examples").glob("*.py"))
+        assert "quickstart.py" in examples
+        assert len(examples) >= 5
+
+    def test_benchmarks_cover_every_table_and_figure(self):
+        names = {p.name for p in (ROOT / "benchmarks").glob("test_*.py")}
+        for required in ("test_table1_sudden_ratio.py",
+                         "test_table2_dataset_summary.py",
+                         "test_table3_pattern_classification.py",
+                         "test_table4_crossrow_prediction.py",
+                         "test_fig3a_pattern_examples.py",
+                         "test_fig3b_pattern_distribution.py",
+                         "test_fig4_locality_chisquare.py"):
+            assert required in names
+
+    def test_design_documents_substitutions(self):
+        text = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        assert "paper used" in text.lower() or "We build" in text
+        assert "Cordial" in text
+
+    def test_experiments_records_paper_vs_measured(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        for marker in ("Table I", "Table IV", "Figure 4", "Paper",
+                       "Measured"):
+            assert marker in text

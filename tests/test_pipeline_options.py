@@ -1,0 +1,70 @@
+"""Tests for Cordial's configuration options (one-shot mode, fixed
+threshold, custom windows and triggers)."""
+
+import pytest
+
+from repro.core.features import CrossRowWindow
+from repro.core.pipeline import Cordial
+
+
+class TestRepredictionOption:
+    def test_reprediction_never_hurts_icr(self, small_dataset, bank_split):
+        train, test = bank_split
+        one_shot = Cordial(model_name="LightGBM", repredict_each_uer=False,
+                           random_state=0)
+        one_shot.fit(small_dataset, train)
+        continuous = Cordial(model_name="LightGBM",
+                             repredict_each_uer=True, random_state=0)
+        continuous.fit(small_dataset, train)
+        icr_once = one_shot.evaluate(small_dataset, test).icr
+        icr_cont = continuous.evaluate(small_dataset, test).icr
+        assert icr_cont.icr >= icr_once.icr - 0.01
+        # re-prediction can only spend more rows
+        assert icr_cont.spared_rows >= icr_once.spared_rows
+
+
+class TestFixedThreshold:
+    def test_extreme_threshold_flags_nothing(self, small_dataset,
+                                             bank_split):
+        train, test = bank_split
+        model = Cordial(model_name="LightGBM", threshold=0.99,
+                        repredict_each_uer=False, random_state=0)
+        model.fit(small_dataset, train)
+        assert model.predictor.effective_threshold == 0.99
+        evaluation = model.evaluate(small_dataset, test)
+        # almost nothing flagged -> recall collapses, bank sparing remains
+        assert evaluation.block_scores.recall <= 0.2
+
+    def test_low_threshold_floods(self, small_dataset, bank_split):
+        train, test = bank_split
+        eager = Cordial(model_name="LightGBM", threshold=0.05,
+                        repredict_each_uer=False, random_state=0)
+        eager.fit(small_dataset, train)
+        strict = Cordial(model_name="LightGBM", threshold=0.9,
+                         repredict_each_uer=False, random_state=0)
+        strict.fit(small_dataset, train)
+        rows_eager = eager.evaluate(small_dataset, test).icr.spared_rows
+        rows_strict = strict.evaluate(small_dataset, test).icr.spared_rows
+        assert rows_eager >= rows_strict
+
+
+class TestWindowAndTrigger:
+    def test_custom_window_changes_block_count(self, small_dataset,
+                                               bank_split):
+        train, _ = bank_split
+        model = Cordial(model_name="LightGBM",
+                        window=CrossRowWindow(half_window=32, block_rows=8),
+                        random_state=0)
+        model.fit(small_dataset, train)
+        assert model.predictor.window.n_blocks == 8
+
+    def test_trigger_two_triggers_more_banks(self, small_dataset,
+                                             bank_split):
+        from repro.core.pipeline import collect_triggers
+        banks = small_dataset.uer_banks
+        assert (len(collect_triggers(small_dataset, banks, 2))
+                >= len(collect_triggers(small_dataset, banks, 3)))
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            Cordial(threshold=1.5)

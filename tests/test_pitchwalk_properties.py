@@ -1,0 +1,97 @@
+"""Property tests for the pitch-walk kernel (the load-bearing fault model).
+
+The whole reproduction argument rests on this kernel producing three
+behaviours simultaneously (DESIGN.md §4.3); these tests pin each one as a
+randomised invariant rather than a single calibration number.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.processes import FaultProcessParams, PitchWalkKernel
+
+
+def make_kernel(seed, anchor=16000, params=None):
+    params = params or FaultProcessParams()
+    return PitchWalkKernel([anchor], params,
+                           np.random.default_rng(seed)), params
+
+
+class TestStructure:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_pitch_in_configured_range(self, seed):
+        kernel, params = make_kernel(seed)
+        low, high = params.pitch_range
+        assert low <= kernel.pitch <= high
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_lattice_positions_evenly_spaced(self, seed):
+        kernel, _ = make_kernel(seed)
+        for lattice in kernel.lattices:
+            gaps = {b - a for a, b in zip(lattice, lattice[1:])}
+            assert gaps == {kernel.pitch}
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_rows_stay_in_bank(self, seed):
+        kernel, params = make_kernel(seed)
+        rng = np.random.default_rng(seed + 1)
+        rows = kernel.plan_uer_rows(12, rng)
+        assert all(0 <= row < params.rows for row in rows)
+        for _ in range(50):
+            assert 0 <= kernel.noise_row(rng) < params.rows
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_planned_rows_distinct(self, seed):
+        kernel, _ = make_kernel(seed)
+        rows = kernel.plan_uer_rows(10, np.random.default_rng(seed + 2))
+        assert len(rows) == len(set(rows))
+
+
+class TestWalkBehaviour:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_most_rows_near_lattice(self, seed):
+        """Rows sit within jitter+adjacency distance of a lattice
+        position, apart from the small outlier fraction."""
+        kernel, params = make_kernel(seed)
+        rows = kernel.plan_uer_rows(10, np.random.default_rng(seed + 3))
+        lattice = np.asarray(kernel.lattices[0])
+        near = sum(np.abs(lattice - row).min() <= params.walk_jitter + 4
+                   for row in rows)
+        assert near >= 0.6 * len(rows)
+
+    def test_deterministic_walk_marches(self):
+        """Deterministic kernels produce exact single-pitch steps (between
+        special moves), the signature the cross-row features key on."""
+        exact_steps = total_steps = 0
+        for seed in range(200):
+            kernel, _ = make_kernel(seed)
+            if not kernel.deterministic:
+                continue
+            rows = kernel.plan_uer_rows(6, np.random.default_rng(seed + 4))
+            for a, b in zip(rows, rows[1:]):
+                total_steps += 1
+                if abs(b - a) in (kernel.pitch, 2 * kernel.pitch):
+                    exact_steps += 1
+        assert total_steps > 100
+        assert exact_steps / total_steps > 0.6
+
+    def test_deterministic_fraction_near_parameter(self):
+        params = FaultProcessParams()
+        flags = [make_kernel(seed)[0].deterministic
+                 for seed in range(400)]
+        assert abs(np.mean(flags) - params.deterministic_walk_frac) < 0.08
+
+    def test_double_cluster_kernel_uses_both_lattices(self):
+        params = FaultProcessParams()
+        kernel = PitchWalkKernel([8000, 8000 + 4096], params,
+                                 np.random.default_rng(0))
+        rows = kernel.plan_uer_rows(20, np.random.default_rng(1))
+        near_first = sum(abs(r - 8000) < 2048 for r in rows)
+        near_second = sum(abs(r - 12096) < 2048 for r in rows)
+        assert near_first > 0 and near_second > 0

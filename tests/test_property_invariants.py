@@ -1,0 +1,156 @@
+"""Cross-cutting property tests: the invariants that hold the system up.
+
+These complement the per-module tests with randomised checks across
+module boundaries: histogram growers vs the exact reference tree, replay
+accounting bounds, generator determinism at odd scales, and fuzzing of
+the MCE parser.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml._binning import BinMapper
+from repro.ml._hist import TreeParams, grow_classification_tree
+from repro.ml.tree import DecisionTreeClassifier
+from repro.telemetry.mcelog import MCELogError, read_mce_log
+
+
+class TestHistVsExactEquivalence:
+    """On data whose distinct values all fit into bins, histogram splits
+    see the same candidate set as exact CART — predictions must agree."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_agreement_on_coarse_data(self, seed):
+        rng = np.random.default_rng(seed)
+        # few distinct values per feature -> binning is lossless
+        X = rng.integers(0, 12, size=(150, 3)).astype(float)
+        y = ((X[:, 0] > 5) ^ (X[:, 1] > 7)).astype(np.int64)
+        exact = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        mapper = BinMapper()
+        binned = mapper.fit_transform(X)
+        tree = grow_classification_tree(
+            binned, y, np.ones(len(y)), 2, int(mapper.n_bins_.max()),
+            TreeParams(max_depth=4), np.random.default_rng(0))
+        hist_pred = np.argmax(tree.predict_value(binned), axis=1)
+        exact_pred = exact.predict(X)
+        # identical training accuracy (split sets coincide)
+        assert (hist_pred == y).mean() == pytest.approx(
+            (exact_pred == y).mean(), abs=0.02)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_hist_tree_never_worse_than_majority(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(80, 2))
+        y = rng.integers(0, 2, size=80)
+        mapper = BinMapper()
+        binned = mapper.fit_transform(X)
+        tree = grow_classification_tree(
+            binned, y, np.ones(80), 2, int(mapper.n_bins_.max()),
+            TreeParams(max_depth=6), np.random.default_rng(0))
+        predictions = np.argmax(tree.predict_value(binned), axis=1)
+        majority = max(np.bincount(y)) / 80
+        assert (predictions == y).mean() >= majority - 1e-9
+
+
+class TestReplayAccounting:
+    """Isolation replay results always satisfy the accounting identities."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_icr_result_bounds(self, seed):
+        from repro.core.isolation import IsolationReplay
+        rng = np.random.default_rng(seed)
+        replay = IsolationReplay(spares_per_bank=8)
+        banks = [(0, 0, 0, 0, 0, 0, 0, b) for b in range(4)]
+        for _ in range(20):
+            bank = banks[rng.integers(0, 4)]
+            if rng.random() < 0.2:
+                replay.isolate_bank(bank, float(rng.uniform(0, 100)))
+            else:
+                rows = rng.integers(0, 50, size=rng.integers(1, 5))
+                replay.isolate_rows(bank, rows.tolist(),
+                                    float(rng.uniform(0, 100)))
+        truth = {bank: [(float(rng.uniform(0, 120)), int(r))
+                        for r in rng.integers(0, 50,
+                                              size=rng.integers(0, 6))]
+                 for bank in banks}
+        result = replay.result(truth)
+        assert 0 <= result.covered_rows <= result.total_rows
+        assert result.covered_by_bank_sparing <= result.covered_rows
+        assert 0.0 <= result.icr <= 1.0
+        assert result.icr_row_sparing_only <= result.icr
+        assert result.spared_rows <= 8 * len(banks)
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 500), st.sampled_from([0.015, 0.03, 0.05]))
+    def test_determinism_across_scales(self, seed, scale):
+        from repro.datasets import FleetGenConfig, generate_fleet_dataset
+        a = generate_fleet_dataset(FleetGenConfig(scale=scale), seed=seed)
+        b = generate_fleet_dataset(FleetGenConfig(scale=scale), seed=seed)
+        assert len(a.store) == len(b.store)
+        assert a.uer_banks == b.uer_banks
+
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(0, 100))
+    def test_every_uer_bank_has_ground_truth_pattern(self, seed):
+        from repro.datasets import FleetGenConfig, generate_fleet_dataset
+        dataset = generate_fleet_dataset(FleetGenConfig(scale=0.02),
+                                         seed=seed)
+        for bank in dataset.uer_banks:
+            assert dataset.bank_truth[bank].pattern is not None
+
+
+class TestMCEFuzzing:
+    HEADER = '{"format": "cordial-mce-log", "version": 1}\n'
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(min_size=1, max_size=80).filter(
+        lambda s: s.strip() and "\n" not in s and "\r" not in s))
+    def test_garbage_lines_raise_mcelog_error(self, garbage):
+        stream = io.StringIO(self.HEADER + garbage + "\n")
+        try:
+            read_mce_log(stream)
+        except MCELogError:
+            pass  # expected for anything malformed
+        # a line that *is* valid JSON but not a record must also raise
+        stream = io.StringIO(self.HEADER + json.dumps({"x": 1}) + "\n")
+        with pytest.raises(MCELogError):
+            read_mce_log(stream)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.dictionaries(st.sampled_from(["ts", "seq", "type", "addr"]),
+                           st.one_of(st.none(), st.text(max_size=5),
+                                     st.integers(-10, 10))))
+    def test_partial_records_never_crash_uncontrolled(self, obj):
+        stream = io.StringIO(self.HEADER + json.dumps(obj) + "\n")
+        with pytest.raises(MCELogError):
+            read_mce_log(stream)
+
+
+class TestWindowProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(8, 256), st.sampled_from([4, 8, 16]),
+           st.integers(0, 32767), st.integers(0, 32767))
+    def test_block_of_row_consistent_with_ranges(self, half, block_rows,
+                                                 last, row):
+        from repro.core.features import CrossRowWindow
+        if (2 * half) % block_rows != 0:
+            half = block_rows * (half // block_rows)
+            if half == 0:
+                return
+        window = CrossRowWindow(half_window=half, block_rows=block_rows)
+        block = window.block_of_row(last, row)
+        if block == -1:
+            assert abs(row - last) > half or row - last >= half \
+                or last - row > half
+        else:
+            start, end = window.block_range(last, block)
+            assert start <= row < end or end == start  # clipped at edges

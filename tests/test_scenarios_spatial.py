@@ -1,0 +1,123 @@
+"""Tests for what-if scenarios and the spatial profile analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spatial import (bank_spatial_stats, column_concentration,
+                                    fleet_spatial_profile,
+                                    format_spatial_profile)
+from repro.datasets import generate_fleet_dataset
+from repro.faults.scenarios import SCENARIOS, list_scenarios
+from repro.faults.types import FailurePattern, FaultType
+
+
+class TestScenarios:
+    def test_registry_complete(self):
+        assert "baseline" in list_scenarios()
+        assert len(list_scenarios()) >= 5
+
+    def test_all_scenarios_generate(self):
+        for name, factory in SCENARIOS.items():
+            dataset = generate_fleet_dataset(factory(scale=0.02), seed=1)
+            assert len(dataset.store) > 100, name
+
+    def test_aged_fleet_has_more_faults(self):
+        base = generate_fleet_dataset(SCENARIOS["baseline"](0.05), seed=2)
+        aged = generate_fleet_dataset(SCENARIOS["aged-fleet"](0.05), seed=2)
+        assert len(aged.uer_banks) > 1.4 * len(base.uer_banks)
+
+    def test_tsv_dominant_shifts_pattern_mix(self):
+        base = generate_fleet_dataset(SCENARIOS["baseline"](0.1), seed=3)
+        tsv = generate_fleet_dataset(SCENARIOS["tsv-dominant"](0.1), seed=3)
+
+        def scattered_share(dataset):
+            patterns = [t.pattern for t in dataset.bank_truth.values()
+                        if t.pattern is not None]
+            return (sum(p is FailurePattern.SCATTERED for p in patterns)
+                    / len(patterns))
+
+        assert scattered_share(tsv) > scattered_share(base) + 0.1
+
+    def test_ce_storm_multiplies_events(self):
+        base = generate_fleet_dataset(SCENARIOS["baseline"](0.05), seed=4)
+        storm = generate_fleet_dataset(SCENARIOS["ce-storm"](0.05), seed=4)
+        assert len(storm.store) > 2 * len(base.store)
+
+    def test_sudden_heavy_drops_bank_predictability(self):
+        from repro.analysis.sudden import compute_sudden_uer_table
+        from repro.hbm.address import MicroLevel
+        base = generate_fleet_dataset(SCENARIOS["baseline"](0.1), seed=5)
+        sudden = generate_fleet_dataset(SCENARIOS["sudden-heavy"](0.1),
+                                        seed=5)
+        ratio_base = compute_sudden_uer_table(
+            base.store)[MicroLevel.BANK].predictable_ratio
+        ratio_sudden = compute_sudden_uer_table(
+            sudden.store)[MicroLevel.BANK].predictable_ratio
+        assert ratio_sudden < ratio_base
+
+    def test_fast_failing_compresses_timelines(self):
+        from repro.analysis.temporal import uer_acceleration
+        base = generate_fleet_dataset(SCENARIOS["baseline"](0.1), seed=6)
+        fast = generate_fleet_dataset(SCENARIOS["fast-failing"](0.1),
+                                      seed=6)
+        first_base, _ = uer_acceleration(base.store)
+        first_fast, _ = uer_acceleration(fast.store)
+        assert first_fast < first_base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SCENARIOS["aged-fleet"](0.1, aging_factor=0.5)
+        with pytest.raises(ValueError):
+            SCENARIOS["ce-storm"](0.1, storm_factor=0.5)
+
+
+class TestSpatialAnalysis:
+    def test_column_concentration_bounds(self):
+        assert column_concentration([7, 7, 7]) == 1.0
+        assert column_concentration(list(range(10))) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            column_concentration([])
+
+    def test_bank_stats_on_fleet(self, small_dataset):
+        bank = small_dataset.uer_banks[0]
+        stats = bank_spatial_stats(small_dataset.store, bank)
+        assert stats is not None
+        assert stats.n_uer_rows >= 1
+        assert stats.span >= 0
+        assert stats.n_clusters >= 1
+        assert 0 < stats.column_concentration <= 1
+
+    def test_none_for_ce_only_bank(self, small_dataset):
+        ce_only = next(k for k, t in small_dataset.bank_truth.items()
+                       if not t.uer_row_sequence)
+        assert bank_spatial_stats(small_dataset.store, ce_only) is None
+
+    def test_profile_separates_patterns(self, small_dataset):
+        pattern_of = {k: t.pattern.value
+                      for k, t in small_dataset.bank_truth.items()
+                      if t.pattern is not None}
+        profile = fleet_spatial_profile(small_dataset.store, pattern_of,
+                                        min_uer_rows=3)
+        single = profile.get(FailurePattern.SINGLE_ROW.value)
+        scattered = profile.get(FailurePattern.SCATTERED.value)
+        assert single and scattered
+        # the defining spatial contrast of Figure 3
+        assert single["median_span"] < scattered["median_span"]
+
+    def test_whole_column_concentration_visible(self, small_dataset):
+        from repro.faults.types import FIG3B_SLICE_LABELS
+        labels = {k: FIG3B_SLICE_LABELS[t.fault_type]
+                  for k, t in small_dataset.bank_truth.items()
+                  if t.fault_type is not FaultType.CELL_FAULT}
+        profile = fleet_spatial_profile(small_dataset.store, labels,
+                                        min_uer_rows=2)
+        column = profile.get("Whole Column")
+        single = profile.get("Single-row Clustering")
+        if column and single:
+            assert (column["median_column_concentration"]
+                    > single["median_column_concentration"])
+
+    def test_format_renders(self, small_dataset):
+        profile = fleet_spatial_profile(small_dataset.store)
+        text = format_spatial_profile(profile)
+        assert "col-conc" in text

@@ -1,0 +1,109 @@
+"""Tests for the sliding-window aggregator and alarm rules."""
+
+import pytest
+
+from repro.hbm.address import DeviceAddress, MicroLevel
+from repro.telemetry.aggregator import (Alarm, AlarmRule,
+                                        SlidingWindowAggregator,
+                                        default_rules)
+from repro.telemetry.events import ErrorRecord, ErrorType
+
+
+def rec(seq, t, error_type=ErrorType.CE, bank=0, row=0):
+    address = DeviceAddress(node=0, npu=0, hbm=0, sid=0, channel=0,
+                            pseudo_channel=0, bank_group=0, bank=bank,
+                            row=row, column=0)
+    return ErrorRecord(timestamp=t, sequence=seq, address=address,
+                       error_type=error_type)
+
+
+def ce_rule(threshold=3, window=100.0):
+    return AlarmRule(MicroLevel.BANK, ErrorType.CE, threshold=threshold,
+                     window_s=window)
+
+
+class TestAlarmRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlarmRule(MicroLevel.BANK, ErrorType.CE, threshold=0,
+                      window_s=10)
+        with pytest.raises(ValueError):
+            AlarmRule(MicroLevel.BANK, ErrorType.CE, threshold=1,
+                      window_s=0)
+
+
+class TestAggregator:
+    def test_alarm_fires_at_threshold(self):
+        agg = SlidingWindowAggregator([ce_rule(threshold=3)])
+        events = [rec(i, float(i)) for i in range(5)]
+        alarms = agg.replay(events)
+        assert len(alarms) == 1
+        assert alarms[0].count == 3
+        assert alarms[0].timestamp == 2.0
+
+    def test_window_expiry_prevents_alarm(self):
+        agg = SlidingWindowAggregator([ce_rule(threshold=3, window=10.0)])
+        # three events, but spaced wider than the window
+        events = [rec(0, 0.0), rec(1, 20.0), rec(2, 40.0)]
+        assert agg.replay(events) == []
+
+    def test_rearms_after_drain(self):
+        agg = SlidingWindowAggregator([ce_rule(threshold=2, window=10.0)])
+        events = [rec(0, 0.0), rec(1, 1.0),          # alarm 1
+                  rec(2, 100.0), rec(3, 101.0)]      # drained, alarm 2
+        alarms = agg.replay(events)
+        assert len(alarms) == 2
+
+    def test_no_storm_within_burst(self):
+        agg = SlidingWindowAggregator([ce_rule(threshold=2, window=100.0)])
+        events = [rec(i, float(i)) for i in range(10)]
+        assert len(agg.replay(events)) == 1
+
+    def test_per_unit_windows(self):
+        agg = SlidingWindowAggregator([ce_rule(threshold=2)])
+        events = [rec(0, 0.0, bank=0), rec(1, 1.0, bank=1),
+                  rec(2, 2.0, bank=0), rec(3, 3.0, bank=1)]
+        alarms = agg.replay(events)
+        assert len(alarms) == 2
+        assert {a.unit for a in alarms} == {
+            rec(0, 0, bank=0).bank_key, rec(0, 0, bank=1).bank_key}
+
+    def test_type_filter(self):
+        agg = SlidingWindowAggregator([ce_rule(threshold=1)])
+        assert agg.ingest(rec(0, 0.0, ErrorType.UER)) == []
+        assert len(agg.ingest(rec(1, 1.0, ErrorType.CE))) == 1
+
+    def test_rate_query(self):
+        agg = SlidingWindowAggregator([ce_rule(threshold=100, window=10.0)])
+        for i in range(5):
+            agg.ingest(rec(i, float(i)))
+        assert agg.rate(0, rec(0, 0).bank_key) == pytest.approx(0.5)
+        assert agg.rate(0, ("nothing",)) == 0.0
+
+    def test_alarmed_units_by_rule(self):
+        rules = [ce_rule(threshold=1),
+                 AlarmRule(MicroLevel.BANK, ErrorType.UER, 1, 100.0)]
+        agg = SlidingWindowAggregator(rules)
+        agg.replay([rec(0, 0.0, ErrorType.CE),
+                    rec(1, 1.0, ErrorType.UER, bank=1)])
+        assert agg.alarmed_units(0) == [rec(0, 0, bank=0).bank_key]
+        assert agg.alarmed_units(1) == [rec(0, 0, bank=1).bank_key]
+
+    def test_time_order_enforced(self):
+        agg = SlidingWindowAggregator([ce_rule()])
+        agg.ingest(rec(0, 10.0))
+        with pytest.raises(ValueError):
+            agg.ingest(rec(1, 5.0))
+
+    def test_needs_rules(self):
+        with pytest.raises(ValueError):
+            SlidingWindowAggregator([])
+
+    def test_default_rules_on_fleet(self, small_dataset):
+        agg = SlidingWindowAggregator(default_rules())
+        alarms = agg.replay(small_dataset.store)
+        assert alarms, "a degrading fleet must raise alarms"
+        uer_alarms = [a for a in alarms if a.error_type is ErrorType.UER]
+        # UER-alarmed banks are a subset of the true UER banks
+        uer_banks = set(small_dataset.uer_banks)
+        assert {a.unit for a in uer_alarms} <= uer_banks

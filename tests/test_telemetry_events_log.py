@@ -1,0 +1,115 @@
+"""Tests for error records and MCE-log serialisation."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hbm.address import DeviceAddress
+from repro.hbm.ecc import ECCOutcome
+from repro.telemetry.events import Detector, ErrorRecord, ErrorType
+from repro.telemetry.mcelog import (MCELogError, iter_mce_log, read_mce_log,
+                                    write_mce_log)
+
+
+def make_record(seq=0, t=1.0, row=5, error_type=ErrorType.CE):
+    address = DeviceAddress(node=1, npu=2, hbm=3, sid=0, channel=4,
+                            pseudo_channel=1, bank_group=2, bank=3,
+                            row=row, column=9)
+    return ErrorRecord(timestamp=t, sequence=seq, address=address,
+                       error_type=error_type)
+
+
+class TestErrorRecord:
+    def test_ordering_by_time_then_sequence(self):
+        a = make_record(seq=0, t=1.0)
+        b = make_record(seq=1, t=1.0)
+        c = make_record(seq=0, t=2.0)
+        assert a < b < c
+
+    def test_type_conversions(self):
+        assert ErrorType.from_ecc(ECCOutcome.UER) is ErrorType.UER
+        assert ErrorType.UEO.to_ecc() is ECCOutcome.UEO
+        assert ErrorType.CE.is_uncorrectable is False
+        assert ErrorType.UER.is_uncorrectable is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_record(t=-1.0)
+        with pytest.raises(ValueError):
+            ErrorRecord(timestamp=0.0, sequence=0,
+                        address=make_record().address,
+                        error_type=ErrorType.CE, bit_count=0)
+
+
+class TestMCELog:
+    def _records(self, n=5):
+        return [make_record(seq=i, t=float(i), row=i,
+                            error_type=list(ErrorType)[i % 3])
+                for i in range(n)]
+
+    def test_roundtrip_stream(self):
+        records = self._records()
+        buffer = io.StringIO()
+        assert write_mce_log(records, buffer) == len(records)
+        buffer.seek(0)
+        loaded = read_mce_log(buffer)
+        assert loaded == records
+        for original, parsed in zip(records, loaded):
+            assert parsed.address == original.address
+            assert parsed.error_type == original.error_type
+
+    def test_roundtrip_file(self, tmp_path):
+        path = tmp_path / "events.mce"
+        records = self._records(7)
+        write_mce_log(records, path)
+        assert read_mce_log(path) == records
+
+    def test_iter_is_lazy_and_ordered(self, tmp_path):
+        path = tmp_path / "events.mce"
+        write_mce_log(self._records(10), path)
+        timestamps = [r.timestamp for r in iter_mce_log(path)]
+        assert timestamps == sorted(timestamps)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(MCELogError, match="header"):
+            read_mce_log(io.StringIO(""))
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(MCELogError):
+            read_mce_log(io.StringIO('{"format": "something-else"}\n'))
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(MCELogError, match="version"):
+            read_mce_log(io.StringIO(
+                '{"format": "cordial-mce-log", "version": 99}\n'))
+
+    def test_malformed_line_reports_line_number(self):
+        buffer = io.StringIO()
+        write_mce_log(self._records(2), buffer)
+        text = buffer.getvalue() + "not json\n"
+        with pytest.raises(MCELogError, match="line 4"):
+            read_mce_log(io.StringIO(text))
+
+    def test_address_mismatch_detected(self):
+        buffer = io.StringIO()
+        write_mce_log(self._records(1), buffer)
+        lines = buffer.getvalue().splitlines()
+        tampered = lines[1].replace('"row": 0', '"row": 1')
+        assert tampered != lines[1]
+        text = lines[0] + "\n" + tampered + "\n"
+        with pytest.raises(MCELogError, match="disagree"):
+            read_mce_log(io.StringIO(text))
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO()
+        write_mce_log(self._records(2), buffer)
+        text = buffer.getvalue().replace("\n", "\n\n")
+        assert len(read_mce_log(io.StringIO(text))) == 2
+
+    @given(st.integers(0, 2 ** 20))
+    def test_sequence_values_roundtrip(self, seq):
+        buffer = io.StringIO()
+        write_mce_log([make_record(seq=seq)], buffer)
+        buffer.seek(0)
+        assert read_mce_log(buffer)[0].sequence == seq

@@ -1,0 +1,137 @@
+"""Tests for the indexed error store and the streaming BMC collector."""
+
+import pytest
+
+from repro.hbm.address import DeviceAddress, MicroLevel
+from repro.telemetry.collector import BMCCollector
+from repro.telemetry.events import ErrorRecord, ErrorType
+from repro.telemetry.store import ErrorStore
+
+
+def rec(seq, t, row, error_type=ErrorType.CE, bank=0, npu=0):
+    address = DeviceAddress(node=0, npu=npu, hbm=0, sid=0, channel=0,
+                            pseudo_channel=0, bank_group=0, bank=bank,
+                            row=row, column=0)
+    return ErrorRecord(timestamp=t, sequence=seq, address=address,
+                       error_type=error_type)
+
+
+class TestErrorStore:
+    def test_append_and_indexing(self):
+        store = ErrorStore([
+            rec(0, 1.0, 5, ErrorType.CE, bank=0),
+            rec(1, 2.0, 6, ErrorType.UER, bank=0),
+            rec(2, 3.0, 7, ErrorType.UER, bank=1),
+        ])
+        assert len(store) == 3
+        assert len(store.units(MicroLevel.BANK)) == 2
+        assert len(store.units_with(MicroLevel.BANK, ErrorType.UER)) == 2
+        assert len(store.units_with(MicroLevel.BANK, ErrorType.CE)) == 1
+
+    def test_order_enforced(self):
+        store = ErrorStore([rec(0, 5.0, 1)])
+        with pytest.raises(ValueError):
+            store.append(rec(1, 4.0, 2))
+
+    def test_events_for_filters_by_type(self):
+        store = ErrorStore([
+            rec(0, 1.0, 5, ErrorType.CE),
+            rec(1, 2.0, 6, ErrorType.UER),
+        ])
+        bank_key = rec(0, 1.0, 5).bank_key
+        assert len(store.events_for(MicroLevel.BANK, bank_key)) == 2
+        uers = store.events_for(MicroLevel.BANK, bank_key, ErrorType.UER)
+        assert [r.row for r in uers] == [6]
+
+    def test_first_event_of(self):
+        store = ErrorStore([
+            rec(0, 1.0, 5, ErrorType.CE),
+            rec(1, 2.0, 6, ErrorType.UER),
+            rec(2, 3.0, 7, ErrorType.UER),
+        ])
+        bank_key = rec(0, 1.0, 5).bank_key
+        first = store.first_event_of(MicroLevel.BANK, bank_key, ErrorType.UER)
+        assert first.row == 6
+        assert store.first_event_of(MicroLevel.BANK, bank_key,
+                                    ErrorType.UEO) is None
+
+    def test_has_event_before_with_window(self):
+        store = ErrorStore([
+            rec(0, 1.0, 5, ErrorType.CE),
+            rec(1, 10.0, 6, ErrorType.UER),
+        ])
+        key = rec(0, 1.0, 5).bank_key
+        kinds = (ErrorType.CE, ErrorType.UEO)
+        assert store.has_event_before(MicroLevel.BANK, key, kinds, before=10.0)
+        assert not store.has_event_before(MicroLevel.BANK, key, kinds,
+                                          before=10.0, since=5.0)
+        assert not store.has_event_before(MicroLevel.BANK, key, kinds,
+                                          before=1.0)
+
+    def test_uer_rows_of_bank_dedup_in_order(self):
+        store = ErrorStore([
+            rec(0, 1.0, 9, ErrorType.UER),
+            rec(1, 2.0, 3, ErrorType.UER),
+            rec(2, 3.0, 9, ErrorType.UER),
+        ])
+        key = rec(0, 1.0, 9).bank_key
+        assert [r.row for r in store.uer_rows_of_bank(key)] == [9, 3]
+
+    def test_banks_with_min_uer_rows(self):
+        store = ErrorStore([
+            rec(0, 1.0, 1, ErrorType.UER, bank=0),
+            rec(1, 2.0, 2, ErrorType.UER, bank=0),
+            rec(2, 3.0, 1, ErrorType.UER, bank=1),
+        ])
+        assert len(store.banks_with_min_uer_rows(2)) == 1
+        assert len(store.banks_with_min_uer_rows(1)) == 2
+
+
+class TestBMCCollector:
+    def test_trigger_fires_on_third_distinct_uer_row(self):
+        collector = BMCCollector(trigger_uer_rows=3)
+        events = [
+            rec(0, 1.0, 10, ErrorType.CE),
+            rec(1, 2.0, 11, ErrorType.UER),
+            rec(2, 3.0, 11, ErrorType.UER),   # repeat row: no new row
+            rec(3, 4.0, 12, ErrorType.UER),
+            rec(4, 5.0, 13, ErrorType.UER),   # third distinct row
+        ]
+        triggers = list(collector.replay(events))
+        assert len(triggers) == 1
+        trigger = triggers[0]
+        assert trigger.uer_rows == (11, 12, 13)
+        assert trigger.timestamp == 5.0
+        assert len(trigger.history) == 5
+
+    def test_trigger_fires_once_per_bank(self):
+        collector = BMCCollector(trigger_uer_rows=2)
+        events = [rec(i, float(i), row=i, error_type=ErrorType.UER)
+                  for i in range(6)]
+        triggers = list(collector.replay(events))
+        assert len(triggers) == 1
+
+    def test_history_snapshot_is_immutable_copy(self):
+        collector = BMCCollector(trigger_uer_rows=1)
+        trigger = collector.ingest(rec(0, 1.0, 5, ErrorType.UER))
+        assert trigger is not None
+        collector.ingest(rec(1, 2.0, 6, ErrorType.CE))
+        assert len(trigger.history) == 1  # unchanged by later events
+
+    def test_independent_banks(self):
+        collector = BMCCollector(trigger_uer_rows=1)
+        t0 = collector.ingest(rec(0, 1.0, 5, ErrorType.UER, bank=0))
+        t1 = collector.ingest(rec(1, 2.0, 7, ErrorType.UER, bank=1))
+        assert t0 is not None and t1 is not None
+        assert t0.bank_key != t1.bank_key
+        assert len(collector.triggered_banks) == 2
+
+    def test_time_order_enforced(self):
+        collector = BMCCollector()
+        collector.ingest(rec(0, 5.0, 1))
+        with pytest.raises(ValueError):
+            collector.ingest(rec(1, 4.0, 2))
+
+    def test_invalid_trigger_count(self):
+        with pytest.raises(ValueError):
+            BMCCollector(trigger_uer_rows=0)
