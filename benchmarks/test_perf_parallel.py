@@ -1,0 +1,64 @@
+"""Perf smoke test of the sharded parallel generation engine.
+
+Asserts that sharded generation at ``scale=2.0, jobs=4`` is no slower
+than the sequential path (within a small jitter margin) and records the
+timings to a ``BENCH_parallel.json`` artifact.  Skipped on machines with
+fewer than 4 cores, where process parallelism cannot win.
+
+Tunables: ``REPRO_PERF_SCALE`` (default 2.0), ``REPRO_PERF_JOBS``
+(default 4), ``REPRO_PERF_OUTPUT`` (default ``BENCH_parallel.json`` in
+the working directory).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.datasets import FleetGenConfig, fleet_digest, generate_fleet_dataset
+
+PERF_SCALE = float(os.environ.get("REPRO_PERF_SCALE", "2.0"))
+PERF_JOBS = int(os.environ.get("REPRO_PERF_JOBS", "4"))
+PERF_SEED = int(os.environ.get("REPRO_PERF_SEED", "0"))
+PERF_OUTPUT = os.environ.get("REPRO_PERF_OUTPUT", "BENCH_parallel.json")
+
+#: Allowed jitter: "no slower" with a margin that absorbs CI noise.
+SLOWDOWN_TOLERANCE = 1.10
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < PERF_JOBS,
+                    reason=f"needs >= {PERF_JOBS} cores for process "
+                           "parallelism to pay off")
+def test_sharded_generation_not_slower_than_sequential():
+    config = FleetGenConfig(scale=PERF_SCALE)
+
+    start = time.perf_counter()
+    sequential = generate_fleet_dataset(config, seed=PERF_SEED, jobs=1)
+    t_sequential = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = generate_fleet_dataset(config, seed=PERF_SEED,
+                                      jobs=PERF_JOBS)
+    t_parallel = time.perf_counter() - start
+
+    record = {
+        "scale": PERF_SCALE,
+        "seed": PERF_SEED,
+        "jobs": PERF_JOBS,
+        "events": len(sequential.store),
+        "sequential_s": round(t_sequential, 3),
+        "parallel_s": round(t_parallel, 3),
+        "speedup": round(t_sequential / t_parallel, 3),
+        "cpu_count": os.cpu_count(),
+    }
+    with open(PERF_OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"\nparallel generation: {record}")
+
+    # The perf claim never compromises the determinism contract.
+    assert fleet_digest(sequential) == fleet_digest(parallel)
+    assert t_parallel <= t_sequential * SLOWDOWN_TOLERANCE, (
+        f"sharded generation slower than sequential: {t_parallel:.2f}s vs "
+        f"{t_sequential:.2f}s (timings in {PERF_OUTPUT})")

@@ -47,10 +47,21 @@ def _load_store(path: str) -> ErrorStore:
 
 # -- subcommands -----------------------------------------------------------------
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
-    """Synthesise a fleet and write its MCE log."""
+    """Synthesise a fleet and write its MCE log.
+
+    ``--jobs`` shards fault realisation over worker processes; the log is
+    bit-identical for any value (the dataset determinism contract).
+    """
     dataset = generate_fleet_dataset(FleetGenConfig(scale=args.scale),
-                                     seed=args.seed)
+                                     seed=args.seed, jobs=args.jobs)
     count = write_mce_log(dataset.store, args.output)
     print(f"wrote {count:,} events ({len(dataset.uer_banks)} UER banks) "
           f"to {args.output}")
@@ -210,6 +221,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("generate", help="synthesise a fleet MCE log")
     p.add_argument("--scale", type=float, default=0.25)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes for fault realisation "
+                        "(output is identical for any value)")
     p.add_argument("--output", required=True)
     p.set_defaults(func=cmd_generate)
 

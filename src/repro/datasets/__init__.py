@@ -9,6 +9,8 @@ Figures 3-4); see DESIGN.md section 2 for the substitution argument.
 from repro.datasets.config import FleetGenConfig, CalibrationTargets
 from repro.datasets.fleetgen import FleetDataset, BankGroundTruth, generate_fleet_dataset
 from repro.datasets.calibration import CalibrationReport, measure_calibration
+from repro.datasets.digest import canonical_lines, fleet_digest
+from repro.datasets.parallel import realize_fleet, shard_by_hbm
 
 __all__ = [
     "FleetGenConfig",
@@ -18,4 +20,8 @@ __all__ = [
     "generate_fleet_dataset",
     "CalibrationReport",
     "measure_calibration",
+    "canonical_lines",
+    "fleet_digest",
+    "realize_fleet",
+    "shard_by_hbm",
 ]

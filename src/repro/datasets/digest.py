@@ -1,0 +1,82 @@
+"""Canonical serialisation and digest of a generated fleet dataset.
+
+``fleet_digest`` hashes everything the determinism contract covers — the
+full record stream (timestamps, sequence numbers, addresses, error types,
+detectors) and the per-bank ground truth — into one SHA-256 hex string.
+The golden regression test (``tests/test_determinism_golden.py``) pins a
+small-scale digest so any change to the RNG flow is an explicit,
+reviewed event rather than a silent drift.
+
+Regenerate a golden value with::
+
+    PYTHONPATH=src python -m repro.datasets.digest --scale 0.02 --seed 123
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator
+
+from repro.datasets.fleetgen import FleetDataset
+
+
+def canonical_lines(dataset: FleetDataset) -> Iterator[str]:
+    """Yield one canonical text line per record and per ground-truth bank.
+
+    Floats are rendered with ``repr`` (shortest round-trip), so identical
+    bit patterns — and only those — produce identical lines.
+    """
+    for record in dataset.store:
+        a = record.address
+        yield "|".join((
+            repr(float(record.timestamp)),
+            str(record.sequence),
+            ",".join(str(v) for v in (a.node, a.npu, a.hbm, a.sid, a.channel,
+                                      a.pseudo_channel, a.bank_group, a.bank,
+                                      a.row, a.column)),
+            record.error_type.value,
+            str(record.bit_count),
+            record.detector.value,
+        ))
+    for bank_key in sorted(dataset.bank_truth):
+        truth = dataset.bank_truth[bank_key]
+        yield "|".join((
+            ",".join(str(v) for v in truth.bank_key),
+            truth.fault_type.value if truth.fault_type else "-",
+            truth.pattern.value if truth.pattern else "-",
+            ",".join(str(r) for r in truth.anchor_rows),
+            str(truth.cluster_width),
+            ";".join(f"{repr(float(t))}@{row}"
+                     for t, row in truth.uer_row_sequence),
+        ))
+
+
+def fleet_digest(dataset: FleetDataset) -> str:
+    """SHA-256 hex digest over the canonical serialisation of a dataset."""
+    digest = hashlib.sha256()
+    for line in canonical_lines(dataset):
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def main(argv=None) -> int:
+    """Print the digest of a freshly generated fleet (golden regeneration)."""
+    import argparse
+
+    from repro.datasets.config import FleetGenConfig
+    from repro.datasets.fleetgen import generate_fleet_dataset
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=123)
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args(argv)
+    dataset = generate_fleet_dataset(FleetGenConfig(scale=args.scale),
+                                     seed=args.seed, jobs=args.jobs)
+    print(fleet_digest(dataset))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,9 +1,15 @@
 """Fleet-scale dataset generation.
 
-``generate_fleet_dataset`` plants faults, realises their error processes,
+``generate_fleet_dataset`` plants faults, realises their error processes
+(optionally across worker processes — see :mod:`repro.datasets.parallel`),
 merges everything into one time-ordered MCE stream, and returns the stream
 (indexed in an :class:`~repro.telemetry.store.ErrorStore`) together with
 per-bank ground truth for training and for the ICR replay evaluation.
+
+Determinism contract: the dataset is a pure function of ``(config, seed)``
+— the ``jobs`` argument only changes how fast it is produced, never a
+single byte of it.  ``tests/test_parallel_equivalence.py`` and the golden
+digest test pin this down.
 """
 
 from __future__ import annotations
@@ -11,11 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.datasets.config import FleetGenConfig
-from repro.faults.injector import FaultInjector, PlantedFault
-from repro.faults.processes import FaultProcess
+from repro.datasets.parallel import realize_fleet
+from repro.faults.injector import PlantedFault
 from repro.faults.types import FailurePattern, FaultType
 from repro.hbm.address import DeviceAddress
 from repro.telemetry.events import Detector, ErrorRecord, ErrorType
@@ -77,45 +81,50 @@ def _bank_key_to_address(bank_key: tuple, row: int, column: int
                          row=row, column=column)
 
 
-def _records_of_fault(fault: PlantedFault) -> List[ErrorRecord]:
+def _records_of_fault(fault_index: int, fault: PlantedFault) -> List[tuple]:
+    """Raw event tuples keyed for the deterministic merge.
+
+    The merge sort key ``(time, fault_index, event_index)`` is *total*:
+    events within a fault are already time-ordered, and cross-fault time
+    ties break on the fault's planning-order index.  Every shard
+    arrangement therefore merges into the identical stream.
+    """
     records = []
-    for event in fault.realization.events:
+    for event_index, event in enumerate(fault.realization.events):
         detector = (Detector.PATROL_SCRUB if event.kind is ErrorType.UEO
                     else Detector.DEMAND_ACCESS)
-        records.append((event.time, fault.bank_key, event.row, event.column,
-                        event.kind, detector))
+        records.append((event.time, fault_index, event_index, fault.bank_key,
+                        event.row, event.column, event.kind, detector))
     return records
 
 
 def generate_fleet_dataset(config: Optional[FleetGenConfig] = None,
-                           seed: int = 0) -> FleetDataset:
+                           seed: int = 0, jobs: int = 1) -> FleetDataset:
     """Generate one synthetic fleet dataset.
 
-    Deterministic for a given ``(config, seed)`` pair: all randomness flows
-    through one ``numpy.random.Generator``.
+    Deterministic for a given ``(config, seed)`` pair: every fault draws
+    from its own ``numpy.random.SeedSequence`` child (see
+    :mod:`repro.datasets.parallel`), so the result is bit-identical for
+    any ``jobs`` value.
+
+    Args:
+        config: fleet configuration (defaults to the calibrated paper
+            magnitude).
+        seed: root seed of the dataset.
+        jobs: worker processes for fault realisation; ``1`` (the default)
+            stays entirely in-process.
     """
     config = config or FleetGenConfig()
-    rng = np.random.default_rng(seed)
-    process = FaultProcess(config.process)
-    injector = FaultInjector(config.fleet, process=process,
-                             pattern_weights=config.pattern_weights)
-
-    uce_faults = injector.plant_uce_faults(
-        n_bad_hbms=config.scaled_bad_hbms,
-        extra_banks_mean=config.extra_banks_mean,
-        rng=rng)
-    cell_faults = injector.plant_cell_faults(
-        n_faults=config.scaled_cell_faults,
-        anchors=uce_faults,
-        rng=rng)
+    uce_faults, cell_faults = realize_fleet(config, seed, jobs=jobs)
 
     raw: List[tuple] = []
-    for fault in uce_faults + cell_faults:
-        raw.extend(_records_of_fault(fault))
-    raw.sort(key=lambda item: item[0])
+    for fault_index, fault in enumerate(uce_faults + cell_faults):
+        raw.extend(_records_of_fault(fault_index, fault))
+    raw.sort(key=lambda item: item[:3])
 
     store = ErrorStore()
-    for sequence, (time, bank_key, row, column, kind, detector) in enumerate(raw):
+    for sequence, (time, _fault_index, _event_index, bank_key, row, column,
+                   kind, detector) in enumerate(raw):
         address = _bank_key_to_address(bank_key, row, column)
         store.append(ErrorRecord(
             timestamp=time, sequence=sequence, address=address,

@@ -1,0 +1,207 @@
+"""Sharded parallel realisation engine for fleet generation.
+
+The generator's work splits into a cheap sequential *planning* phase and
+an expensive, embarrassingly parallel *realisation* phase.  The engine
+makes realisation safe to distribute by giving every planted fault its own
+``numpy.random.SeedSequence`` child, so the realised stream is a pure
+function of ``(config, seed)`` — never of the shard arrangement, the
+number of worker processes, or their completion order.
+
+Seeding contract (the determinism contract of the whole dataset layer)::
+
+    SeedSequence(seed)
+    ├── child 0  → UCE *placement* generator   (plan_uce_faults)
+    ├── child 1  → cell *placement* generator  (plan_cell_faults)
+    └── child 2  → realisation root
+         ├── spawn(n_uce)   → one child per UCE fault realisation
+         └── spawn(n_cell)  → one child per cell fault realisation
+                              (incl. its anchor retiming draws)
+
+Phases, in order:
+
+1. plan UCE placements        (sequential, placement generator)
+2. realise UCE faults         (parallel, per-fault children, sharded by HBM)
+3. plan cell placements       (sequential — needs which anchors realised
+                               a UER, but none of their realisation draws)
+4. realise + retime cell faults (parallel, per-fault children)
+5. merge shard streams        (sequential, total order, global sequence
+                               numbers — see :func:`merge_key`)
+
+``jobs=1`` runs the identical planning and per-fault seeding entirely
+in-process; ``jobs>1`` fans the realisation phases out over a
+``ProcessPoolExecutor``.  Both paths produce byte-identical datasets;
+``tests/test_parallel_equivalence.py`` and the golden digest test enforce
+this.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.config import FleetGenConfig
+from repro.faults.injector import (FaultInjector, PlantedFault,
+                                   retime_near_anchor)
+from repro.faults.processes import (FaultProcess, FaultProcessParams,
+                                    FaultRealization)
+from repro.faults.types import FaultType
+
+#: Shards per worker: enough slack that an unlucky shard (one HBM with
+#: many faults) does not serialise the tail of the pool.
+SHARDS_PER_JOB = 4
+
+
+@dataclass(frozen=True)
+class UceWork:
+    """One UCE fault realisation work unit (picklable)."""
+
+    index: int
+    fault_type: FaultType
+    emit_precursors: bool
+    seed: np.random.SeedSequence
+
+
+@dataclass(frozen=True)
+class CellWork:
+    """One cell fault realisation work unit (picklable).
+
+    ``anchor_first_uer`` carries the anchor's first UER time into the
+    worker (``None`` for uniformly placed faults), so workers never need
+    the anchor realisations themselves.
+    """
+
+    index: int
+    anchor_first_uer: Optional[float]
+    seed: np.random.SeedSequence
+
+
+def shard_by_hbm(bank_keys: Sequence[tuple], n_shards: int) -> List[List[int]]:
+    """Partition fault indexes into shards, keeping each HBM's faults
+    together.
+
+    Faults are grouped by HBM key (``bank_key[:3]``), groups are walked in
+    sorted order and dealt round-robin onto ``n_shards`` shards.  The
+    arrangement is deterministic but — thanks to per-fault seeding —
+    equivalence never depends on it.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    groups: Dict[tuple, List[int]] = {}
+    for index, bank_key in enumerate(bank_keys):
+        groups.setdefault(tuple(bank_key[:3]), []).append(index)
+    shards: List[List[int]] = [[] for _ in range(n_shards)]
+    for position, hbm_key in enumerate(sorted(groups)):
+        shards[position % n_shards].extend(groups[hbm_key])
+    return [shard for shard in shards if shard]
+
+
+def _realize_uce_shard(params: FaultProcessParams,
+                       work: List[UceWork]
+                       ) -> List[Tuple[int, FaultRealization]]:
+    """Worker: realise one shard of UCE faults (module-level, picklable)."""
+    process = FaultProcess(params)
+    out = []
+    for item in work:
+        rng = np.random.default_rng(item.seed)
+        out.append((item.index, process.realize(
+            item.fault_type, rng, emit_precursors=item.emit_precursors)))
+    return out
+
+
+def _realize_cell_shard(params: FaultProcessParams,
+                        work: List[CellWork]
+                        ) -> List[Tuple[int, FaultRealization]]:
+    """Worker: realise (and retime) one shard of cell faults."""
+    process = FaultProcess(params)
+    out = []
+    for item in work:
+        rng = np.random.default_rng(item.seed)
+        realization = process.realize(FaultType.CELL_FAULT, rng)
+        if item.anchor_first_uer is not None:
+            realization = retime_near_anchor(realization,
+                                             item.anchor_first_uer,
+                                             params, rng)
+        out.append((item.index, realization))
+    return out
+
+
+def _run_sharded(worker, params: FaultProcessParams, work: Sequence,
+                 shards: List[List[int]], jobs: int) -> List:
+    """Run ``worker`` over the shards; return realisations in work order."""
+    if jobs <= 1 or len(shards) <= 1:
+        pairs = worker(params, list(work))
+    else:
+        pairs = []
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(worker, params,
+                                   [work[i] for i in shard])
+                       for shard in shards]
+            for future in futures:
+                pairs.extend(future.result())
+    realizations: List = [None] * len(work)
+    for index, realization in pairs:
+        realizations[index] = realization
+    return realizations
+
+
+def realize_fleet(config: FleetGenConfig, seed: int, jobs: int = 1
+                  ) -> Tuple[List[PlantedFault], List[PlantedFault]]:
+    """Plan and realise the whole fleet's faults.
+
+    Returns ``(uce_faults, cell_faults)`` in planning order — identical
+    for every ``jobs`` value (see the module docstring's seeding
+    contract).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    root = np.random.SeedSequence(seed)
+    place_uce_seed, place_cell_seed, realize_root = root.spawn(3)
+    injector = FaultInjector(config.fleet,
+                             process=FaultProcess(config.process),
+                             pattern_weights=config.pattern_weights)
+
+    # Phase 1+2 — UCE faults.
+    uce_placements = injector.plan_uce_faults(
+        n_bad_hbms=config.scaled_bad_hbms,
+        extra_banks_mean=config.extra_banks_mean,
+        rng=np.random.default_rng(place_uce_seed))
+    uce_children = realize_root.spawn(len(uce_placements))
+    uce_work = [UceWork(index=i, fault_type=p.fault_type,
+                        emit_precursors=p.emit_precursors,
+                        seed=child)
+                for i, (p, child) in enumerate(zip(uce_placements,
+                                                   uce_children))]
+    n_shards = max(1, jobs * SHARDS_PER_JOB)
+    uce_shards = shard_by_hbm([p.bank_key for p in uce_placements], n_shards)
+    uce_realizations = _run_sharded(_realize_uce_shard, config.process,
+                                    uce_work, uce_shards, jobs)
+    uce_faults = [PlantedFault(bank_key=p.bank_key, fault_type=p.fault_type,
+                               realization=r)
+                  for p, r in zip(uce_placements, uce_realizations)]
+
+    # Phase 3+4 — cell faults (placement needs only which anchors have a
+    # UER; realisation children continue the same spawn counter).
+    cell_placements = injector.plan_cell_faults(
+        n_faults=config.scaled_cell_faults, anchors=uce_faults,
+        rng=np.random.default_rng(place_cell_seed))
+    cell_children = realize_root.spawn(len(cell_placements))
+    cell_work = []
+    for i, (p, child) in enumerate(zip(cell_placements, cell_children)):
+        t_star = None
+        if p.anchor_index is not None:
+            t_star = float(uce_faults[p.anchor_index]
+                           .realization.uer_row_sequence[0][0])
+        cell_work.append(CellWork(index=i, anchor_first_uer=t_star,
+                                  seed=child))
+    cell_shards = shard_by_hbm([p.bank_key for p in cell_placements],
+                               n_shards)
+    cell_realizations = _run_sharded(_realize_cell_shard, config.process,
+                                     cell_work, cell_shards, jobs)
+    cell_faults = [PlantedFault(bank_key=p.bank_key,
+                                fault_type=FaultType.CELL_FAULT,
+                                realization=r)
+                   for p, r in zip(cell_placements, cell_realizations)]
+    return uce_faults, cell_faults

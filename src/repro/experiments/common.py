@@ -7,6 +7,7 @@ keyed on ``(scale, seed)``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -28,52 +29,65 @@ class ExperimentContext:
             reduce it).
         seed: generator seed.
         split_seed: seed of the 7:3 bank split (Section V-A).
+        jobs: worker processes for dataset generation (and the default
+            concurrency of :func:`repro.experiments.runner.run_all`).
+            Never changes any result — only wall-clock time.
     """
 
     scale: float = 1.0
     seed: int = 0
     split_seed: int = 7
+    jobs: int = 1
     targets: CalibrationTargets = field(default_factory=CalibrationTargets)
     _dataset: Optional[FleetDataset] = None
     _split: Optional[Tuple[List[tuple], List[tuple]]] = None
     _models: Dict[str, Cordial] = field(default_factory=dict)
     _evaluations: Dict[str, CordialEvaluation] = field(default_factory=dict)
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False, compare=False)
 
     @property
     def dataset(self) -> FleetDataset:
         """The generated fleet (cached)."""
-        if self._dataset is None:
-            config = FleetGenConfig(scale=self.scale)
-            self._dataset = generate_fleet_dataset(config, seed=self.seed)
-        return self._dataset
+        with self._lock:
+            if self._dataset is None:
+                config = FleetGenConfig(scale=self.scale)
+                self._dataset = generate_fleet_dataset(config, seed=self.seed,
+                                                       jobs=self.jobs)
+            return self._dataset
 
     @property
     def split(self) -> Tuple[List[tuple], List[tuple]]:
         """(train_banks, test_banks), 7:3 by bank."""
-        if self._split is None:
-            self._split = train_test_split_groups(
-                self.dataset.uer_banks, test_fraction=0.3,
-                seed=self.split_seed)
-        return self._split
+        with self._lock:
+            if self._split is None:
+                self._split = train_test_split_groups(
+                    self.dataset.uer_banks, test_fraction=0.3,
+                    seed=self.split_seed)
+            return self._split
 
     def model(self, model_name: str) -> Cordial:
         """A fitted Cordial variant (cached per model family)."""
-        if model_name not in self._models:
-            cordial = Cordial(model_name=model_name, random_state=self.seed)
-            cordial.fit(self.dataset, self.split[0])
-            self._models[model_name] = cordial
-        return self._models[model_name]
+        with self._lock:
+            if model_name not in self._models:
+                cordial = Cordial(model_name=model_name,
+                                  random_state=self.seed)
+                cordial.fit(self.dataset, self.split[0])
+                self._models[model_name] = cordial
+            return self._models[model_name]
 
     def evaluation(self, model_name: str) -> CordialEvaluation:
         """Cached test-split evaluation of one Cordial variant."""
-        if model_name not in self._evaluations:
-            self._evaluations[model_name] = self.model(model_name).evaluate(
-                self.dataset, self.split[1])
-        return self._evaluations[model_name]
+        with self._lock:
+            if model_name not in self._evaluations:
+                self._evaluations[model_name] = self.model(
+                    model_name).evaluate(self.dataset, self.split[1])
+            return self._evaluations[model_name]
 
     def baseline_evaluation(self) -> CordialEvaluation:
         """Cached Neighbor-Rows baseline evaluation."""
-        if "__baseline__" not in self._evaluations:
-            self._evaluations["__baseline__"] = evaluate_neighbor_baseline(
-                self.dataset, self.split[1])
-        return self._evaluations["__baseline__"]
+        with self._lock:
+            if "__baseline__" not in self._evaluations:
+                self._evaluations["__baseline__"] = evaluate_neighbor_baseline(
+                    self.dataset, self.split[1])
+            return self._evaluations["__baseline__"]

@@ -1,62 +1,91 @@
-"""CLI driving every experiment: ``cordial-repro [--scale S] [--seed N]``.
+"""CLI driving every experiment: ``cordial-repro [--scale S] [--seed N]
+[--jobs N]``.
 
-Runs E1-E7 in order, prints each paper-vs-measured table, and (with
-``--output``) writes a combined report suitable for EXPERIMENTS.md.
+Runs E1-E7, prints each paper-vs-measured table, and (with ``--output``)
+writes a combined report suitable for EXPERIMENTS.md.  With ``--jobs N``
+the independent experiments run concurrently on a DAG executor (the
+analysis experiments E1/E2/E5-E6/E7 have no cross-dependencies; E4 reuses
+the models E3 trains) and dataset generation itself is sharded over worker
+processes.  Report content is identical for every ``jobs`` value — only
+the elapsed-time annotations differ.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 from repro.experiments import fig3, fig4, table1, table2, table3, table4
 from repro.experiments.common import ExperimentContext
+from repro.experiments.dag import DagTask, execute_dag
+
+#: Section order of the combined report (fixed regardless of completion
+#: order under parallel execution).
+SECTION_ORDER = ("E1", "E2", "E5/E6", "E7", "E3", "E4")
+
+
+def _experiment_tasks(context: ExperimentContext, include_models: bool,
+                      include_examples: bool) -> List[DagTask]:
+    """The experiment DAG: analysis tasks are independent; E4 needs E3."""
+
+    def run_fig3() -> object:
+        result = fig3.run(context)
+        body = result.format()
+        if include_examples:
+            body += "\n" + result.format_examples()
+        return (result, body)
+
+    tasks = [
+        DagTask("E1", lambda: table1.run(context)),
+        DagTask("E2", lambda: table2.run(context)),
+        DagTask("E5/E6", run_fig3),
+        DagTask("E7", lambda: fig4.run(context)),
+    ]
+    if include_models:
+        tasks.append(DagTask("E3", lambda: table3.run(context)))
+        tasks.append(DagTask("E4", lambda: table4.run(context),
+                             deps=("E3",)))
+    return tasks
 
 
 def run_all(context: ExperimentContext, include_models: bool = True,
-            include_examples: bool = False) -> str:
+            include_examples: bool = False,
+            jobs: Optional[int] = None) -> str:
     """Run every experiment and return the combined report text.
 
     Args:
         include_models: also run the (expensive) Table III/IV model
             training; the analysis-only experiments always run.
         include_examples: append the ASCII Figure 3(a) maps.
+        jobs: concurrency of the experiment DAG (``None`` inherits
+            ``context.jobs``).  Sections are assembled in the fixed
+            ``SECTION_ORDER``, so the report matches the sequential run
+            modulo elapsed-time strings.
     """
+    jobs = context.jobs if jobs is None else jobs
+    # Materialise the shared inputs once, before any concurrency.
+    _ = context.dataset
+    if include_models:
+        _ = context.split
+
+    tasks = _experiment_tasks(context, include_models, include_examples)
+    results = execute_dag(tasks, jobs=jobs)
+
     sections: List[str] = []
-
-    def section(title: str, body: str, elapsed: float) -> None:
-        sections.append(f"== {title} ({elapsed:.1f}s) ==\n{body}\n")
-
-    start = time.time()
-    result1 = table1.run(context)
-    section("E1", result1.format(), time.time() - start)
-
-    start = time.time()
-    result2 = table2.run(context)
-    section("E2", result2.format(), time.time() - start)
-
-    start = time.time()
-    result_fig3 = fig3.run(context)
-    body = result_fig3.format()
-    if include_examples:
-        body += "\n" + result_fig3.format_examples()
-    section("E5/E6", body, time.time() - start)
-
-    start = time.time()
-    result_fig4 = fig4.run(context)
-    section("E7", result_fig4.format(), time.time() - start)
+    for name in SECTION_ORDER:
+        if name not in results:
+            continue
+        result = results[name]
+        if name == "E5/E6":
+            body = result.value[1]
+        else:
+            body = result.value.format()
+        sections.append(f"== {name} ({result.elapsed:.1f}s) ==\n{body}\n")
 
     if include_models:
-        start = time.time()
-        result3 = table3.run(context)
-        section("E3", result3.format(), time.time() - start)
-
-        start = time.time()
-        result4 = table4.run(context)
-        section("E4", result4.format(), time.time() - start)
-
+        result3 = results["E3"].value
+        result4 = results["E4"].value
         sections.append(
             "Headline shape checks:\n"
             f"  best pattern model: {result3.best_model()} "
@@ -79,6 +108,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fleet scale (1.0 = paper magnitude)")
     parser.add_argument("--seed", type=int, default=0,
                         help="generator seed")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker parallelism for dataset generation and "
+                             "the experiment DAG (results are identical for "
+                             "any value)")
     parser.add_argument("--fast", action="store_true",
                         help="skip the model-training experiments (E3/E4)")
     parser.add_argument("--examples", action="store_true",
@@ -86,8 +119,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--output", type=str, default=None,
                         help="also write the report to this file")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
-    context = ExperimentContext(scale=args.scale, seed=args.seed)
+    context = ExperimentContext(scale=args.scale, seed=args.seed,
+                                jobs=args.jobs)
     report = run_all(context, include_models=not args.fast,
                      include_examples=args.examples)
     print(report)

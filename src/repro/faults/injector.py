@@ -5,6 +5,15 @@ Table II: UER banks concentrate on few HBMs (1074 banks over 421 HBMs,
 mostly within one bank group), and the background of correctable-only
 faults is partially co-located with them (which produces the Table I
 gradient of non-sudden ratios from bank level up to NPU level).
+
+Placement and realisation are deliberately split: ``plan_uce_faults`` /
+``plan_cell_faults`` make every *where* decision (bank keys, fault types,
+precursor flags, anchor choices) on a dedicated placement generator, while
+realisation draws come from separate per-fault generators.  This is what
+lets :mod:`repro.datasets.parallel` realise faults across processes in any
+shard arrangement without perturbing placement — and it fixes the latent
+seed coupling where CE-fault placement used to depend on how many draws
+the UCE realisations had consumed.
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.faults.processes import (DAY_S, FaultProcess,
+from repro.faults.processes import (DAY_S, FaultProcess, FaultProcessParams,
                                     FaultRealization, PlannedEvent)
 from repro.faults.types import FaultType
 from repro.hbm.geometry import FleetGeometry
@@ -27,6 +36,52 @@ class PlantedFault:
     bank_key: tuple  # (node, npu, hbm, sid, ch, psch, bg, bank)
     fault_type: FaultType
     realization: FaultRealization
+
+
+@dataclass(frozen=True)
+class UcePlacement:
+    """Placement decision for one UCE-producing fault (no realisation yet)."""
+
+    bank_key: tuple
+    fault_type: FaultType
+    emit_precursors: bool
+
+
+@dataclass(frozen=True)
+class CellPlacement:
+    """Placement decision for one CE-only cell fault.
+
+    ``anchor_index`` points into the anchor fault sequence the placement
+    was planned against (``None`` for uniformly placed faults); the
+    realiser uses it to retime the fault near the anchor's first UER.
+    """
+
+    bank_key: tuple
+    anchor_index: Optional[int]
+
+
+def retime_near_anchor(realization: FaultRealization, t_star: float,
+                       params: FaultProcessParams,
+                       rng: np.random.Generator) -> FaultRealization:
+    """Redraw a cell fault's event times around an anchor's first UER.
+
+    Events land uniformly in ``[t* - 0.25 d, t* + 1 d]`` (clipped to the
+    window), where ``t_star`` is the anchor fault's first UER time.
+    """
+    low = max(0.0, t_star - 0.25 * DAY_S)
+    high = min(params.window_s, t_star + 1.0 * DAY_S)
+    events = [PlannedEvent(time=float(rng.uniform(low, high)),
+                           row=e.row, column=e.column, kind=e.kind)
+              for e in realization.events]
+    events.sort(key=lambda e: e.time)
+    return FaultRealization(
+        fault_type=realization.fault_type,
+        pattern=realization.pattern,
+        anchor_rows=realization.anchor_rows,
+        cluster_width=realization.cluster_width,
+        events=events,
+        uer_row_sequence=realization.uer_row_sequence,
+    )
 
 
 #: Figure 3(b) slice weights (disjoint reading — see DESIGN.md section 3).
@@ -117,9 +172,9 @@ class FaultInjector:
         return self._random_bank_key(rng, base=base, fixed_prefix=prefix)
 
     # -- UCE fault placement -------------------------------------------------------
-    def plant_uce_faults(self, n_bad_hbms: int, extra_banks_mean: float,
-                         rng: np.random.Generator) -> List[PlantedFault]:
-        """Plant UCE-producing faults on ``n_bad_hbms`` distinct HBMs.
+    def plan_uce_faults(self, n_bad_hbms: int, extra_banks_mean: float,
+                        rng: np.random.Generator) -> List[UcePlacement]:
+        """Plan UCE-producing fault placements on ``n_bad_hbms`` distinct HBMs.
 
         Each bad HBM receives ``1 + Poisson(extra_banks_mean)`` fault banks,
         the extras spilling across the hierarchy per ``spill_probs``.
@@ -130,10 +185,14 @@ class FaultInjector:
         sheds correctable noise or fails cold as a unit.  This is what
         keeps the Table I non-sudden ratio flat across bank/BG/.../NPU
         levels apart from the co-location effects added separately.
+
+        Only *placement* randomness is consumed here; realisation happens
+        separately (per-fault generators) so shards can realise in any
+        order.
         """
         if n_bad_hbms < 0:
             raise ValueError("n_bad_hbms must be >= 0")
-        faults: List[PlantedFault] = []
+        placements: List[UcePlacement] = []
         used_banks: Set[tuple] = set()
         used_hbms: Set[tuple] = set()
         fault_types = list(self.pattern_weights.keys())
@@ -160,25 +219,36 @@ class FaultInjector:
             for bank_key in bank_keys:
                 fault_type = fault_types[int(rng.choice(len(fault_types),
                                                         p=type_probs))]
-                realization = self.process.realize(
-                    fault_type, rng, emit_precursors=emit_precursors)
-                faults.append(PlantedFault(bank_key=bank_key,
-                                           fault_type=fault_type,
-                                           realization=realization))
-        return faults
+                placements.append(UcePlacement(
+                    bank_key=bank_key, fault_type=fault_type,
+                    emit_precursors=emit_precursors))
+        return placements
+
+    def plant_uce_faults(self, n_bad_hbms: int, extra_banks_mean: float,
+                         rng: np.random.Generator) -> List[PlantedFault]:
+        """Plan *and* realise UCE faults on one generator (sequential path).
+
+        Convenience wrapper over :meth:`plan_uce_faults`; the sharded
+        engine instead realises each placement with its own spawned child.
+        """
+        placements = self.plan_uce_faults(n_bad_hbms, extra_banks_mean, rng)
+        return [PlantedFault(bank_key=p.bank_key, fault_type=p.fault_type,
+                             realization=self.process.realize(
+                                 p.fault_type, rng,
+                                 emit_precursors=p.emit_precursors))
+                for p in placements]
 
     # -- CE-only fault placement ------------------------------------------------------
-    def plant_cell_faults(self, n_faults: int,
-                          anchors: Sequence[PlantedFault],
-                          rng: np.random.Generator) -> List[PlantedFault]:
-        """Plant CE-only cell faults, partially co-located with UER banks.
+    def plan_cell_faults(self, n_faults: int,
+                         anchors: Sequence[PlantedFault],
+                         rng: np.random.Generator) -> List[CellPlacement]:
+        """Plan CE-only cell fault placements, partially co-located with
+        UER banks.
 
-        Co-located faults are also *temporally* correlated with their
-        anchor: the same physical degradation that will produce UERs first
-        sheds correctable noise elsewhere on the device, so the cell
-        fault's events cluster in a short interval around the anchor's
-        first UER.  (This, together with the finite observation window of
-        :mod:`repro.analysis.sudden`, yields the Table I level increments.)
+        Placement needs only the anchors' bank keys and which of them
+        realised a UER; it consumes no realisation randomness, so the
+        resulting placements are independent of how (and on how many
+        shards) the anchors were realised.
         """
         if n_faults < 0:
             raise ValueError("n_faults must be >= 0")
@@ -191,59 +261,64 @@ class FaultInjector:
             "same_bg": 7, "same_psch": 6, "same_ch": 5,
             "same_sid": 4, "same_hbm": 3, "same_npu": 2,
         }
-        faults: List[PlantedFault] = []
+        placements: List[CellPlacement] = []
         used: Set[tuple] = {a.bank_key for a in anchors}
-        uer_anchors = [a for a in anchors if a.realization.has_uer]
+        uer_anchor_indexes = [i for i, a in enumerate(anchors)
+                              if a.realization.has_uer]
         for _ in range(n_faults):
-            anchor: Optional[PlantedFault] = None
+            anchor_index: Optional[int] = None
             key = None
             for _attempt in range(20):
                 choice = all_choices[int(rng.choice(len(all_choices),
                                                     p=all_probs))]
-                if choice == "uniform" or not uer_anchors:
-                    anchor = None
+                if choice == "uniform" or not uer_anchor_indexes:
+                    anchor_index = None
                     key = self._random_bank_key(rng)
                 else:
-                    anchor = uer_anchors[int(rng.integers(0,
-                                                          len(uer_anchors)))]
+                    anchor_index = uer_anchor_indexes[int(rng.integers(
+                        0, len(uer_anchor_indexes)))]
                     key = self._random_bank_key(
-                        rng, base=anchor.bank_key,
+                        rng, base=anchors[anchor_index].bank_key,
                         fixed_prefix=prefix_of[choice])
                 if key not in used:
                     used.add(key)
                     break
             else:
                 continue
-            realization = self.process.realize(FaultType.CELL_FAULT, rng)
-            if anchor is not None:
-                realization = self._retime_near_anchor(realization, anchor,
-                                                       rng)
-            faults.append(PlantedFault(bank_key=key,
-                                       fault_type=FaultType.CELL_FAULT,
-                                       realization=realization))
-        return faults
+            placements.append(CellPlacement(bank_key=key,
+                                            anchor_index=anchor_index))
+        return placements
 
-    def _retime_near_anchor(self, realization: FaultRealization,
-                            anchor: PlantedFault,
-                            rng: np.random.Generator) -> FaultRealization:
-        """Redraw a cell fault's event times around the anchor's first UER.
+    def realize_cell_placement(self, placement: CellPlacement,
+                               anchors: Sequence[PlantedFault],
+                               rng: np.random.Generator) -> PlantedFault:
+        """Realise one planned cell fault (retimed near its anchor, if any).
 
-        Events land uniformly in ``[t* - 0.25 d, t* + 1 d]`` (clipped to the
-        window), where ``t*`` is the anchor fault's first UER time.
+        Co-located faults are *temporally* correlated with their anchor:
+        the same physical degradation that will produce UERs first sheds
+        correctable noise elsewhere on the device, so the cell fault's
+        events cluster in a short interval around the anchor's first UER.
+        (This, together with the finite observation window of
+        :mod:`repro.analysis.sudden`, yields the Table I level increments.)
         """
-        t_star = anchor.realization.uer_row_sequence[0][0]
-        window_s = self.process.params.window_s
-        low = max(0.0, t_star - 0.25 * DAY_S)
-        high = min(window_s, t_star + 1.0 * DAY_S)
-        events = [PlannedEvent(time=float(rng.uniform(low, high)),
-                               row=e.row, column=e.column, kind=e.kind)
-                  for e in realization.events]
-        events.sort(key=lambda e: e.time)
-        return FaultRealization(
-            fault_type=realization.fault_type,
-            pattern=realization.pattern,
-            anchor_rows=realization.anchor_rows,
-            cluster_width=realization.cluster_width,
-            events=events,
-            uer_row_sequence=realization.uer_row_sequence,
-        )
+        realization = self.process.realize(FaultType.CELL_FAULT, rng)
+        if placement.anchor_index is not None:
+            anchor = anchors[placement.anchor_index]
+            t_star = anchor.realization.uer_row_sequence[0][0]
+            realization = retime_near_anchor(realization, t_star,
+                                             self.process.params, rng)
+        return PlantedFault(bank_key=placement.bank_key,
+                            fault_type=FaultType.CELL_FAULT,
+                            realization=realization)
+
+    def plant_cell_faults(self, n_faults: int,
+                          anchors: Sequence[PlantedFault],
+                          rng: np.random.Generator) -> List[PlantedFault]:
+        """Plan *and* realise CE-only cell faults on one generator.
+
+        Convenience wrapper over :meth:`plan_cell_faults`; the sharded
+        engine instead realises each placement with its own spawned child.
+        """
+        placements = self.plan_cell_faults(n_faults, anchors, rng)
+        return [self.realize_cell_placement(p, anchors, rng)
+                for p in placements]

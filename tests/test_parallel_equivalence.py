@@ -1,0 +1,196 @@
+"""The determinism contract of the sharded parallel engine.
+
+``generate_fleet_dataset(config, seed, jobs=k)`` must yield bit-identical
+datasets for every ``k`` — same record stream (timestamps, addresses,
+sequence numbers), same ground truth — and ``run_all`` must produce the
+same report modulo elapsed-time strings.  These tests are the other half
+of the engine itself: any RNG-flow change that breaks shard independence
+fails here before it can silently skew results.
+"""
+
+import re
+import threading
+import time
+
+import pytest
+
+from repro.datasets import (FleetGenConfig, fleet_digest,
+                            generate_fleet_dataset, shard_by_hbm)
+from repro.experiments.common import ExperimentContext
+from repro.experiments.dag import DagTask, execute_dag
+from repro.experiments.runner import run_all
+from repro.faults.types import FaultType
+
+
+def assert_datasets_identical(a, b):
+    """Field-by-field equality of two generated fleets."""
+    assert len(a.store) == len(b.store)
+    for ra, rb in zip(a.store, b.store):
+        assert ra.timestamp == rb.timestamp
+        assert ra.sequence == rb.sequence
+        assert ra.address == rb.address
+        assert ra.error_type is rb.error_type
+        assert ra.bit_count == rb.bit_count
+        assert ra.detector is rb.detector
+    assert a.bank_truth == b.bank_truth
+
+
+class TestGenerationEquivalence:
+    @pytest.mark.parametrize("seed,scale", [(0, 0.02), (5, 0.03),
+                                            (11, 0.05)])
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_jobs_k_matches_jobs_1(self, seed, scale, jobs):
+        config = FleetGenConfig(scale=scale)
+        sequential = generate_fleet_dataset(config, seed=seed, jobs=1)
+        parallel = generate_fleet_dataset(config, seed=seed, jobs=jobs)
+        assert_datasets_identical(sequential, parallel)
+
+    def test_digest_equivalence(self):
+        config = FleetGenConfig(scale=0.02)
+        digests = {fleet_digest(generate_fleet_dataset(config, seed=7,
+                                                       jobs=jobs))
+                   for jobs in (1, 2, 4)}
+        assert len(digests) == 1
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            generate_fleet_dataset(FleetGenConfig(scale=0.02), seed=0,
+                                   jobs=0)
+
+
+class TestRunAllEquivalence:
+    def test_fast_report_matches(self):
+        strip = lambda text: re.sub(r"\(\d+\.\d+s\)", "(Xs)", text)
+        sequential = run_all(ExperimentContext(scale=0.05, seed=3),
+                             include_models=False, include_examples=True)
+        parallel = run_all(ExperimentContext(scale=0.05, seed=3, jobs=4),
+                           include_models=False, include_examples=True)
+        assert strip(sequential) == strip(parallel)
+
+    def test_full_report_matches(self):
+        """The whole DAG — analysis lanes concurrent with E3 -> E4."""
+        strip = lambda text: re.sub(r"\(\d+\.\d+s\)", "(Xs)", text)
+        sequential = run_all(ExperimentContext(scale=0.05, seed=3),
+                             include_models=True)
+        parallel = run_all(ExperimentContext(scale=0.05, seed=3, jobs=4),
+                           include_models=True)
+        assert strip(sequential) == strip(parallel)
+
+
+class TestSeedCouplingRegression:
+    """CE-fault placement must not depend on UCE realisation draws.
+
+    Historically one generator threaded through planting *and*
+    realisation, so any change in how many values a UCE fault consumed
+    (e.g. its post-onset CE stream) shifted every later cell fault — the
+    exact coupling that shard boundaries would perturb.  Placement now
+    draws from an independent spawned child: inflating the UCE CE/UEO
+    streams must leave every cell fault untouched.
+    """
+
+    def _cell_events(self, dataset):
+        cells = sorted(k for k, t in dataset.bank_truth.items()
+                       if t.fault_type is FaultType.CELL_FAULT)
+        return {k: [(r.timestamp, r.row, r.column, r.error_type)
+                    for r in dataset.store.bank_events(k)]
+                for k in cells}
+
+    def test_cell_faults_invariant_to_uce_stream_params(self):
+        from dataclasses import replace
+
+        from repro.faults.processes import FaultProcessParams
+
+        params = FaultProcessParams()
+        boosted = replace(
+            params,
+            ce_count_mean={k: v * 3
+                           for k, v in params.ce_count_mean.items()},
+            ueo_count_mean={k: v * 3
+                            for k, v in params.ueo_count_mean.items()})
+        base = generate_fleet_dataset(FleetGenConfig(scale=0.05), seed=11)
+        inflated = generate_fleet_dataset(
+            replace(FleetGenConfig(scale=0.05), process=boosted), seed=11)
+
+        cells_base = self._cell_events(base)
+        cells_inflated = self._cell_events(inflated)
+        assert cells_base.keys() == cells_inflated.keys()
+        assert len(cells_base) > 100
+        assert cells_base == cells_inflated
+
+
+class TestShardByHbm:
+    def test_partition_is_complete_and_disjoint(self):
+        keys = [(n, 0, h, 0, 0, 0, 0, b)
+                for n in range(3) for h in range(4) for b in range(2)]
+        shards = shard_by_hbm(keys, 4)
+        flat = sorted(i for shard in shards for i in shard)
+        assert flat == list(range(len(keys)))
+
+    def test_hbm_groups_stay_together(self):
+        keys = [(1, 2, 3, 0, 0, 0, 0, 0), (9, 9, 9, 0, 0, 0, 0, 0),
+                (1, 2, 3, 0, 0, 0, 1, 5), (1, 2, 3, 1, 0, 0, 0, 0)]
+        shards = shard_by_hbm(keys, 8)
+        for shard in shards:
+            hbms = {tuple(keys[i][:3]) for i in shard}
+            assert len(hbms) == 1
+
+    def test_more_shards_than_groups(self):
+        shards = shard_by_hbm([(0, 0, 0, 0, 0, 0, 0, 0)], 16)
+        assert shards == [[0]]
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_by_hbm([], 0)
+
+
+class TestDagExecutor:
+    def test_sequential_runs_in_declaration_order(self):
+        order = []
+        tasks = [DagTask(name, lambda n=name: order.append(n))
+                 for name in ("a", "b", "c")]
+        execute_dag(tasks, jobs=1)
+        assert order == ["a", "b", "c"]
+
+    def test_dependencies_respected_in_parallel(self):
+        finished = []
+        lock = threading.Lock()
+
+        def work(name, delay):
+            time.sleep(delay)
+            with lock:
+                finished.append(name)
+            return name
+
+        tasks = [
+            DagTask("slow", lambda: work("slow", 0.1)),
+            DagTask("fast", lambda: work("fast", 0.0)),
+            DagTask("after-slow", lambda: work("after-slow", 0.0),
+                    deps=("slow",)),
+        ]
+        results = execute_dag(tasks, jobs=4)
+        assert set(results) == {"slow", "fast", "after-slow"}
+        assert finished.index("slow") < finished.index("after-slow")
+        assert all(r.elapsed >= 0 for r in results.values())
+
+    def test_cycle_detected(self):
+        tasks = [DagTask("a", lambda: None, deps=("b",)),
+                 DagTask("b", lambda: None, deps=("a",))]
+        with pytest.raises(ValueError, match="cycle"):
+            execute_dag(tasks, jobs=2)
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            execute_dag([DagTask("a", lambda: None, deps=("ghost",))])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            execute_dag([DagTask("a", lambda: None),
+                         DagTask("a", lambda: None)])
+
+    def test_task_error_propagates(self):
+        def boom():
+            raise RuntimeError("task failed")
+
+        tasks = [DagTask("ok", lambda: 1), DagTask("bad", boom)]
+        with pytest.raises(RuntimeError, match="task failed"):
+            execute_dag(tasks, jobs=2)
