@@ -46,8 +46,9 @@ def test_perf_collector_ingestion(benchmark, records):
         collector = BMCCollector()
         triggers = 0
         for record in records:
-            if collector.ingest(record) is not None:
-                triggers += 1
+            for _, trigger in collector.ingest(record):
+                if trigger is not None:
+                    triggers += 1
         return triggers
 
     triggers = benchmark.pedantic(ingest_all, rounds=3, iterations=1)

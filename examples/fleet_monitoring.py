@@ -36,12 +36,9 @@ replay = IsolationReplay(spares_per_bank=64)
 decisions = Counter()
 shown = 0
 
-for record in dataset.store:
-    if record.bank_key not in live_set:
-        continue
-    trigger = collector.ingest(record)
-    if trigger is None:
-        continue
+live_stream = (record for record in dataset.store
+               if record.bank_key in live_set)
+for trigger in collector.replay(live_stream):
     pattern = cordial.classifier.predict(trigger.history)
     decisions[pattern.value] += 1
     day = trigger.timestamp / 86400.0

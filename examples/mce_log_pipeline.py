@@ -44,11 +44,9 @@ print("\nDecisions from the parsed log stream:")
 test_set = set(test_banks)
 collector = BMCCollector(trigger_uer_rows=3)
 shown = 0
-for record in records:
-    if record.bank_key not in test_set:
-        continue
-    trigger = collector.ingest(record)
-    if trigger is None or shown >= 8:
+test_stream = (record for record in records if record.bank_key in test_set)
+for trigger in collector.replay(test_stream):
+    if shown >= 8:
         continue
     shown += 1
     pattern = cordial.classifier.predict(trigger.history)

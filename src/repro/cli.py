@@ -119,10 +119,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
     store = _load_store(args.log)
     collector = BMCCollector(trigger_uer_rows=cordial.trigger_uer_rows)
     decisions: List[dict] = []
-    for record in store:
-        trigger = collector.ingest(record)
-        if trigger is None:
-            continue
+    for trigger in collector.replay(store):
         pattern = cordial.classifier.predict(trigger.history)
         decision = {
             "time": trigger.timestamp,

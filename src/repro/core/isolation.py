@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.hbm.sparing import (BankSparingController, RowSparingController,
                                SparingExhaustedError)
+from repro.telemetry.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -58,29 +59,60 @@ class ICRResult:
 class IsolationReplay:
     """Time-aware isolation bookkeeping for one evaluation episode."""
 
-    def __init__(self, spares_per_bank: int = 64) -> None:
+    def __init__(self, spares_per_bank: int = 64,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.row_ctrl = RowSparingController(spares_per_bank=spares_per_bank)
         self.bank_ctrl = BankSparingController()
-        self._exhausted_requests = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._truncated_requests = 0
+        self._truncated_rows = 0
+        self._duplicate_requests = 0
+        self._duplicate_rows = 0
 
     def isolate_rows(self, bank_key: tuple, rows: Iterable[int],
                      timestamp: float) -> int:
         """Row-spare ``rows`` at ``timestamp``; returns rows newly spared.
 
         Budget exhaustion is tolerated (the request is truncated) but
-        counted, so evaluations can report sparing pressure.
+        counted *exactly*: a request is truncated iff it asked for rows
+        not yet spared and the budget could not take all of them.
+        Re-requests of already-spared rows are a separate, normal
+        occurrence (re-predictions overlap earlier windows) and are
+        counted as duplicates, never as budget pressure.
         """
         rows = list(rows)
+        # In-request repeats and already-spared rows are both duplicates.
+        unique = list(dict.fromkeys(rows))
+        fresh = [r for r in unique
+                 if self.row_ctrl.isolation_time(bank_key, r) is None]
+        duplicates = len(rows) - len(fresh)
         spared = self.row_ctrl.spare_rows(bank_key, rows, timestamp)
-        if spared < len(rows):
-            remaining = self.row_ctrl.remaining(bank_key)
-            if remaining == 0:
-                self._exhausted_requests += 1
+        truncated = len(fresh) - spared
+        if duplicates:
+            self._duplicate_requests += 1
+            self._duplicate_rows += duplicates
+            self.metrics.counter("isolation.duplicate_rows").inc(duplicates)
+        if truncated:
+            self._truncated_requests += 1
+            self._truncated_rows += truncated
+            self.metrics.counter("isolation.requests_truncated").inc()
+            self.metrics.counter("isolation.rows_truncated").inc(truncated)
+        self.metrics.counter("isolation.rows_spared").inc(spared)
+        self.metrics.gauge("isolation.budget_pressure").set(
+            self.spares_per_bank - self.row_ctrl.remaining(bank_key))
         return spared
+
+    @property
+    def spares_per_bank(self) -> int:
+        """Row-sparing budget per bank (delegated to the controller)."""
+        return self.row_ctrl.spares_per_bank
 
     def isolate_bank(self, bank_key: tuple, timestamp: float) -> bool:
         """Retire a whole bank at ``timestamp``."""
-        return self.bank_ctrl.spare_bank(bank_key, timestamp)
+        newly = self.bank_ctrl.spare_bank(bank_key, timestamp)
+        if newly:
+            self.metrics.counter("isolation.banks_spared").inc()
+        return newly
 
     def is_row_covered(self, bank_key: tuple, row: int,
                        first_uer_time: float) -> Tuple[bool, bool]:
@@ -120,6 +152,66 @@ class IsolationReplay:
         )
 
     @property
-    def exhausted_requests(self) -> int:
+    def truncated_requests(self) -> int:
         """Row-sparing requests truncated by budget exhaustion."""
-        return self._exhausted_requests
+        return self._truncated_requests
+
+    @property
+    def truncated_rows(self) -> int:
+        """Fresh rows dropped because a bank's budget ran out."""
+        return self._truncated_rows
+
+    @property
+    def duplicate_requests(self) -> int:
+        """Requests that re-asked for at least one already-spared row."""
+        return self._duplicate_requests
+
+    @property
+    def duplicate_rows(self) -> int:
+        """Row re-requests absorbed idempotently (not budget pressure)."""
+        return self._duplicate_rows
+
+    @property
+    def exhausted_requests(self) -> int:
+        """Deprecated alias of :attr:`truncated_requests`."""
+        return self._truncated_requests
+
+    # -- checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete, JSON-ready ledger state (deterministic layout)."""
+        return {
+            "spares_per_bank": self.row_ctrl.spares_per_bank,
+            # Explicit int()/float() casts: producers may hand the ledger
+            # numpy scalars, which the json module refuses to serialise.
+            "spared_rows": [
+                [[int(b) for b in bank],
+                 sorted([int(row), float(when)]
+                        for row, when in rows.items())]
+                for bank, rows in sorted(self.row_ctrl._spared.items())
+            ],
+            "spared_banks": [[[int(b) for b in bank], float(when)]
+                             for bank, when in
+                             sorted(self.bank_ctrl._spared.items())],
+            "counters": {
+                "truncated_requests": self._truncated_requests,
+                "truncated_rows": self._truncated_rows,
+                "duplicate_requests": self._duplicate_requests,
+                "duplicate_rows": self._duplicate_rows,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> "IsolationReplay":
+        """Restore state captured by :meth:`state_dict`."""
+        self.row_ctrl.spares_per_bank = int(state["spares_per_bank"])
+        self.row_ctrl._spared = {
+            tuple(bank): {int(row): float(when) for row, when in rows}
+            for bank, rows in state["spared_rows"]
+        }
+        self.bank_ctrl._spared = {tuple(bank): float(when)
+                                  for bank, when in state["spared_banks"]}
+        counters = state["counters"]
+        self._truncated_requests = int(counters["truncated_requests"])
+        self._truncated_rows = int(counters["truncated_rows"])
+        self._duplicate_requests = int(counters["duplicate_requests"])
+        self._duplicate_rows = int(counters["duplicate_rows"])
+        return self

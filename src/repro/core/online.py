@@ -6,6 +6,23 @@ decision back the moment a bank becomes actionable.  ``CordialService``
 wraps a fitted :class:`~repro.core.pipeline.Cordial` behind exactly that
 interface, and keeps the isolation ledger so operators can query coverage
 and cost at any point in time.
+
+The serving path is hardened for field telemetry:
+
+* **out-of-order tolerance** — events are staged through the collector's
+  reorder buffer (``max_skew``); any stream displaced by less than the
+  skew window yields decisions identical to the sorted stream, and
+  hopelessly late or malformed inputs land in a dead-letter list instead
+  of crashing the service (see :mod:`repro.telemetry.collector`);
+* **checkpoint/restore** — :meth:`state_dict` captures every piece of
+  mutable state (collector buffers, reorder buffer, sparing ledgers,
+  per-bank prediction state, stats, metrics); a service restored from a
+  checkpoint resumes mid-stream and emits byte-identical decisions
+  versus an uninterrupted run (``repro.core.persistence`` wraps this in
+  a versioned file format);
+* **observability** — a shared :class:`MetricsRegistry` counts ingest
+  latency, trigger/re-prediction rates, reorder-buffer depth,
+  dead-letter reasons and sparing-budget pressure.
 """
 
 from __future__ import annotations
@@ -18,6 +35,7 @@ from repro.core.pipeline import Cordial
 from repro.faults.types import FailurePattern
 from repro.telemetry.collector import BMCCollector
 from repro.telemetry.events import ErrorRecord, ErrorType
+from repro.telemetry.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -40,6 +58,17 @@ class Decision:
     rows: tuple
     is_reprediction: bool = False
 
+    def to_obj(self) -> dict:
+        """JSON-ready rendering (canonical: used for equivalence checks)."""
+        return {
+            "timestamp": self.timestamp,
+            "bank_key": list(self.bank_key),
+            "pattern": None if self.pattern is None else self.pattern.value,
+            "action": self.action,
+            "rows": [int(r) for r in self.rows],
+            "is_reprediction": self.is_reprediction,
+        }
+
 
 @dataclass
 class ServiceStats:
@@ -55,12 +84,33 @@ class ServiceStats:
         self.decisions_by_action[decision.action] = (
             self.decisions_by_action.get(decision.action, 0) + 1)
 
+    def to_dict(self) -> dict:
+        """JSON-ready state."""
+        return {
+            "events_ingested": self.events_ingested,
+            "triggers_fired": self.triggers_fired,
+            "repredictions": self.repredictions,
+            "decisions_by_action": {
+                k: self.decisions_by_action[k]
+                for k in sorted(self.decisions_by_action)},
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "ServiceStats":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(events_ingested=int(state["events_ingested"]),
+                   triggers_fired=int(state["triggers_fired"]),
+                   repredictions=int(state["repredictions"]),
+                   decisions_by_action=dict(state["decisions_by_action"]))
+
 
 class CordialService:
     """Streaming front-end over a fitted Cordial model.
 
-    Feed MCE events in time order through :meth:`ingest`; it returns the
-    decisions (possibly none) that the event triggered.  Semantics match
+    Feed MCE events through :meth:`ingest` as they arrive; it returns the
+    decisions (possibly none) that the event caused, then call
+    :meth:`flush` at end of stream (or before a final coverage query) to
+    release anything the reorder buffer still holds.  Semantics match
     the batch replay in ``Cordial.evaluate``: classify at the k-th
     distinct UER row, bank-spare scattered banks, row-spare predicted
     blocks for aggregation banks, optionally re-predict on every further
@@ -69,49 +119,86 @@ class CordialService:
     Args:
         cordial: a *fitted* Cordial pipeline.
         spares_per_bank: row-sparing budget for the internal ledger.
+        max_skew: tolerated timestamp disorder (stream-time seconds);
+            0 keeps the historical release-immediately behaviour.
+        metrics: optional shared metrics registry (one is created when
+            omitted; collector and ledger record into the same registry).
     """
 
-    def __init__(self, cordial: Cordial, spares_per_bank: int = 64) -> None:
+    def __init__(self, cordial: Cordial, spares_per_bank: int = 64,
+                 max_skew: float = 0.0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if not getattr(cordial, "_fitted", False):
             raise ValueError("CordialService requires a fitted Cordial")
         self.cordial = cordial
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.collector = BMCCollector(
-            trigger_uer_rows=cordial.trigger_uer_rows)
-        self.replay = IsolationReplay(spares_per_bank=spares_per_bank)
+            trigger_uer_rows=cordial.trigger_uer_rows,
+            max_skew=max_skew, metrics=self.metrics)
+        self.replay = IsolationReplay(spares_per_bank=spares_per_bank,
+                                      metrics=self.metrics)
         self.stats = ServiceStats()
         self._pattern_of: Dict[tuple, FailurePattern] = {}
         self._uer_rows: Dict[tuple, List[int]] = {}
 
     # -- event path ----------------------------------------------------------
     def ingest(self, record: ErrorRecord) -> List[Decision]:
-        """Feed one event; returns any decisions it caused."""
-        self.stats.events_ingested += 1
+        """Feed one event; returns any decisions it caused.
+
+        With a positive ``max_skew`` the decisions may belong to earlier
+        events that this arrival released from the reorder buffer.
+        """
+        with self.metrics.timer("service.ingest_seconds"):
+            self.stats.events_ingested += 1
+            decisions: List[Decision] = []
+            for released, trigger in self.collector.ingest(record):
+                decisions.extend(self._process(released, trigger))
+            for decision in decisions:
+                self.stats.record_decision(decision)
+                self.metrics.counter(
+                    "service.decisions",
+                    labels={"action": decision.action}).inc()
+        return decisions
+
+    def flush(self) -> List[Decision]:
+        """Release the reorder buffer (end of stream); returns decisions."""
         decisions: List[Decision] = []
-        trigger = self.collector.ingest(record)
-        if trigger is not None:
-            decisions.extend(self._on_trigger(trigger))
-        elif (record.error_type is ErrorType.UER
-              and record.bank_key in self._pattern_of):
-            decision = self._on_subsequent_uer(record)
-            if decision is not None:
-                decisions.append(decision)
+        for released, trigger in self.collector.flush():
+            decisions.extend(self._process(released, trigger))
         for decision in decisions:
             self.stats.record_decision(decision)
+            self.metrics.counter(
+                "service.decisions",
+                labels={"action": decision.action}).inc()
         return decisions
+
+    def _process(self, record: ErrorRecord, trigger) -> List[Decision]:
+        """Handle one *released* (in-order) event."""
+        if trigger is not None:
+            return self._on_trigger(trigger)
+        if (record.error_type is ErrorType.UER
+                and record.bank_key in self._pattern_of):
+            decision = self._on_subsequent_uer(record)
+            if decision is not None:
+                return [decision]
+        return []
 
     def _on_trigger(self, trigger) -> List[Decision]:
         self.stats.triggers_fired += 1
         pattern = self.cordial.classifier.predict(trigger.history)
-        self._uer_rows[trigger.bank_key] = list(trigger.uer_rows)
         if not pattern.is_aggregation:
+            # Bank sparing retires the whole bank: keep no per-bank
+            # prediction state (it would never be read again and grows
+            # without bound over a long stream).
             self.replay.isolate_bank(trigger.bank_key, trigger.timestamp)
             return [Decision(timestamp=trigger.timestamp,
                              bank_key=trigger.bank_key, pattern=pattern,
                              action="bank-spare", rows=())]
         self._pattern_of[trigger.bank_key] = pattern
+        self._uer_rows[trigger.bank_key] = list(trigger.uer_rows)
         prediction = self.cordial.predictor.predict(trigger.history,
                                                     trigger.uer_rows[-1])
-        rows = tuple(prediction.rows_to_isolate())
+        rows = tuple(int(r) for r in prediction.rows_to_isolate())
         self.replay.isolate_rows(trigger.bank_key, rows, trigger.timestamp)
         return [Decision(timestamp=trigger.timestamp,
                          bank_key=trigger.bank_key, pattern=pattern,
@@ -125,9 +212,10 @@ class CordialService:
             return None
         rows_seen.append(record.row)
         self.stats.repredictions += 1
-        history = self.collector.bank_history(record.bank_key)
+        self.metrics.counter("service.repredictions").inc()
+        history = self._history_through(record)
         prediction = self.cordial.predictor.predict(history, record.row)
-        rows = tuple(prediction.rows_to_isolate())
+        rows = tuple(int(r) for r in prediction.rows_to_isolate())
         self.replay.isolate_rows(record.bank_key, rows, record.timestamp)
         return Decision(timestamp=record.timestamp,
                         bank_key=record.bank_key,
@@ -135,9 +223,35 @@ class CordialService:
                         action="row-spare", rows=rows,
                         is_reprediction=True)
 
+    def _history_through(self, record: ErrorRecord) -> tuple:
+        """The bank's history up to and including ``record``.
+
+        One collector ingest can release a *batch* of reordered events,
+        all already applied to the bank buffers by the time the service
+        processes the first of them.  Re-predicting from the full buffer
+        would leak later same-batch events into the features; truncating
+        at the record keeps decisions identical to the sorted stream.
+        """
+        history = self.collector.bank_history(record.bank_key)
+        for index in range(len(history) - 1, -1, -1):
+            if history[index] is record:
+                return history[:index + 1]
+        return history
+
     # -- queries ------------------------------------------------------------------
-    def is_row_isolated(self, bank_key: tuple, row: int) -> bool:
-        """Whether a row is currently covered by row- or bank-sparing."""
+    def is_row_isolated(self, bank_key: tuple, row: int,
+                        at_time: Optional[float] = None) -> bool:
+        """Whether a row is covered by row- or bank-sparing.
+
+        Args:
+            at_time: when given, answers time-aware — was the row
+                isolated *strictly before* ``at_time``? — through the
+                same path :meth:`IsolationReplay.is_row_covered` uses for
+                scoring, so live queries and ICR scoring always agree.
+        """
+        if at_time is not None:
+            covered, _ = self.replay.is_row_covered(bank_key, row, at_time)
+            return covered
         return (self.replay.bank_ctrl.is_isolated(bank_key)
                 or self.replay.row_ctrl.is_isolated(bank_key, row))
 
@@ -154,3 +268,41 @@ class CordialService:
     def spared_banks(self) -> int:
         """Total banks retired so far."""
         return self.replay.bank_ctrl.spared_bank_count()
+
+    def has_bank_state(self, bank_key: tuple) -> bool:
+        """Whether per-bank prediction state is retained for ``bank_key``."""
+        return bank_key in self._pattern_of or bank_key in self._uer_rows
+
+    # -- checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Every piece of mutable service state, JSON-ready.
+
+        The model itself is *not* included — persistence
+        (:func:`repro.core.persistence.save_service_checkpoint`) stores
+        the fitted pipeline next to this state in the same document.
+        """
+        return {
+            "spares_per_bank": self.replay.spares_per_bank,
+            "max_skew": self.collector.max_skew,
+            "collector": self.collector.state_dict(),
+            "replay": self.replay.state_dict(),
+            "stats": self.stats.to_dict(),
+            "pattern_of": [[[int(b) for b in bank], pattern.value]
+                           for bank, pattern in
+                           sorted(self._pattern_of.items())],
+            "uer_rows": [[[int(b) for b in bank], [int(r) for r in rows]]
+                         for bank, rows in sorted(self._uer_rows.items())],
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> "CordialService":
+        """Restore state captured by :meth:`state_dict`."""
+        self.collector.load_state_dict(state["collector"])
+        self.replay.load_state_dict(state["replay"])
+        self.stats = ServiceStats.from_dict(state["stats"])
+        self._pattern_of = {tuple(bank): FailurePattern(value)
+                            for bank, value in state["pattern_of"]}
+        self._uer_rows = {tuple(bank): list(rows)
+                          for bank, rows in state["uer_rows"]}
+        self.metrics.restore(state["metrics"])
+        return self

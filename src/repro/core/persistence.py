@@ -1,9 +1,19 @@
-"""Save/load a fitted Cordial pipeline as one JSON document.
+"""Save/load fitted pipelines and live service state as JSON documents.
 
-Combines :mod:`repro.ml.persist` (the two tree models) with the pipeline's
-configuration (trigger size, window geometry, threshold), so a model
-trained on historical logs can be shipped to the fleet controller and
-reloaded without retraining — and without pickle.
+Two formats live here, both pickle-free:
+
+* ``cordial-pipeline`` — a fitted :class:`~repro.core.pipeline.Cordial`
+  (the two tree models plus configuration), so a model trained on
+  historical logs can be shipped to the fleet controller and reloaded
+  without retraining.
+* ``cordial-service-checkpoint`` — a *running*
+  :class:`~repro.core.online.CordialService`: the embedded pipeline
+  document plus every piece of mutable serving state (collector bank
+  buffers, the reorder buffer, dead letters, sparing ledgers, per-bank
+  prediction state, stats, metrics).  A service restored from a
+  checkpoint resumes mid-stream and emits byte-identical decisions
+  versus an uninterrupted run — the property
+  ``tests/test_serving_equivalence.py`` locks down.
 """
 
 from __future__ import annotations
@@ -13,12 +23,16 @@ from pathlib import Path
 from typing import Union
 
 from repro.core.features import CrossRowWindow
+from repro.core.online import CordialService
 from repro.core.pipeline import Cordial
 from repro.ml.persist import (FORMAT_VERSION, ModelPersistenceError,
                               _DESERIALIZERS, _SERIALIZERS)
 
 PIPELINE_FORMAT = "cordial-pipeline"
 PIPELINE_VERSION = 1
+
+CHECKPOINT_FORMAT = "cordial-service-checkpoint"
+CHECKPOINT_VERSION = 1
 
 
 def _model_to_obj(model) -> dict:
@@ -39,12 +53,14 @@ def _model_from_obj(obj: dict):
     return model
 
 
-def save_cordial(cordial: Cordial, destination: Union[str, Path]) -> None:
-    """Serialise a fitted Cordial pipeline to a JSON file."""
+# -- pipeline documents -----------------------------------------------------------
+
+def pipeline_to_document(cordial: Cordial) -> dict:
+    """Render a fitted Cordial pipeline as a JSON-ready document."""
     if not getattr(cordial, "_fitted", False):
         raise ModelPersistenceError("cannot persist an unfitted Cordial")
     window = cordial.predictor.window
-    document = {
+    return {
         "format": PIPELINE_FORMAT,
         "version": PIPELINE_VERSION,
         "ml_version": FORMAT_VERSION,
@@ -62,21 +78,10 @@ def save_cordial(cordial: Cordial, destination: Union[str, Path]) -> None:
         "classifier": _model_to_obj(cordial.classifier.model),
         "predictor": _model_to_obj(cordial.predictor.model),
     }
-    with open(destination, "w", encoding="utf-8") as handle:
-        json.dump(document, handle)
 
 
-def load_cordial(source: Union[str, Path]) -> Cordial:
-    """Reload a pipeline saved by :func:`save_cordial`.
-
-    The returned object predicts identically to the saved one; it can be
-    evaluated or served but not re-``fit`` incrementally.
-    """
-    try:
-        with open(source, "r", encoding="utf-8") as handle:
-            document = json.load(handle)
-    except json.JSONDecodeError as exc:
-        raise ModelPersistenceError(f"invalid pipeline file: {exc}") from exc
+def pipeline_from_document(document: dict) -> Cordial:
+    """Rebuild a Cordial pipeline from :func:`pipeline_to_document` output."""
     if document.get("format") != PIPELINE_FORMAT:
         raise ModelPersistenceError(
             f"unexpected format: {document.get('format')!r}")
@@ -101,3 +106,80 @@ def load_cordial(source: Union[str, Path]) -> Cordial:
     cordial.predictor._fitted = True
     cordial._fitted = True
     return cordial
+
+
+def save_cordial(cordial: Cordial, destination: Union[str, Path]) -> None:
+    """Serialise a fitted Cordial pipeline to a JSON file."""
+    document = pipeline_to_document(cordial)
+    with open(destination, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def load_cordial(source: Union[str, Path]) -> Cordial:
+    """Reload a pipeline saved by :func:`save_cordial`.
+
+    The returned object predicts identically to the saved one; it can be
+    evaluated or served but not re-``fit`` incrementally.
+    """
+    try:
+        with open(source, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ModelPersistenceError(f"invalid pipeline file: {exc}") from exc
+    return pipeline_from_document(document)
+
+
+# -- service checkpoints ----------------------------------------------------------
+
+def service_to_document(service: CordialService) -> dict:
+    """Render a running service (pipeline + mutable state) as a document."""
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "pipeline": pipeline_to_document(service.cordial),
+        "state": service.state_dict(),
+    }
+
+
+def service_from_document(document: dict) -> CordialService:
+    """Rebuild a service from :func:`service_to_document` output."""
+    if document.get("format") != CHECKPOINT_FORMAT:
+        raise ModelPersistenceError(
+            f"unexpected checkpoint format: {document.get('format')!r}")
+    if document.get("version") != CHECKPOINT_VERSION:
+        raise ModelPersistenceError(
+            f"unsupported checkpoint version: {document.get('version')!r}")
+    cordial = pipeline_from_document(document["pipeline"])
+    state = document["state"]
+    service = CordialService(cordial,
+                             spares_per_bank=int(state["spares_per_bank"]),
+                             max_skew=float(state["max_skew"]))
+    return service.load_state_dict(state)
+
+
+def save_service_checkpoint(service: CordialService,
+                            destination: Union[str, Path]) -> None:
+    """Snapshot a running :class:`CordialService` to a JSON file.
+
+    The checkpoint is self-contained: it embeds the fitted pipeline, so
+    :func:`load_service_checkpoint` needs no separate model file.
+    """
+    document = service_to_document(service)
+    with open(destination, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def load_service_checkpoint(source: Union[str, Path]) -> CordialService:
+    """Restore a service snapshot written by :func:`save_service_checkpoint`.
+
+    The restored service resumes exactly where the snapshot was taken:
+    feeding it the remainder of the stream produces decisions and a
+    final ICR byte-identical to a service that never restarted.
+    """
+    try:
+        with open(source, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ModelPersistenceError(
+            f"invalid checkpoint file: {exc}") from exc
+    return service_from_document(document)

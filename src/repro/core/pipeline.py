@@ -74,10 +74,7 @@ def collect_triggers(dataset: FleetDataset, banks: Sequence[tuple],
     triggers: List[BankTrigger] = []
     for bank_key in banks:
         collector = BMCCollector(trigger_uer_rows=trigger_uer_rows)
-        for record in dataset.store.bank_events(bank_key):
-            trigger = collector.ingest(record)
-            if trigger is not None:
-                triggers.append(trigger)
+        triggers.extend(collector.replay(dataset.store.bank_events(bank_key)))
     triggers.sort(key=lambda t: t.timestamp)
     return triggers
 

@@ -8,11 +8,18 @@ analysis experiments E1/E2/E5-E6/E7 have no cross-dependencies; E4 reuses
 the models E3 trains) and dataset generation itself is sharded over worker
 processes.  Report content is identical for every ``jobs`` value — only
 the elapsed-time annotations differ.
+
+``cordial-repro serve-replay`` instead exercises the *online* path: it
+streams a generated fleet's test split through ``CordialService`` (with
+optional bounded shuffling and a mid-stream checkpoint/restore) and dumps
+a metrics JSON report — the serving smoke check CI archives as an
+artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -99,8 +106,31 @@ def run_all(context: ExperimentContext, include_models: bool = True,
     return "\n".join(sections)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``cordial-repro`` console script."""
+def cmd_serve_replay(args: argparse.Namespace) -> int:
+    """Stream a generated fleet through the online service; dump metrics."""
+    from repro.experiments.serve import run_serve_replay
+
+    report = run_serve_replay(
+        scale=args.scale, seed=args.seed, model_name=args.model,
+        max_skew=args.max_skew, shuffle=args.shuffle,
+        shuffle_seed=args.shuffle_seed, jobs=args.jobs,
+        checkpoint_path=args.checkpoint)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    summary = report["summary"]
+    print(f"served {summary['events_ingested']:,} events: "
+          f"{summary['triggers_fired']} triggers, "
+          f"{summary['repredictions']} repredictions, "
+          f"{summary['decisions_total']} decisions, "
+          f"ICR {summary['icr']:.2%} "
+          f"(dead-lettered: {summary['events_dead_lettered'] or 0})")
+    print(f"metrics report written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``cordial-repro`` argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         description="Reproduce every table and figure of the Cordial paper "
                     "on a calibrated synthetic fleet.")
@@ -118,7 +148,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="include ASCII Figure 3(a) bank maps")
     parser.add_argument("--output", type=str, default=None,
                         help="also write the report to this file")
+
+    sub = parser.add_subparsers(dest="command")
+    p = sub.add_parser(
+        "serve-replay",
+        help="stream a generated fleet through the online CordialService "
+             "and dump a metrics JSON report")
+    p.add_argument("--scale", type=float, default=0.12,
+                   help="fleet scale of the served dataset")
+    p.add_argument("--seed", type=int, default=42, help="generator seed")
+    p.add_argument("--model", default="LightGBM",
+                   choices=["Random Forest", "XGBoost", "LightGBM"])
+    p.add_argument("--max-skew", type=float, default=0.0, dest="max_skew",
+                   help="reorder-buffer window in stream seconds")
+    p.add_argument("--shuffle", action="store_true",
+                   help="shuffle the stream within --max-skew before "
+                        "serving (exercises the reorder buffer)")
+    p.add_argument("--shuffle-seed", type=int, default=0,
+                   dest="shuffle_seed")
+    p.add_argument("--checkpoint", type=str, default=None,
+                   help="checkpoint/restore the service mid-stream "
+                        "through this file (exercises restart)")
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--output", type=str, default="serve_metrics.json",
+                   help="where to write the metrics JSON report")
+    p.set_defaults(func=cmd_serve_replay)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``cordial-repro`` console script."""
+    parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "func", None) is not None:
+        return args.func(args)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 

@@ -1,0 +1,154 @@
+"""Streaming serve-replay harness: drive ``CordialService`` over a fleet.
+
+``cordial-repro serve-replay`` generates a fleet, trains a pipeline on
+the 70 % bank split, then streams the 30 % test split through a
+:class:`~repro.core.online.CordialService` event by event — optionally
+shuffled within a skew bound, and optionally checkpoint/restored halfway
+— and dumps a metrics JSON report.  The report's trigger and decision
+counts match ``Cordial.evaluate`` on the same data (locked down by
+``tests/test_serving_equivalence.py``), so the serving path can be
+smoke-checked in CI without a separate ground-truth harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.online import CordialService, Decision
+from repro.core.pipeline import Cordial
+from repro.datasets import FleetGenConfig, generate_fleet_dataset
+from repro.ml.selection import train_test_split_groups
+from repro.telemetry.events import ErrorRecord
+
+#: Split seed matching the test-suite convention (`tests/conftest.py`).
+SPLIT_SEED = 7
+
+
+def bounded_shuffle(records: Sequence[ErrorRecord], max_skew: float,
+                    seed: int = 0) -> List[ErrorRecord]:
+    """Shuffle a time-sorted stream so displacement stays within the skew.
+
+    Each record's *arrival* position is perturbed by sorting on
+    ``timestamp + jitter`` with ``|jitter| < max_skew / 2``, so no event
+    arrives after an event more than ``max_skew`` newer — the exact
+    disorder the collector's reorder buffer guarantees to absorb.
+    Timestamps themselves are untouched.
+    """
+    if max_skew <= 0:
+        return list(records)
+    rng = np.random.default_rng(seed)
+    half = 0.49 * max_skew
+    jitter = rng.uniform(-half, half, size=len(records))
+    order = np.argsort(
+        np.asarray([r.timestamp for r in records]) + jitter,
+        kind="stable")
+    return [records[i] for i in order]
+
+
+def serve_stream(service: CordialService,
+                 records: Sequence[ErrorRecord],
+                 checkpoint_path: Optional[str] = None,
+                 checkpoint_at: Optional[int] = None,
+                 ) -> Tuple[CordialService, List[Decision]]:
+    """Feed ``records`` through ``service`` (ingest + final flush).
+
+    When both ``checkpoint_path`` and ``checkpoint_at`` are given, the
+    service is snapshotted after ``checkpoint_at`` events, *restored from
+    that file into a fresh service*, and the stream continues on the
+    restored instance — exercising the crash/restart path for real.
+
+    Returns ``(service, decisions)`` — the service actually holding the
+    final state (the restored one when a checkpoint was taken).
+    """
+    decisions: List[Decision] = []
+    for index, record in enumerate(records):
+        decisions.extend(service.ingest(record))
+        if checkpoint_path is not None and checkpoint_at == index + 1:
+            from repro.core.persistence import (load_service_checkpoint,
+                                                save_service_checkpoint)
+            save_service_checkpoint(service, checkpoint_path)
+            service = load_service_checkpoint(checkpoint_path)
+    decisions.extend(service.flush())
+    return service, decisions
+
+
+def build_report(service: CordialService, decisions: Sequence[Decision],
+                 uer_rows_by_bank: Dict[tuple, Sequence[Tuple[float, int]]],
+                 config: Optional[dict] = None) -> dict:
+    """Assemble the serve-replay metrics report (JSON-ready)."""
+    icr = service.replay.result(uer_rows_by_bank)
+    actions = dict(service.stats.decisions_by_action)
+    trigger_decisions = [d for d in decisions if not d.is_reprediction]
+    report = {
+        "config": dict(config or {}),
+        "summary": {
+            "events_ingested": service.stats.events_ingested,
+            "events_dead_lettered": dict(service.collector.dead_letter_counts),
+            "triggers_fired": service.stats.triggers_fired,
+            "repredictions": service.stats.repredictions,
+            "decisions_total": len(decisions),
+            "decisions_by_action": {k: actions[k] for k in sorted(actions)},
+            "trigger_decisions": len(trigger_decisions),
+            "bank_spares": sum(1 for d in trigger_decisions
+                               if d.action == "bank-spare"),
+            "row_spare_triggers": sum(1 for d in trigger_decisions
+                                      if d.action == "row-spare"),
+            "spared_rows": service.spared_rows,
+            "spared_banks": service.spared_banks,
+            "sparing_requests_truncated": service.replay.truncated_requests,
+            "sparing_rows_truncated": service.replay.truncated_rows,
+            "sparing_duplicate_rows": service.replay.duplicate_rows,
+            "icr": icr.icr,
+            "icr_row_sparing_only": icr.icr_row_sparing_only,
+            "covered_rows": icr.covered_rows,
+            "total_uer_rows": icr.total_rows,
+        },
+        "metrics": service.metrics.as_dict(),
+    }
+    return report
+
+
+def run_serve_replay(scale: float = 0.12, seed: int = 42,
+                     model_name: str = "LightGBM", max_skew: float = 0.0,
+                     shuffle: bool = False, shuffle_seed: int = 0,
+                     spares_per_bank: int = 64, jobs: int = 1,
+                     checkpoint_path: Optional[str] = None,
+                     checkpoint_at: Optional[int] = None) -> dict:
+    """Generate, train, stream, and report — the full serve-replay run."""
+    dataset = generate_fleet_dataset(FleetGenConfig(scale=scale), seed=seed,
+                                     jobs=jobs)
+    train_banks, test_banks = train_test_split_groups(
+        dataset.uer_banks, test_fraction=0.3, seed=SPLIT_SEED)
+    cordial = Cordial(model_name=model_name, random_state=0)
+    cordial.fit(dataset, train_banks)
+
+    test_set = set(test_banks)
+    stream = [r for r in dataset.store if r.bank_key in test_set]
+    if shuffle:
+        stream = bounded_shuffle(stream, max_skew, seed=shuffle_seed)
+
+    service = CordialService(cordial, spares_per_bank=spares_per_bank,
+                             max_skew=max_skew)
+    if checkpoint_path is not None and checkpoint_at is None:
+        checkpoint_at = len(stream) // 2
+    service, decisions = serve_stream(service, stream,
+                                      checkpoint_path=checkpoint_path,
+                                      checkpoint_at=checkpoint_at)
+
+    truth = {bank: dataset.bank_truth[bank].uer_row_sequence
+             for bank in test_banks
+             if dataset.bank_truth[bank].uer_row_sequence}
+    return build_report(service, decisions, truth, config={
+        "scale": scale,
+        "seed": seed,
+        "model_name": model_name,
+        "max_skew": max_skew,
+        "shuffle": shuffle,
+        "shuffle_seed": shuffle_seed,
+        "spares_per_bank": spares_per_bank,
+        "test_banks": len(test_banks),
+        "stream_events": len(stream),
+        "checkpointed_at": checkpoint_at if checkpoint_path else None,
+    })

@@ -8,9 +8,12 @@ UER observed in a bank).
 """
 
 from repro.telemetry.events import ErrorType, ErrorRecord
-from repro.telemetry.mcelog import write_mce_log, read_mce_log, MCELogError
+from repro.telemetry.mcelog import (write_mce_log, read_mce_log,
+                                    iter_mce_log_lenient, MCELogError)
 from repro.telemetry.store import ErrorStore
-from repro.telemetry.collector import BMCCollector, BankTrigger
+from repro.telemetry.collector import BMCCollector, BankTrigger, DeadLetter
+from repro.telemetry.metrics import (Counter, Gauge, Histogram,
+                                     MetricsRegistry)
 from repro.telemetry.aggregator import (Alarm, AlarmRule,
                                         SlidingWindowAggregator,
                                         default_rules)
@@ -22,10 +25,16 @@ __all__ = [
     "ErrorRecord",
     "write_mce_log",
     "read_mce_log",
+    "iter_mce_log_lenient",
     "MCELogError",
     "ErrorStore",
     "BMCCollector",
     "BankTrigger",
+    "DeadLetter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "Alarm",
     "AlarmRule",
     "SlidingWindowAggregator",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Iterator, List, TextIO, Union
+from typing import Callable, Iterable, Iterator, List, Optional, TextIO, Union
 
 from repro.hbm.address import DeviceAddress
 from repro.telemetry.events import Detector, ErrorRecord, ErrorType
@@ -25,7 +25,7 @@ class MCELogError(ValueError):
     """Raised when an MCE log file is malformed."""
 
 
-def _record_to_obj(record: ErrorRecord) -> dict:
+def record_to_obj(record: ErrorRecord) -> dict:
     # Explicit int()/float() casts: producers may carry numpy scalars,
     # which the json module refuses to serialise.
     address = record.address
@@ -51,7 +51,7 @@ def _record_to_obj(record: ErrorRecord) -> dict:
     }
 
 
-def _obj_to_record(obj: dict, line_no: int) -> ErrorRecord:
+def record_from_obj(obj: dict, line_no: int = 0) -> ErrorRecord:
     try:
         address = DeviceAddress.unpack(int(obj["addr"]))
         loc = obj.get("loc")
@@ -91,7 +91,7 @@ def write_mce_log(records: Iterable[ErrorRecord],
     destination.write(json.dumps(header) + "\n")
     count = 0
     for record in records:
-        destination.write(json.dumps(_record_to_obj(record)) + "\n")
+        destination.write(json.dumps(record_to_obj(record)) + "\n")
         count += 1
     return count
 
@@ -121,9 +121,57 @@ def iter_mce_log(source: Union[str, Path, TextIO]) -> Iterator[ErrorRecord]:
             obj = json.loads(line)
         except json.JSONDecodeError as exc:
             raise MCELogError(f"line {line_no}: invalid JSON: {exc}") from exc
-        yield _obj_to_record(obj, line_no)
+        yield record_from_obj(obj, line_no)
 
 
 def read_mce_log(source: Union[str, Path, TextIO]) -> List[ErrorRecord]:
     """Read a whole MCE log into memory."""
     return list(iter_mce_log(source))
+
+
+def iter_mce_log_lenient(
+        source: Union[str, Path, TextIO],
+        on_malformed: Optional[Callable[[int, str, str], None]] = None,
+) -> Iterator[ErrorRecord]:
+    """Stream records, routing malformed lines to a callback.
+
+    The strict reader (:func:`iter_mce_log`) is right for offline
+    analysis, where a corrupt file should stop the run.  An online
+    service instead wants to keep consuming and quarantine the bad lines
+    — exactly the dead-letter posture of
+    :meth:`repro.telemetry.collector.BMCCollector.quarantine`, which
+    plugs in directly::
+
+        iter_mce_log_lenient(path, on_malformed=lambda line_no, line, err:
+            collector.quarantine("malformed", f"line {line_no}: {err}"))
+
+    A bad *header* still raises: that is a wrong-file error, not noise.
+
+    Args:
+        on_malformed: called with ``(line_no, raw_line, error)`` for every
+            skipped line; ``None`` just counts them silently.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from iter_mce_log_lenient(handle, on_malformed)
+            return
+    header_line = source.readline()
+    if not header_line.strip():
+        raise MCELogError("empty file: missing MCE log header")
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise MCELogError(f"malformed header: {exc}") from exc
+    if header.get("format") != FORMAT_NAME:
+        raise MCELogError(f"unexpected log format: {header.get('format')!r}")
+    if header.get("version") != FORMAT_VERSION:
+        raise MCELogError(f"unsupported log version: {header.get('version')!r}")
+    for line_no, line in enumerate(source, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield record_from_obj(json.loads(line), line_no)
+        except (json.JSONDecodeError, MCELogError) as exc:
+            if on_malformed is not None:
+                on_malformed(line_no, line, str(exc))

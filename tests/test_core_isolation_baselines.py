@@ -44,7 +44,36 @@ class TestIsolationReplay:
         replay = IsolationReplay(spares_per_bank=4)
         spared = replay.isolate_rows(BANK, range(10), timestamp=1.0)
         assert spared == 4
-        assert replay.exhausted_requests == 1
+        assert replay.truncated_requests == 1
+        assert replay.truncated_rows == 6
+        assert replay.exhausted_requests == 1  # deprecated alias
+
+    def test_duplicates_not_conflated_with_truncation(self):
+        """Regression: re-sparing already-spared rows is not exhaustion."""
+        replay = IsolationReplay(spares_per_bank=64)
+        assert replay.isolate_rows(BANK, [1, 2, 3], timestamp=1.0) == 3
+        # All three rows already spared: zero fresh rows, zero truncation.
+        assert replay.isolate_rows(BANK, [1, 2, 3], timestamp=2.0) == 0
+        assert replay.truncated_requests == 0
+        assert replay.truncated_rows == 0
+        assert replay.duplicate_requests == 1
+        assert replay.duplicate_rows == 3
+
+    def test_in_request_duplicates_counted_once(self):
+        replay = IsolationReplay(spares_per_bank=4)
+        assert replay.isolate_rows(BANK, [5, 5, 6], timestamp=1.0) == 2
+        assert replay.duplicate_rows == 1
+        assert replay.truncated_requests == 0
+
+    def test_mixed_duplicates_and_budget_truncation(self):
+        replay = IsolationReplay(spares_per_bank=4)
+        replay.isolate_rows(BANK, [0, 1], timestamp=1.0)
+        # 2 duplicates + 4 fresh rows against 2 remaining spares.
+        spared = replay.isolate_rows(BANK, [0, 1, 2, 3, 4, 5], timestamp=2.0)
+        assert spared == 2
+        assert replay.duplicate_rows == 2
+        assert replay.truncated_requests == 1
+        assert replay.truncated_rows == 2  # only the budget-dropped rows
 
     def test_costs_reported(self):
         replay = IsolationReplay()

@@ -125,3 +125,34 @@ class TestCordialService:
         if bank_spared is not None:
             assert online.is_row_isolated(bank_spared, 0)
             assert online.spared_banks >= 1
+
+    def test_bank_spare_retains_no_per_bank_state(self, small_dataset,
+                                                  bank_split, service):
+        """Regression: bank-spared banks must not grow reprediction state."""
+        _, test = bank_split
+        test_set = set(test)
+        online = CordialService(service)
+        decisions = []
+        for record in small_dataset.store:
+            if record.bank_key in test_set:
+                decisions.extend(online.ingest(record))
+        bank_spares = [d.bank_key for d in decisions
+                       if d.action == "bank-spare"]
+        row_spares = [d.bank_key for d in decisions
+                      if d.action == "row-spare" and not d.is_reprediction]
+        for bank_key in bank_spares:
+            assert not online.has_bank_state(bank_key)
+        for bank_key in row_spares:
+            assert online.has_bank_state(bank_key)
+
+    def test_is_row_isolated_respects_time(self, small_dataset, bank_split,
+                                           service):
+        _, test = bank_split
+        online = CordialService(service)
+        bank_key = test[0]
+        online.replay.isolate_rows(bank_key, [7], timestamp=10.0)
+        assert online.is_row_isolated(bank_key, 7)
+        assert online.is_row_isolated(bank_key, 7, at_time=11.0)
+        # Before (or at) the sparing instant the row was still exposed.
+        assert not online.is_row_isolated(bank_key, 7, at_time=10.0)
+        assert not online.is_row_isolated(bank_key, 7, at_time=9.0)

@@ -1,0 +1,97 @@
+"""Tests for ``CrossRowPredictor._select_threshold`` (held-out F1 cut-off).
+
+The auto-threshold path trains a probe model on three quarters of the
+trigger groups and picks the F1-maximising cut-off on the held-out
+quarter.  These tests pin down the fallbacks (too little data, a
+single-class fold) and the explicit-threshold override.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.crossrow import CrossRowPredictor
+
+N_BLOCKS = 16  # default CrossRowWindow: +/-64 rows in 8-row blocks
+
+
+def make_group_samples(n_groups, positives_in, rng):
+    """Stacked (bank, block) samples: one positive block per listed group.
+
+    The single feature column separates the classes (label + noise), so a
+    probe model scores held-out blocks near-perfectly.
+    """
+    X = np.zeros((n_groups * N_BLOCKS, 3))
+    y = np.zeros(n_groups * N_BLOCKS, dtype=int)
+    for g in positives_in:
+        y[g * N_BLOCKS + (g % N_BLOCKS)] = 1
+    X[:, 0] = y + rng.normal(0.0, 0.05, size=len(y))
+    X[:, 1] = rng.normal(size=len(y))
+    X[:, 2] = rng.uniform(size=len(y))
+    return X, y
+
+
+class TestSelectThreshold:
+    def test_too_few_groups_falls_back_to_half(self):
+        rng = np.random.default_rng(0)
+        X, y = make_group_samples(4, positives_in=range(4), rng=rng)
+        predictor = CrossRowPredictor(model_name="Random Forest",
+                                      random_state=0)
+        predictor.fit_samples(X, y)
+        assert predictor.effective_threshold == 0.5
+
+    def test_single_class_validation_fold_falls_back_to_half(self):
+        n_groups = 16
+        # Reproduce the selector's own held-out split (seeded rng) and put
+        # every positive in the *training* groups, leaving the validation
+        # fold single-class.
+        held_out = set(np.random.default_rng(13)
+                       .choice(n_groups, size=n_groups // 4,
+                               replace=False).tolist())
+        train_groups = [g for g in range(n_groups) if g not in held_out]
+        rng = np.random.default_rng(1)
+        X, y = make_group_samples(n_groups, positives_in=train_groups,
+                                  rng=rng)
+        predictor = CrossRowPredictor(model_name="Random Forest",
+                                      random_state=0)
+        predictor.fit_samples(X, y)
+        assert predictor.effective_threshold == 0.5
+
+    def test_held_out_selection_picks_grid_threshold(self):
+        rng = np.random.default_rng(2)
+        X, y = make_group_samples(16, positives_in=range(16), rng=rng)
+        predictor = CrossRowPredictor(model_name="Random Forest",
+                                      random_state=0)
+        predictor.fit_samples(X, y)
+        threshold = predictor.effective_threshold
+        assert 0.10 <= threshold <= 0.90
+        # The scan runs over a 0.05-spaced grid — the pick must be on it.
+        assert round(threshold / 0.05) * 0.05 == pytest.approx(threshold)
+
+    def test_selection_is_deterministic(self):
+        rng = np.random.default_rng(3)
+        X, y = make_group_samples(16, positives_in=range(16), rng=rng)
+        thresholds = []
+        for _ in range(2):
+            predictor = CrossRowPredictor(model_name="Random Forest",
+                                          random_state=0)
+            predictor.fit_samples(X, y)
+            thresholds.append(predictor.effective_threshold)
+        assert thresholds[0] == thresholds[1]
+
+    def test_explicit_threshold_skips_selection(self):
+        rng = np.random.default_rng(2)
+        X, y = make_group_samples(16, positives_in=range(16), rng=rng)
+        auto = CrossRowPredictor(model_name="Random Forest", random_state=0)
+        auto.fit_samples(X, y)
+        fixed = CrossRowPredictor(model_name="Random Forest", random_state=0,
+                                  threshold=0.73)
+        fixed.fit_samples(X, y)
+        assert fixed.effective_threshold == 0.73
+        assert fixed._auto_threshold == 0.5  # selector never ran
+        assert auto.effective_threshold != 0.73
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CrossRowPredictor(threshold=0.0)
+        with pytest.raises(ValueError):
+            CrossRowPredictor(threshold=1.0)

@@ -8,7 +8,8 @@ from hypothesis import given, strategies as st
 from repro.hbm.address import DeviceAddress
 from repro.hbm.ecc import ECCOutcome
 from repro.telemetry.events import Detector, ErrorRecord, ErrorType
-from repro.telemetry.mcelog import (MCELogError, iter_mce_log, read_mce_log,
+from repro.telemetry.mcelog import (MCELogError, iter_mce_log,
+                                    iter_mce_log_lenient, read_mce_log,
                                     write_mce_log)
 
 
@@ -113,3 +114,55 @@ class TestMCELog:
         write_mce_log([make_record(seq=seq)], buffer)
         buffer.seek(0)
         assert read_mce_log(buffer)[0].sequence == seq
+
+
+class TestLenientReader:
+    def _records(self, n=3):
+        return [make_record(seq=i, t=float(i), row=i) for i in range(n)]
+
+    def _log_text(self, records):
+        buffer = io.StringIO()
+        write_mce_log(records, buffer)
+        return buffer.getvalue()
+
+    def test_reads_clean_log_like_strict_reader(self):
+        records = self._records()
+        text = self._log_text(records)
+        assert list(iter_mce_log_lenient(io.StringIO(text))) == records
+
+    def test_malformed_lines_routed_to_callback(self):
+        records = self._records()
+        lines = self._log_text(records).splitlines()
+        lines[2] = "{not json"
+        text = "\n".join(lines) + "\n"
+        skipped = []
+        loaded = list(iter_mce_log_lenient(
+            io.StringIO(text),
+            on_malformed=lambda line_no, raw, err: skipped.append(line_no)))
+        assert loaded == [records[0], records[2]]
+        assert skipped == [3]  # 1-based; line 1 is the header
+
+    def test_malformed_lines_skipped_silently_without_callback(self):
+        records = self._records()
+        lines = self._log_text(records).splitlines()
+        lines[1] = "garbage"
+        text = "\n".join(lines) + "\n"
+        assert list(iter_mce_log_lenient(io.StringIO(text))) == records[1:]
+
+    def test_bad_header_still_raises(self):
+        with pytest.raises(MCELogError, match="header"):
+            list(iter_mce_log_lenient(io.StringIO("not a header\n")))
+
+    def test_feeds_collector_quarantine(self):
+        from repro.telemetry.collector import BMCCollector
+
+        records = self._records()
+        lines = self._log_text(records).splitlines()
+        lines[2] = "{broken"
+        collector = BMCCollector()
+        loaded = list(iter_mce_log_lenient(
+            io.StringIO("\n".join(lines) + "\n"),
+            on_malformed=lambda line_no, raw, err:
+                collector.quarantine("malformed", f"line {line_no}: {err}")))
+        assert len(loaded) == 2
+        assert collector.dead_letter_counts == {"malformed": 1}

@@ -1,0 +1,120 @@
+"""Tests for the dependency-free metrics registry."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import (Counter, Gauge, Histogram,
+                                    MetricsRegistry)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_tracks_high_water_mark(self):
+        gauge = Gauge()
+        gauge.set(5.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+        assert gauge.max_value == 5.0
+        gauge.inc(-1.0)
+        assert gauge.value == 1.0
+        gauge.inc(10.0)
+        assert gauge.max_value == 11.0
+
+
+class TestHistogram:
+    def test_bucketing_and_mean(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1]  # <=1, <=10, overflow
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(55.5 / 3)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+    def test_buckets_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_shares_series(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc()
+        registry.counter("events").inc()
+        assert registry.counter_value("events") == 2.0
+        assert registry.counter_value("never_touched") == 0.0
+
+    def test_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("dead_letters", labels={"reason": "late"}).inc()
+        registry.counter("dead_letters",
+                         labels={"reason": "malformed"}).inc(3)
+        assert registry.counter_value("dead_letters",
+                                      labels={"reason": "late"}) == 1.0
+        assert registry.counter_value("dead_letters",
+                                      labels={"reason": "malformed"}) == 3.0
+        # Label order never matters: keys are sorted into the series name.
+        document = registry.as_dict()
+        assert "dead_letters{reason=late}" in document["counters"]
+
+    def test_timer_observes_elapsed(self):
+        registry = MetricsRegistry()
+        with registry.timer("op_seconds"):
+            pass
+        histogram = registry.histogram("op_seconds")
+        assert histogram.count == 1
+        assert histogram.sum >= 0.0
+
+    def test_as_dict_is_deterministic_json(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("b").inc(2)
+            registry.counter("a").inc(1)
+            registry.gauge("depth").set(7)
+            return registry
+
+        a = json.dumps(build().as_dict(), sort_keys=True)
+        b = json.dumps(build().as_dict(), sort_keys=True)
+        assert a == b
+
+    def test_exclude_histograms(self):
+        registry = MetricsRegistry()
+        with registry.timer("latency"):
+            pass
+        assert "histograms" not in registry.as_dict(include_histograms=False)
+
+    def test_restore_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(5)
+        registry.gauge("depth").set(3)
+        registry.gauge("depth").set(1)
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        document = json.loads(json.dumps(registry.as_dict()))
+
+        restored = MetricsRegistry().restore(document)
+        assert restored.as_dict() == registry.as_dict()
+        # Restored metrics keep accumulating.
+        restored.counter("events").inc()
+        assert restored.counter_value("events") == 6.0
+        assert restored.gauge("depth").max_value == 3
+
+    def test_restore_replaces_in_place_keeping_references(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(2)
+        same = registry.restore(registry.as_dict())
+        assert same is registry
+        assert registry.counter_value("events") == 2.0

@@ -111,27 +111,134 @@ class TestBMCCollector:
         triggers = list(collector.replay(events))
         assert len(triggers) == 1
 
+    def test_ingest_returns_released_pairs(self):
+        collector = BMCCollector(trigger_uer_rows=2)
+        released = collector.ingest(rec(0, 1.0, 5, ErrorType.UER))
+        assert len(released) == 1
+        record, trigger = released[0]
+        assert record.row == 5 and trigger is None
+        [(record, trigger)] = collector.ingest(rec(1, 2.0, 6, ErrorType.UER))
+        assert trigger is not None and trigger.uer_rows == (5, 6)
+
     def test_history_snapshot_is_immutable_copy(self):
         collector = BMCCollector(trigger_uer_rows=1)
-        trigger = collector.ingest(rec(0, 1.0, 5, ErrorType.UER))
+        [(_, trigger)] = collector.ingest(rec(0, 1.0, 5, ErrorType.UER))
         assert trigger is not None
         collector.ingest(rec(1, 2.0, 6, ErrorType.CE))
         assert len(trigger.history) == 1  # unchanged by later events
 
     def test_independent_banks(self):
         collector = BMCCollector(trigger_uer_rows=1)
-        t0 = collector.ingest(rec(0, 1.0, 5, ErrorType.UER, bank=0))
-        t1 = collector.ingest(rec(1, 2.0, 7, ErrorType.UER, bank=1))
+        [(_, t0)] = collector.ingest(rec(0, 1.0, 5, ErrorType.UER, bank=0))
+        [(_, t1)] = collector.ingest(rec(1, 2.0, 7, ErrorType.UER, bank=1))
         assert t0 is not None and t1 is not None
         assert t0.bank_key != t1.bank_key
         assert len(collector.triggered_banks) == 2
 
-    def test_time_order_enforced(self):
-        collector = BMCCollector()
+    def test_stale_event_dead_lettered_not_raised(self):
+        collector = BMCCollector()  # max_skew=0: any backwards step is late
         collector.ingest(rec(0, 5.0, 1))
-        with pytest.raises(ValueError):
-            collector.ingest(rec(1, 4.0, 2))
+        assert collector.ingest(rec(1, 4.0, 2)) == []
+        assert collector.dead_letter_counts == {"late": 1}
+        [letter] = collector.dead_letters
+        assert letter.reason == "late"
+        assert letter.timestamp == 4.0
+
+    def test_malformed_input_quarantined(self):
+        collector = BMCCollector()
+        assert collector.ingest("not a record") == []
+        assert collector.dead_letter_counts == {"malformed": 1}
 
     def test_invalid_trigger_count(self):
         with pytest.raises(ValueError):
             BMCCollector(trigger_uer_rows=0)
+
+    def test_invalid_max_skew(self):
+        with pytest.raises(ValueError):
+            BMCCollector(max_skew=-1.0)
+
+
+class TestReorderBuffer:
+    def test_reorders_within_skew_window(self):
+        collector = BMCCollector(trigger_uer_rows=3, max_skew=10.0)
+        arrival = [rec(0, 1.0, 1, ErrorType.UER),
+                   rec(2, 3.0, 3, ErrorType.UER),   # arrives early
+                   rec(1, 2.0, 2, ErrorType.UER)]   # displaced, within skew
+        released = []
+        for record in arrival:
+            released.extend(collector.ingest(record))
+        released.extend(collector.flush())
+        assert [r.timestamp for r, _ in released] == [1.0, 2.0, 3.0]
+        triggers = [t for _, t in released if t is not None]
+        assert len(triggers) == 1
+        assert triggers[0].uer_rows == (1, 2, 3)
+        assert triggers[0].timestamp == 3.0
+        assert collector.dead_letter_counts == {}
+
+    def test_watermark_advances_and_drops_late_events(self):
+        collector = BMCCollector(max_skew=5.0)
+        collector.ingest(rec(0, 100.0, 1))
+        assert collector.watermark == 95.0
+        assert collector.ingest(rec(1, 94.0, 2)) == []  # beyond the window
+        assert collector.dead_letter_counts == {"late": 1}
+        # Within the window: buffered, not dropped.
+        assert collector.ingest(rec(2, 96.0, 3)) == []
+        released = collector.flush()
+        assert [r.timestamp for r, _ in released] == [96.0, 100.0]
+
+    def test_events_held_until_watermark_passes(self):
+        collector = BMCCollector(max_skew=10.0)
+        assert collector.ingest(rec(0, 1.0, 1)) == []  # held: inside window
+        assert collector.ingest(rec(1, 5.0, 2)) == []
+        released = collector.ingest(rec(2, 20.0, 3))   # watermark -> 10.0
+        assert [r.timestamp for r, _ in released] == [1.0, 5.0]
+        assert [r.timestamp for r, _ in collector.flush()] == [20.0]
+
+    def test_forced_release_caps_pending_buffer(self):
+        collector = BMCCollector(max_skew=1e9, max_pending=3)
+        released = []
+        for i in range(5):
+            released.extend(collector.ingest(rec(i, float(i), i)))
+        assert len(released) == 2  # two forced releases keep len(pending)<=3
+        assert [r.timestamp for r, _ in released] == [0.0, 1.0]
+
+    def test_dead_letter_list_is_bounded_counts_exact(self):
+        collector = BMCCollector(max_dead_letters=2)
+        collector.ingest(rec(0, 10.0, 1))
+        for i in range(5):
+            collector.ingest(rec(i + 1, 1.0, 2))
+        assert len(collector.dead_letters) == 2
+        assert collector.dead_letter_counts == {"late": 5}
+
+    def test_replay_equivalent_to_sorted_stream(self):
+        events = [rec(i, float(i), row=i % 7, error_type=ErrorType.UER,
+                      bank=i % 3) for i in range(30)]
+        shuffled = events[:]
+        # Swap neighbours (displacement 1.0 < max_skew).
+        for i in range(0, len(shuffled) - 1, 2):
+            shuffled[i], shuffled[i + 1] = shuffled[i + 1], shuffled[i]
+        expect = list(BMCCollector(trigger_uer_rows=3).replay(events))
+        got = list(BMCCollector(trigger_uer_rows=3,
+                                max_skew=2.0).replay(shuffled))
+        assert [(t.bank_key, t.uer_rows, t.timestamp) for t in expect] == \
+               [(t.bank_key, t.uer_rows, t.timestamp) for t in got]
+
+    def test_state_dict_roundtrip_resumes_identically(self):
+        collector = BMCCollector(trigger_uer_rows=3, max_skew=10.0)
+        collector.ingest(rec(0, 1.0, 1, ErrorType.UER))
+        collector.ingest(rec(2, 30.0, 3, ErrorType.UER))  # row 1 released
+        state = collector.state_dict()
+
+        restored = BMCCollector().load_state_dict(state)
+        assert restored.state_dict() == state
+        tail = [rec(1, 25.0, 2, ErrorType.UER),
+                rec(3, 50.0, 4, ErrorType.UER)]
+
+        def drain(c):
+            out = []
+            for record in tail:
+                out.extend(c.ingest(record))
+            out.extend(c.flush())
+            return [(r.timestamp, t.uer_rows if t else None) for r, t in out]
+
+        assert drain(restored) == drain(collector)
