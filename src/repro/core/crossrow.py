@@ -172,6 +172,19 @@ class CrossRowPredictor:
         if not self._fitted:
             raise RuntimeError("predictor is not fitted")
         X = self.featurizer.extract_blocks(history, last_uer_row)
+        return self.predict_from_features(X, last_uer_row)
+
+    def predict_from_features(self, X: np.ndarray,
+                              last_uer_row: int) -> BlockPrediction:
+        """Score pre-extracted block features for one bank.
+
+        Used by the incremental online path, which builds ``X`` from an
+        :class:`~repro.core.incremental.IncrementalFeatureState` instead
+        of re-walking the bank history; :meth:`predict` delegates here, so
+        both paths share the probability/threshold/flagging logic.
+        """
+        if not self._fitted:
+            raise RuntimeError("predictor is not fitted")
         proba = self.model.predict_proba(X)
         positive_col = int(np.nonzero(self.model.classes_ == 1)[0][0])
         p = proba[:, positive_col]

@@ -1,0 +1,156 @@
+"""Incremental per-bank feature state for the online serving path.
+
+The batch pipeline featurizes each trigger snapshot once, but the online
+service re-predicts at *every* subsequent UER of an aggregation bank —
+and recomputing :meth:`CrossRowFeaturizer.extract_blocks` from scratch
+walks the bank's full history per event, turning a long-lived bank into
+an O(n²) serving cost.  :class:`IncrementalFeatureState` folds each
+released record into running aggregates in (amortized) O(1):
+
+* per error type, a ``row -> event count`` multiset plus the distinct
+  rows kept sorted (``bisect.insort``) — block/side/window counts and
+  nearest-row distances come straight out of it;
+* the distinct UER rows in first-occurrence order (step features) and
+  every UER timestamp (inter-arrival features);
+* the last two event timestamps (``time_since_last_event``) and per-type
+  totals.
+
+``aggregates()`` renders the state as the same
+:class:`~repro.core.features.CrossRowAggregates` record the batch path
+reduces a history to, so both paths run the identical column kernels and
+produce bit-identical matrices by construction —
+``tests/test_feature_equivalence.py`` locks this down against the scalar
+reference extractor.
+
+The state is JSON-checkpointable (:meth:`to_dict` / :meth:`from_dict`)
+and rides inside the ``cordial-service-checkpoint`` document (format
+version 2; see :mod:`repro.core.persistence`).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.features import (CE_CODE, MISSING, UEO_CODE, UER_CODE,
+                                 _TYPE_CODE, CrossRowAggregates)
+from repro.telemetry.events import ErrorRecord
+
+_ALL_CODES = (CE_CODE, UEO_CODE, UER_CODE)
+
+
+class IncrementalFeatureState:
+    """Running history aggregates for one bank, folded event by event."""
+
+    __slots__ = ("row_counts", "sorted_rows", "uer_row_order", "uer_times",
+                 "type_totals", "n_events", "last_ts", "prev_ts")
+
+    def __init__(self) -> None:
+        #: Per type code: event multiplicity per row.
+        self.row_counts: List[Dict[int, int]] = [{} for _ in _ALL_CODES]
+        #: Per type code: distinct rows, kept sorted ascending.
+        self.sorted_rows: List[List[int]] = [[] for _ in _ALL_CODES]
+        #: Distinct UER rows in first-occurrence order.
+        self.uer_row_order: List[int] = []
+        #: Every UER timestamp, in release (time) order.
+        self.uer_times: List[float] = []
+        self.type_totals: List[int] = [0, 0, 0]
+        self.n_events: int = 0
+        self.last_ts: Optional[float] = None
+        self.prev_ts: Optional[float] = None
+
+    # -- folding -------------------------------------------------------------
+    def update(self, record: ErrorRecord) -> None:
+        """Fold one released record (must arrive in release order)."""
+        code = _TYPE_CODE[record.error_type]
+        row = int(record.address.row)
+        counts = self.row_counts[code]
+        if row in counts:
+            counts[row] += 1
+        else:
+            counts[row] = 1
+            insort(self.sorted_rows[code], row)
+            if code == UER_CODE:
+                self.uer_row_order.append(row)
+        if code == UER_CODE:
+            self.uer_times.append(record.timestamp)
+        self.type_totals[code] += 1
+        self.n_events += 1
+        self.prev_ts = self.last_ts
+        self.last_ts = record.timestamp
+
+    @classmethod
+    def from_history(cls, history: Sequence[ErrorRecord]
+                     ) -> "IncrementalFeatureState":
+        """Fold a whole history (e.g. a trigger snapshot) at once."""
+        state = cls()
+        for record in history:
+            state.update(record)
+        return state
+
+    # -- rendering -----------------------------------------------------------
+    def aggregates(self) -> CrossRowAggregates:
+        """The state as batch-path :class:`CrossRowAggregates`.
+
+        The arrays hold exactly the values
+        :meth:`CrossRowFeaturizer.aggregate_history` would compute from
+        the same event sequence, so the shared column kernels yield
+        bit-identical block matrices.
+        """
+        rows_by_type = []
+        for code in _ALL_CODES:
+            distinct = np.asarray(self.sorted_rows[code], dtype=np.float64)
+            counts = np.asarray([self.row_counts[code][row]
+                                 for row in self.sorted_rows[code]],
+                                dtype=np.int64)
+            rows_by_type.append((distinct, counts))
+        since_last = (self.last_ts - self.prev_ts
+                      if self.prev_ts is not None else MISSING)
+        return CrossRowAggregates(
+            rows_by_type=tuple(rows_by_type),
+            uer_occurrence=np.asarray(self.uer_row_order, dtype=np.float64),
+            uer_times=np.asarray(self.uer_times, dtype=np.float64),
+            since_last=since_last,
+            totals=(float(self.type_totals[CE_CODE]),
+                    float(self.type_totals[UEO_CODE]),
+                    float(self.type_totals[UER_CODE]),
+                    float(self.n_events)),
+        )
+
+    # -- checkpointing -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready state (deterministic layout: rows sorted)."""
+        return {
+            "row_counts": [
+                [[row, self.row_counts[code][row]]
+                 for row in self.sorted_rows[code]]
+                for code in _ALL_CODES
+            ],
+            "uer_row_order": list(self.uer_row_order),
+            "uer_times": list(self.uer_times),
+            "type_totals": list(self.type_totals),
+            "n_events": self.n_events,
+            "last_ts": self.last_ts,
+            "prev_ts": self.prev_ts,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "IncrementalFeatureState":
+        """Rebuild from :meth:`to_dict` output."""
+        instance = cls()
+        for code, pairs in zip(_ALL_CODES, state["row_counts"]):
+            instance.row_counts[code] = {int(row): int(count)
+                                         for row, count in pairs}
+            instance.sorted_rows[code] = sorted(instance.row_counts[code])
+        instance.uer_row_order = [int(row)
+                                  for row in state["uer_row_order"]]
+        instance.uer_times = [float(t) for t in state["uer_times"]]
+        instance.type_totals = [int(t) for t in state["type_totals"]]
+        instance.n_events = int(state["n_events"])
+        instance.last_ts = (None if state["last_ts"] is None
+                            else float(state["last_ts"]))
+        instance.prev_ts = (None if state["prev_ts"] is None
+                            else float(state["prev_ts"]))
+        return instance

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.incremental import IncrementalFeatureState
 from repro.core.isolation import IsolationReplay
 from repro.core.pipeline import Cordial
 from repro.faults.types import FailurePattern
@@ -123,11 +124,20 @@ class CordialService:
             0 keeps the historical release-immediately behaviour.
         metrics: optional shared metrics registry (one is created when
             omitted; collector and ledger record into the same registry).
+        incremental_features: when True (default), re-predictions build
+            their cross-row features from a per-bank
+            :class:`IncrementalFeatureState` folded O(1) per released
+            event instead of re-walking the bank's full history; the
+            decisions are bit-identical either way
+            (``tests/test_feature_equivalence.py``), so False exists only
+            as the recompute reference for equivalence tests and
+            benchmarks.
     """
 
     def __init__(self, cordial: Cordial, spares_per_bank: int = 64,
                  max_skew: float = 0.0,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 incremental_features: bool = True) -> None:
         if not getattr(cordial, "_fitted", False):
             raise ValueError("CordialService requires a fitted Cordial")
         self.cordial = cordial
@@ -138,8 +148,10 @@ class CordialService:
         self.replay = IsolationReplay(spares_per_bank=spares_per_bank,
                                       metrics=self.metrics)
         self.stats = ServiceStats()
+        self.incremental_features = incremental_features
         self._pattern_of: Dict[tuple, FailurePattern] = {}
         self._uer_rows: Dict[tuple, List[int]] = {}
+        self._feature_state: Dict[tuple, IncrementalFeatureState] = {}
 
     # -- event path ----------------------------------------------------------
     def ingest(self, record: ErrorRecord) -> List[Decision]:
@@ -176,6 +188,12 @@ class CordialService:
         """Handle one *released* (in-order) event."""
         if trigger is not None:
             return self._on_trigger(trigger)
+        state = self._feature_state.get(record.bank_key)
+        if state is not None:
+            # Fold first: the state must mirror "history through this
+            # record" before any re-prediction reads it, exactly like the
+            # truncated recompute in ``_history_through``.
+            state.update(record)
         if (record.error_type is ErrorType.UER
                 and record.bank_key in self._pattern_of):
             decision = self._on_subsequent_uer(record)
@@ -196,6 +214,9 @@ class CordialService:
                              action="bank-spare", rows=())]
         self._pattern_of[trigger.bank_key] = pattern
         self._uer_rows[trigger.bank_key] = list(trigger.uer_rows)
+        if self.incremental_features:
+            self._feature_state[trigger.bank_key] = (
+                IncrementalFeatureState.from_history(trigger.history))
         prediction = self.cordial.predictor.predict(trigger.history,
                                                     trigger.uer_rows[-1])
         rows = tuple(int(r) for r in prediction.rows_to_isolate())
@@ -213,8 +234,17 @@ class CordialService:
         rows_seen.append(record.row)
         self.stats.repredictions += 1
         self.metrics.counter("service.repredictions").inc()
-        history = self._history_through(record)
-        prediction = self.cordial.predictor.predict(history, record.row)
+        predictor = self.cordial.predictor
+        if self.incremental_features:
+            # O(1)-per-event fold already happened in _process; build the
+            # block features from the running aggregates instead of
+            # re-walking the bank history.
+            agg = self._feature_state[record.bank_key].aggregates()
+            X = predictor.featurizer.extract_from_aggregates(agg, record.row)
+            prediction = predictor.predict_from_features(X, record.row)
+        else:
+            history = self._history_through(record)
+            prediction = predictor.predict(history, record.row)
         rows = tuple(int(r) for r in prediction.rows_to_isolate())
         self.replay.isolate_rows(record.bank_key, rows, record.timestamp)
         return Decision(timestamp=record.timestamp,
@@ -271,7 +301,8 @@ class CordialService:
 
     def has_bank_state(self, bank_key: tuple) -> bool:
         """Whether per-bank prediction state is retained for ``bank_key``."""
-        return bank_key in self._pattern_of or bank_key in self._uer_rows
+        return (bank_key in self._pattern_of or bank_key in self._uer_rows
+                or bank_key in self._feature_state)
 
     # -- checkpointing -------------------------------------------------------
     def state_dict(self) -> dict:
@@ -292,6 +323,9 @@ class CordialService:
                            sorted(self._pattern_of.items())],
             "uer_rows": [[[int(b) for b in bank], [int(r) for r in rows]]
                          for bank, rows in sorted(self._uer_rows.items())],
+            "feature_state": [[[int(b) for b in bank], state.to_dict()]
+                              for bank, state in
+                              sorted(self._feature_state.items())],
             "metrics": self.metrics.as_dict(),
         }
 
@@ -304,5 +338,20 @@ class CordialService:
                             for bank, value in state["pattern_of"]}
         self._uer_rows = {tuple(bank): list(rows)
                           for bank, rows in state["uer_rows"]}
+        self._feature_state = {}
+        if self.incremental_features:
+            # Version-2 checkpoints carry the folded state; for version-1
+            # documents (or a snapshot taken with the recompute path) the
+            # state is rebuilt from the collector's released histories,
+            # which are identical to a fold over the same events.
+            saved = {tuple(bank): folded
+                     for bank, folded in state.get("feature_state", [])}
+            for bank in self._pattern_of:
+                folded = saved.get(bank)
+                self._feature_state[bank] = (
+                    IncrementalFeatureState.from_dict(folded)
+                    if folded is not None
+                    else IncrementalFeatureState.from_history(
+                        self.collector.bank_history(bank)))
         self.metrics.restore(state["metrics"])
         return self

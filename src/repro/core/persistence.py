@@ -32,7 +32,11 @@ PIPELINE_FORMAT = "cordial-pipeline"
 PIPELINE_VERSION = 1
 
 CHECKPOINT_FORMAT = "cordial-service-checkpoint"
-CHECKPOINT_VERSION = 1
+#: Version 2 adds the per-bank incremental feature state
+#: (``state["feature_state"]``); version-1 documents are still loadable —
+#: the state is rebuilt from the collector's released bank histories.
+CHECKPOINT_VERSION = 2
+SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
 
 
 def _model_to_obj(model) -> dict:
@@ -146,7 +150,7 @@ def service_from_document(document: dict) -> CordialService:
     if document.get("format") != CHECKPOINT_FORMAT:
         raise ModelPersistenceError(
             f"unexpected checkpoint format: {document.get('format')!r}")
-    if document.get("version") != CHECKPOINT_VERSION:
+    if document.get("version") not in SUPPORTED_CHECKPOINT_VERSIONS:
         raise ModelPersistenceError(
             f"unsupported checkpoint version: {document.get('version')!r}")
     cordial = pipeline_from_document(document["pipeline"])

@@ -12,9 +12,10 @@ is unchanged by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.telemetry.events import ErrorRecord, ErrorType
+from repro.telemetry.metrics import MetricsRegistry
 
 
 @dataclass
@@ -39,29 +40,78 @@ class CompactionStats:
 class StreamCompactor:
     """Suppress repeats of the same (cell, type) within a holdoff window.
 
+    The suppression table is bounded: an entry whose last emission is
+    more than ``holdoff_s`` behind the newest timestamp seen can never
+    suppress another record, so it is evicted during periodic amortized
+    sweeps — over a long stream the table tracks only the *live* cells
+    of the last holdoff window instead of every distinct cell ever seen
+    (the same class of unbounded growth PR 2 fixed in
+    ``CordialService``).
+
     Args:
         holdoff_s: a repeat arriving within this many seconds of the last
             *emitted* event for the same (cell, type) is dropped.
         never_drop_uer: always pass UERs through (they are actionable;
             default True drops only CE/UEO chatter).
+        metrics: optional registry; the compactor exports the live
+            suppression-key count (``compactor.live_keys`` gauge, with
+            its high-water mark) and the evicted-entry total
+            (``compactor.evicted_keys`` counter).
     """
 
+    #: Sweeps never run before the table holds this many keys.
+    MIN_SWEEP_SIZE = 1024
+
     def __init__(self, holdoff_s: float = 3600.0,
-                 never_drop_uer: bool = True) -> None:
+                 never_drop_uer: bool = True,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if holdoff_s < 0:
             raise ValueError("holdoff_s must be >= 0")
         self.holdoff_s = holdoff_s
         self.never_drop_uer = never_drop_uer
         self.stats = CompactionStats()
+        self.evicted = 0
         self._last_emitted: Dict[Tuple, float] = {}
+        self._max_timestamp = float("-inf")
+        self._sweep_at = self.MIN_SWEEP_SIZE
+        self._live_keys_gauge = (metrics.gauge("compactor.live_keys")
+                                 if metrics is not None else None)
+        self._evicted_counter = (metrics.counter("compactor.evicted_keys")
+                                 if metrics is not None else None)
 
     def _key(self, record: ErrorRecord) -> Tuple:
         return (record.bank_key, record.row, record.column,
                 record.error_type)
 
+    @property
+    def live_keys(self) -> int:
+        """Entries currently held in the suppression table."""
+        return len(self._last_emitted)
+
+    def _sweep(self) -> None:
+        """Drop entries too old to ever suppress again (amortized O(1)).
+
+        An entry with ``last <= max_timestamp - holdoff_s`` cannot match
+        ``timestamp - last < holdoff_s`` for any record at or past the
+        stream's frontier.  The sweep threshold doubles with the surviving
+        table so the scan cost amortizes to O(1) per offer.
+        """
+        horizon = self._max_timestamp - self.holdoff_s
+        stale = [key for key, last in self._last_emitted.items()
+                 if last <= horizon]
+        for key in stale:
+            del self._last_emitted[key]
+        self.evicted += len(stale)
+        if self._evicted_counter is not None and stale:
+            self._evicted_counter.inc(len(stale))
+        self._sweep_at = max(self.MIN_SWEEP_SIZE,
+                             2 * len(self._last_emitted))
+
     def offer(self, record: ErrorRecord) -> bool:
         """True when the record should be kept."""
         self.stats.seen += 1
+        if record.timestamp > self._max_timestamp:
+            self._max_timestamp = record.timestamp
         if self.never_drop_uer and record.error_type is ErrorType.UER:
             self.stats.emitted += 1
             return True
@@ -73,6 +123,10 @@ class StreamCompactor:
                 self.stats.suppressed_by_type.get(label, 0) + 1)
             return False
         self._last_emitted[key] = record.timestamp
+        if len(self._last_emitted) >= self._sweep_at:
+            self._sweep()
+        if self._live_keys_gauge is not None:
+            self._live_keys_gauge.set(len(self._last_emitted))
         self.stats.emitted += 1
         return True
 

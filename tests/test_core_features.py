@@ -72,6 +72,83 @@ class TestBankPatternFeaturizer:
         matrix = featurizer.extract_many([history_with_three_uers()] * 3)
         assert matrix.shape == (3, featurizer.n_features)
 
+    def test_single_event_history_uses_missing_sentinels(self):
+        """A one-record history has no pairs: every differential feature
+        (time diffs, row diffs, trigger_to_last_error) must be MISSING,
+        not a fabricated zero."""
+        featurizer = BankPatternFeaturizer()
+        names = featurizer.feature_names()
+        vector = featurizer.extract([rec(0, 10.0, 100, ErrorType.UER)])
+        get = lambda n: vector[names.index(n)]
+        assert get("trigger_to_last_error") == MISSING
+        for kind in ("ce", "ueo", "uer"):
+            assert get(f"{kind}_timediff_min") == MISSING
+            assert get(f"{kind}_timediff_max") == MISSING
+        assert get("all_rowdiff_min") == MISSING
+        assert get("uer_time_span") == MISSING
+        assert get("uer_row_min") == 100
+        assert get("events_total") == 1
+
+    def test_uer_span_missing_below_two_distinct_rows(self):
+        """uer_span falls back to MISSING — not 0.0 — when fewer than two
+        distinct UER rows exist, so "no geometry" is distinguishable from
+        a genuinely zero-width cluster of repeat UERs on one row."""
+        featurizer = BankPatternFeaturizer()
+        names = featurizer.feature_names()
+        history = [rec(i, 10.0 * (i + 1), 100, ErrorType.UER)
+                   for i in range(3)]  # three UERs, one distinct row
+        vector = featurizer.extract(history)
+        get = lambda n: vector[names.index(n)]
+        assert get("uer_span") == MISSING
+        assert get("uer_gap_small") == MISSING
+        assert get("uer_gap_large") == MISSING
+        assert get("uer_gap_ratio") == MISSING
+        assert get("uer_events_total") == 3
+
+    def test_two_distinct_rows_gap_ratio_formula(self):
+        """The two-row branch uses the same g / (g + 1) ratio formula as
+        the three-row branch, not a hardcoded 1.0."""
+        featurizer = BankPatternFeaturizer()
+        names = featurizer.feature_names()
+        history = [rec(0, 10.0, 100, ErrorType.UER),
+                   rec(1, 20.0, 150, ErrorType.UER)]
+        vector = featurizer.extract(history)
+        get = lambda n: vector[names.index(n)]
+        assert get("uer_gap_small") == 50
+        assert get("uer_gap_large") == 50
+        assert get("uer_gap_ratio") == 50.0 / 51.0
+        assert get("uer_span") == 50
+
+    def test_duplicate_uer_rows_collapse_to_distinct(self):
+        """Repeat UERs on already-seen rows do not fake a third distinct
+        row: the geometry stays in the two-distinct-row branch."""
+        featurizer = BankPatternFeaturizer()
+        names = featurizer.feature_names()
+        history = [rec(0, 10.0, 100, ErrorType.UER),
+                   rec(1, 20.0, 150, ErrorType.UER),
+                   rec(2, 30.0, 100, ErrorType.UER),
+                   rec(3, 40.0, 150, ErrorType.UER)]
+        vector = featurizer.extract(history)
+        get = lambda n: vector[names.index(n)]
+        assert get("uer_gap_ratio") == 50.0 / 51.0  # two-row formula
+        assert get("uer_span") == 50
+        assert get("uer_events_total") == 4
+
+    def test_all_uer_history_zero_other_counts(self):
+        featurizer = BankPatternFeaturizer()
+        names = featurizer.feature_names()
+        history = [rec(i, 10.0 * (i + 1), 100 + 10 * i, ErrorType.UER)
+                   for i in range(4)]
+        vector = featurizer.extract(history)
+        get = lambda n: vector[names.index(n)]
+        assert get("ce_total") == 0
+        assert get("ueo_total") == 0
+        assert get("ce_before_first_uer") == 0
+        assert get("ueo_before_first_uer") == 0
+        assert get("ce_row_min") == MISSING
+        assert get("ce_near_uer_min") == MISSING
+        assert get("uer_events_total") == 4
+
 
 class TestCrossRowWindow:
     def test_paper_defaults(self):

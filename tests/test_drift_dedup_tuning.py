@@ -142,6 +142,66 @@ class TestStreamCompactor:
         with pytest.raises(ValueError):
             StreamCompactor(holdoff_s=-1)
 
+    def test_holdoff_boundary_emits(self):
+        """A repeat exactly holdoff_s after the last emission is kept:
+        suppression requires strictly less than the holdoff."""
+        compactor = StreamCompactor(holdoff_s=100.0)
+        assert compactor.offer(rec(0, 0.0))
+        assert not compactor.offer(rec(1, 99.0))     # strictly inside
+        assert compactor.offer(rec(2, 100.0))        # exactly on it
+        assert compactor.stats.suppressed == 1
+
+    def test_suppression_table_is_bounded(self):
+        """Long streams of distinct short-lived cells must not grow the
+        table without bound: entries older than the holdoff behind the
+        stream frontier are evicted."""
+        compactor = StreamCompactor(holdoff_s=10.0)
+        n = 8 * StreamCompactor.MIN_SWEEP_SIZE
+        for i in range(n):
+            compactor.offer(rec(i, float(i), row=i % 32768,
+                                column=i // 32768))
+        assert compactor.stats.emitted == n
+        assert compactor.evicted > 0
+        # At ~1 distinct cell per second only ~holdoff_s entries are
+        # live; the table stays within a small multiple of that.
+        assert compactor.live_keys <= 2 * StreamCompactor.MIN_SWEEP_SIZE
+        assert compactor.live_keys + compactor.evicted == n
+
+    def test_eviction_never_changes_decisions(self):
+        """Evicted entries are exactly those that can never suppress
+        again, so a bounded compactor emits the same stream as an
+        unbounded one."""
+        rng = np.random.default_rng(17)
+        events = [rec(i, float(t), row=int(r))
+                  for i, (t, r) in enumerate(
+                      zip(np.sort(rng.uniform(0, 5000.0, size=6000)),
+                          rng.integers(0, 3000, size=6000)))]
+
+        class Unbounded(StreamCompactor):
+            def _sweep(self):
+                self._sweep_at = float("inf")
+
+        bounded = StreamCompactor(holdoff_s=50.0)
+        reference = Unbounded(holdoff_s=50.0)
+        kept_bounded = [r.sequence for r in bounded.compact(events)]
+        kept_reference = [r.sequence for r in reference.compact(events)]
+        assert kept_bounded == kept_reference
+        assert bounded.evicted > 0
+        assert bounded.live_keys < reference.live_keys
+
+    def test_metrics_exported(self):
+        from repro.telemetry.metrics import MetricsRegistry
+        metrics = MetricsRegistry()
+        compactor = StreamCompactor(holdoff_s=10.0, metrics=metrics)
+        for i in range(2 * StreamCompactor.MIN_SWEEP_SIZE):
+            compactor.offer(rec(i, float(i), row=i % 32768))
+        counters = metrics.as_dict()["counters"]
+        gauges = metrics.as_dict()["gauges"]
+        assert counters["compactor.evicted_keys"] == compactor.evicted
+        assert gauges["compactor.live_keys"]["value"] == \
+            compactor.live_keys
+        assert compactor.evicted > 0
+
 
 class TestGridSearch:
     def test_finds_adequate_depth(self):

@@ -16,6 +16,7 @@ import pytest
 
 from repro.core.online import CordialService
 from repro.core.persistence import (load_service_checkpoint,
+                                    pipeline_to_document,
                                     save_service_checkpoint)
 from repro.core.pipeline import Cordial
 from repro.experiments import runner
@@ -134,8 +135,37 @@ class TestCheckpointRestore:
         save_service_checkpoint(service, str(path))
         document = json.loads(path.read_text())
         assert document["format"] == "cordial-service-checkpoint"
-        assert document["version"] == 1
+        assert document["version"] == 2
         assert "pipeline" in document and "state" in document
+        assert "feature_state" in document["state"]
+
+    def test_version1_checkpoint_still_loads(self, cordial, test_stream,
+                                             truth, tmp_path):
+        """A v1 document (no feature_state) restores and resumes exactly:
+        the incremental state is rebuilt from the collector histories."""
+        baseline = CordialService(cordial)
+        _, expect = serve_stream(baseline, test_stream)
+
+        half = len(test_stream) // 2
+        service = CordialService(cordial)
+        decisions = []
+        for record in test_stream[:half]:
+            decisions.extend(service.ingest(record))
+        document = {
+            "format": "cordial-service-checkpoint",
+            "version": 1,
+            "pipeline": pipeline_to_document(service.cordial),
+            "state": {k: v for k, v in service.state_dict().items()
+                      if k != "feature_state"},
+        }
+        path = tmp_path / "v1.ckpt.json"
+        path.write_text(json.dumps(document))
+        restored = load_service_checkpoint(str(path))
+        for record in test_stream[half:]:
+            decisions.extend(restored.ingest(record))
+        decisions.extend(restored.flush())
+        assert decisions_json(decisions) == decisions_json(expect)
+        assert restored.coverage(truth) == baseline.coverage(truth)
 
 
 class TestServeReplayReport:
