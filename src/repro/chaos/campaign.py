@@ -1,0 +1,218 @@
+"""Chaos campaigns: N seeded runs of a plan, each judged by the oracle.
+
+A campaign first serves the *clean* stream once (the oracle's divergence
+baseline), then executes ``runs`` chaos runs.  Each run derives its own
+``SeedSequence`` child, perturbs the stream through the plan's operators
+(one grandchild RNG per operator), serves it with kill/restore faults at
+randomized ingest points, and runs the full invariant battery.
+
+The JSON report is byte-stable: identical (plan, seed, stream, pipeline)
+inputs produce the identical document, decision digests included — the
+reproducibility contract ``tests/test_chaos_harness.py`` locks down.
+Nothing wall-clock and no filesystem path enters the report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chaos.faults import ServeOutcome, serve_with_faults
+from repro.chaos.operators import apply_operator
+from repro.chaos.oracle import CleanBaseline, InvariantOracle
+from repro.chaos.plan import ChaosPlan
+from repro.core.online import CordialService, Decision
+from repro.core.pipeline import Cordial
+from repro.telemetry.events import ErrorRecord
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """How many runs, and the campaign root seed."""
+
+    runs: int = 20
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ValueError("runs must be >= 1")
+
+
+def decisions_digest(decisions: Sequence[Decision]) -> str:
+    """SHA-256 over the canonical JSON decision log."""
+    payload = json.dumps([d.to_obj() for d in decisions], sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def perturb_stream(stream: Sequence[ErrorRecord], plan: ChaosPlan,
+                   rngs: Sequence[np.random.Generator]
+                   ) -> Tuple[List[Any], List[dict]]:
+    """Apply the plan's operators in order, one RNG per operator."""
+    perturbed: List[Any] = list(stream)
+    applied: List[dict] = []
+    for spec, rng in zip(plan.operators, rngs):
+        perturbed, count = apply_operator(spec.name, perturbed, rng,
+                                          dict(spec.params))
+        applied.append({"name": spec.name, "applied": count})
+    return perturbed, applied
+
+
+def _service_for(cordial: Cordial, plan: ChaosPlan) -> CordialService:
+    return CordialService(cordial, spares_per_bank=plan.spares_per_bank,
+                          max_skew=plan.max_skew)
+
+
+def _summarize(service: CordialService, decisions: Sequence[Decision],
+               icr: float) -> dict:
+    stats = service.stats
+    return {
+        "events_ingested": stats.events_ingested,
+        "events_released": int(service.metrics.counter_value(
+            "collector.events_released")),
+        "dead_letters": {k: service.collector.dead_letter_counts[k]
+                         for k in sorted(service.collector.dead_letter_counts)},
+        "triggers_fired": stats.triggers_fired,
+        "repredictions": stats.repredictions,
+        "decisions_total": len(decisions),
+        "decisions_by_action": {
+            k: stats.decisions_by_action[k]
+            for k in sorted(stats.decisions_by_action)},
+        "spared_rows": service.spared_rows,
+        "spared_banks": service.spared_banks,
+        "icr": icr,
+    }
+
+
+def run_one(cordial: Cordial, stream: Sequence[ErrorRecord],
+            truth: Dict[tuple, Sequence[Tuple[float, int]]],
+            plan: ChaosPlan, run_seed: np.random.SeedSequence,
+            oracle: InvariantOracle, workdir: str, run_index: int) -> dict:
+    """One chaos run: perturb, serve with faults, judge; JSON-ready."""
+    children = run_seed.spawn(len(plan.operators) + 1)
+    operator_rngs = [np.random.default_rng(c) for c in children[:-1]]
+    fault_rng = np.random.default_rng(children[-1])
+
+    perturbed, applied = perturb_stream(stream, plan, operator_rngs)
+    if plan.kills_per_run and len(perturbed) > 1:
+        count = min(plan.kills_per_run, len(perturbed) - 1)
+        kill_points = sorted(int(k) for k in fault_rng.choice(
+            np.arange(1, len(perturbed)), size=count, replace=False))
+    else:
+        kill_points = []
+
+    checkpoint_path = os.path.join(workdir, f"chaos-run-{run_index}.ckpt")
+    outcome = serve_with_faults(
+        _service_for(cordial, plan), perturbed, kill_points,
+        checkpoint_path, fault_rng, tamper_modes=plan.tamper_modes)
+    icr = outcome.service.coverage(truth)
+    scratch = os.path.join(workdir, f"chaos-run-{run_index}.oracle.ckpt")
+    violations = oracle.check_run(outcome, icr, scratch)
+    for path in (checkpoint_path, scratch):
+        if os.path.exists(path):
+            os.remove(path)
+    return {
+        "run": run_index,
+        "operators": applied,
+        "kill_points": kill_points,
+        "restores": outcome.restore_count,
+        "tamper_trials": [t.to_obj() for t in outcome.tamper_trials],
+        "summary": _summarize(outcome.service, outcome.decisions, icr),
+        "decisions_digest": decisions_digest(outcome.decisions),
+        "violations": [v.to_obj() for v in violations],
+        "ok": not violations,
+    }
+
+
+def run_campaign(cordial: Cordial, stream: Sequence[ErrorRecord],
+                 truth: Dict[tuple, Sequence[Tuple[float, int]]],
+                 plan: ChaosPlan, config: CampaignConfig, workdir: str,
+                 context: Optional[dict] = None) -> dict:
+    """Execute a full campaign; returns the byte-stable JSON report.
+
+    Args:
+        cordial: the fitted pipeline under test.
+        stream: the clean, time-ordered event stream.
+        truth: per-bank ``(first_uer_time, row)`` ground truth for ICR.
+        plan: the chaos recipe.
+        config: run count and root seed.
+        workdir: scratch directory for checkpoint files (never recorded
+            in the report, so reports are location-independent).
+        context: free-form labels merged into the report's config block
+            (scale, model name, ...).
+    """
+    from repro.experiments.serve import serve_stream
+
+    clean_service = _service_for(cordial, plan)
+    clean_service, clean_decisions = serve_stream(clean_service, stream)
+    clean_icr = clean_service.coverage(truth)
+    clean = CleanBaseline(decision_count=len(clean_decisions),
+                          icr=clean_icr)
+    oracle = InvariantOracle(plan, clean=clean)
+
+    root = np.random.SeedSequence(config.seed)
+    runs = [run_one(cordial, stream, truth, plan, run_seed, oracle,
+                    workdir, run_index)
+            for run_index, run_seed in enumerate(root.spawn(config.runs))]
+
+    campaign_hash = hashlib.sha256()
+    campaign_hash.update(decisions_digest(clean_decisions).encode())
+    for run in runs:
+        campaign_hash.update(run["decisions_digest"].encode())
+    violations_total = sum(len(run["violations"]) for run in runs)
+    return {
+        "config": {
+            "runs": config.runs,
+            "seed": config.seed,
+            "stream_events": len(stream),
+            **dict(context or {}),
+        },
+        "plan": plan.to_dict(),
+        "clean": {
+            "summary": _summarize(clean_service, clean_decisions,
+                                  clean_icr),
+            "decisions_digest": decisions_digest(clean_decisions),
+        },
+        "runs": runs,
+        "violations_total": violations_total,
+        "ok": violations_total == 0,
+        "campaign_digest": campaign_hash.hexdigest(),
+    }
+
+
+def run_chaos_campaign(scale: float = 0.08, seed: int = 11,
+                       model_name: str = "LightGBM",
+                       plan: Optional[ChaosPlan] = None,
+                       runs: int = 20, campaign_seed: int = 0,
+                       jobs: int = 1, max_events: Optional[int] = None,
+                       workdir: Optional[str] = None) -> dict:
+    """Generate, train, and run a campaign — the CLI entry's workhorse.
+
+    Reuses the serve-replay plumbing: the same fleet generation, 70:30
+    bank split, training, and test-stream construction as
+    ``cordial-repro serve-replay``, so chaos results are directly
+    comparable with the serving smoke reports.
+    """
+    import tempfile
+
+    from repro.chaos.plan import default_plan
+    from repro.experiments.serve import prepare_serving_run
+
+    plan = plan if plan is not None else default_plan()
+    cordial, stream, truth, meta = prepare_serving_run(
+        scale=scale, seed=seed, model_name=model_name, jobs=jobs)
+    if max_events is not None:
+        stream = stream[:max_events]
+    context = {**meta, "scale": scale, "generator_seed": seed,
+               "model_name": model_name}
+    config = CampaignConfig(runs=runs, seed=campaign_seed)
+    if workdir is not None:
+        return run_campaign(cordial, stream, truth, plan, config,
+                            workdir, context=context)
+    with tempfile.TemporaryDirectory(prefix="cordial-chaos-") as scratch:
+        return run_campaign(cordial, stream, truth, plan, config,
+                            scratch, context=context)

@@ -1,0 +1,172 @@
+"""Process-level faults: kill/restore cycles and checkpoint tampering.
+
+``serve_with_faults`` drives a :class:`~repro.core.online.CordialService`
+through a stream while killing the process at scheduled ingest points:
+at each kill the service is checkpointed, *the object is discarded*, and
+a fresh service is restored from the file — the same restart the
+``serve-replay --checkpoint`` path exercises once, here repeated at
+arbitrary depth.  Optionally every kill also load-tests deliberately
+damaged copies of the checkpoint (truncated, header-mangled, key-dropped)
+and records whether the persistence layer rejected them with the typed
+:class:`~repro.core.persistence.CheckpointCorruptionError` — the oracle
+turns any undetected tamper into a violation.
+
+Every choice (tamper bytes, truncation point) comes from the caller's
+RNG, so fault schedules are as reproducible as the stream operators.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.online import CordialService, Decision
+from repro.core.persistence import (CheckpointCorruptionError,
+                                    load_service_checkpoint,
+                                    save_service_checkpoint)
+
+#: Supported checkpoint tampering modes.
+TAMPER_MODES = ("truncate", "mangle_header", "drop_key")
+
+
+@dataclass(frozen=True)
+class TamperTrial:
+    """Outcome of one tampered-checkpoint load attempt.
+
+    Attributes:
+        mode: tamper mode applied (see :data:`TAMPER_MODES`).
+        detected: True when loading raised the typed corruption error.
+        error: the exception class name actually raised ("" when the
+            load wrongly succeeded).
+    """
+
+    mode: str
+    detected: bool
+    error: str
+
+    def to_obj(self) -> dict:
+        """JSON-ready rendering."""
+        return {"mode": self.mode, "detected": self.detected,
+                "error": self.error}
+
+
+@dataclass
+class ServeOutcome:
+    """Everything one faulted serve produced, for the oracle to judge.
+
+    Attributes:
+        service: the service instance holding the final state (the last
+            restored one when kills happened).
+        decisions: every decision in emission order.
+        restore_count: kill/restore cycles actually performed.
+        tamper_trials: tampered-checkpoint load attempts, in order.
+        isolation_snapshots: ``IsolationReplay.state_dict()`` captured at
+            each kill point plus at end of stream — the material for the
+            isolation-monotonicity invariant.
+    """
+
+    service: CordialService
+    decisions: List[Decision]
+    restore_count: int
+    tamper_trials: List[TamperTrial]
+    isolation_snapshots: List[dict]
+
+
+def tamper_checkpoint(path: str, mode: str, rng: np.random.Generator,
+                      destination: Optional[str] = None) -> str:
+    """Write a damaged copy of a checkpoint file; returns its path.
+
+    ``truncate`` keeps a prefix of the bytes (a crash mid-write),
+    ``mangle_header`` flips a byte inside the format header (bit rot in
+    the one region whose damage is always structural), and ``drop_key``
+    deletes one required top-level state entry (a partial or
+    hand-edited document).
+    """
+    if mode not in TAMPER_MODES:
+        raise ValueError(f"unknown tamper mode: {mode!r}")
+    destination = destination or path + f".tampered-{mode}"
+    with open(path, "rb") as handle:
+        payload = handle.read()
+    if mode == "truncate":
+        cut = int(len(payload) * float(rng.uniform(0.05, 0.9)))
+        damaged = payload[:cut]
+    elif mode == "mangle_header":
+        # The document starts {"format": "cordial-service-checkpoint" —
+        # flipping a low bit of one of those bytes breaks either the JSON
+        # structure or the format string, never silently a value.
+        position = int(rng.integers(2, min(40, len(payload))))
+        damaged = (payload[:position]
+                   + bytes([payload[position] ^ 0x01])
+                   + payload[position + 1:])
+    else:  # drop_key
+        document = json.loads(payload.decode("utf-8"))
+        keys = sorted(document.get("state", {}))
+        if keys:
+            victim = keys[int(rng.integers(0, len(keys)))]
+            del document["state"][victim]
+        else:
+            document.pop("state", None)
+        damaged = json.dumps(document).encode("utf-8")
+    with open(destination, "wb") as handle:
+        handle.write(damaged)
+    return destination
+
+
+def run_tamper_trials(path: str, modes: Sequence[str],
+                      rng: np.random.Generator) -> List[TamperTrial]:
+    """Load-test one tampered copy of ``path`` per mode."""
+    trials: List[TamperTrial] = []
+    for mode in modes:
+        damaged = tamper_checkpoint(path, mode, rng)
+        try:
+            load_service_checkpoint(damaged)
+        except CheckpointCorruptionError as exc:
+            trials.append(TamperTrial(mode=mode, detected=True,
+                                      error=type(exc).__name__))
+        except Exception as exc:  # wrong type: a miss, not a crash
+            trials.append(TamperTrial(mode=mode, detected=False,
+                                      error=type(exc).__name__))
+        else:
+            trials.append(TamperTrial(mode=mode, detected=False, error=""))
+        finally:
+            os.remove(damaged)
+    return trials
+
+
+def serve_with_faults(service: CordialService, stream: Sequence[Any],
+                      kill_points: Sequence[int], checkpoint_path: str,
+                      rng: np.random.Generator,
+                      tamper_modes: Sequence[str] = ()) -> ServeOutcome:
+    """Serve ``stream`` with kill/restore faults at ``kill_points``.
+
+    ``kill_points`` are 1-based ingest counts: after the k-th ``ingest``
+    call the service is checkpointed to ``checkpoint_path``, optionally
+    tamper-tested, and replaced by a fresh instance restored from the
+    file.  Points outside ``1..len(stream)`` are ignored.
+    """
+    kills = sorted({int(k) for k in kill_points if 1 <= k <= len(stream)})
+    decisions: List[Decision] = []
+    trials: List[TamperTrial] = []
+    snapshots: List[dict] = []
+    restores = 0
+    for index, item in enumerate(stream, start=1):
+        decisions.extend(service.ingest(item))
+        if kills and index == kills[0]:
+            kills.pop(0)
+            save_service_checkpoint(service, checkpoint_path)
+            snapshots.append(copy.deepcopy(service.replay.state_dict()))
+            if tamper_modes:
+                trials.extend(
+                    run_tamper_trials(checkpoint_path, tamper_modes, rng))
+            service = load_service_checkpoint(checkpoint_path)
+            restores += 1
+    decisions.extend(service.flush())
+    snapshots.append(copy.deepcopy(service.replay.state_dict()))
+    return ServeOutcome(service=service, decisions=decisions,
+                        restore_count=restores, tamper_trials=trials,
+                        isolation_snapshots=snapshots)

@@ -1,0 +1,219 @@
+"""Seeded stream perturbation operators.
+
+Each operator is a pure function ``(stream, rng, **params) -> (stream,
+applied_count)`` over the *arrival* sequence of a telemetry stream.  The
+input items are usually :class:`~repro.telemetry.events.ErrorRecord`
+instances, but an operator must tolerate anything — an earlier corruption
+operator may already have replaced records with garbage payloads, exactly
+like a real log shipper mixing junk into the feed.
+
+Operators never mutate records in place (records are frozen dataclasses);
+timestamp and field corruption build replacements with
+:func:`dataclasses.replace`.  Given the same input stream and an RNG in
+the same state, every operator is bit-deterministic — the property the
+campaign's ``SeedSequence`` plumbing turns into reproducible chaos.
+
+The catalogue (see ``docs/CHAOS.md`` for the operational rationale):
+
+``drop``
+    Lose each event with probability ``rate`` (partial log loss).
+``duplicate``
+    Re-deliver selected events a few arrival slots later (shipper
+    retries after an unacked batch).
+``reorder``
+    Delay selected events until the stream is ``displacement`` seconds
+    past them — beyond the service's ``max_skew`` this *must* end in the
+    dead-letter queue, not in the bank history.
+``clock_jitter``
+    Shift timestamps by centred noise of scale ``sigma`` seconds (BMC
+    clock drift); arrival order is untouched, so jitter larger than the
+    skew window creates genuinely late events.
+``corrupt``
+    Replace selected events with damaged payloads: a raw dict instead of
+    a record, a NaN timestamp, or a silently wrong row coordinate.
+``burst``
+    Deliver consecutive events as one shuffled batch (log shipper
+    flushing a buffered window out of order).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.telemetry.events import ErrorRecord
+
+#: An arrival sequence: records, or garbage an earlier operator injected.
+Stream = List[Any]
+
+
+def is_error_record(item: Any) -> bool:
+    """Whether a stream item is still a well-formed :class:`ErrorRecord`."""
+    return isinstance(item, ErrorRecord)
+
+
+def _record_indices(stream: Stream) -> List[int]:
+    """Indices of items an operator may meaningfully perturb."""
+    return [i for i, item in enumerate(stream) if is_error_record(item)]
+
+
+def op_drop(stream: Stream, rng: np.random.Generator,
+            rate: float = 0.01) -> Tuple[Stream, int]:
+    """Drop each item independently with probability ``rate``."""
+    keep = rng.random(len(stream)) >= rate
+    kept = [item for item, flag in zip(stream, keep) if flag]
+    return kept, len(stream) - len(kept)
+
+
+def op_duplicate(stream: Stream, rng: np.random.Generator,
+                 rate: float = 0.01,
+                 max_delay_events: int = 8) -> Tuple[Stream, int]:
+    """Re-deliver selected items ``1..max_delay_events`` arrivals later."""
+    selected = rng.random(len(stream)) < rate
+    delays = rng.integers(1, max(2, max_delay_events + 1), size=len(stream))
+    out: Stream = []
+    # (deliver_at_position, duplicate) pending re-deliveries.
+    pending: List[Tuple[int, Any]] = []
+    applied = 0
+    for index, item in enumerate(stream):
+        for position, dup in [p for p in pending if p[0] <= index]:
+            out.append(dup)
+        pending = [p for p in pending if p[0] > index]
+        out.append(item)
+        if selected[index]:
+            pending.append((index + int(delays[index]), item))
+            applied += 1
+    out.extend(dup for _, dup in pending)
+    return out, applied
+
+
+def op_reorder(stream: Stream, rng: np.random.Generator,
+               rate: float = 0.005,
+               displacement: float = 7200.0) -> Tuple[Stream, int]:
+    """Hold selected records back until the stream passes them by
+    ``displacement`` seconds.
+
+    With ``displacement > max_skew`` the held-back record arrives behind
+    the collector watermark and must be dead-lettered as ``"late"``.
+    """
+    candidates = _record_indices(stream)
+    if not candidates:
+        return list(stream), 0
+    selected = {i for i in candidates if rng.random() < rate}
+    out: Stream = []
+    held: List[Any] = []
+    for index, item in enumerate(stream):
+        if index in selected:
+            held.append(item)
+            continue
+        out.append(item)
+        if is_error_record(item):
+            still_held = []
+            for record in held:
+                if item.timestamp >= record.timestamp + displacement:
+                    out.append(record)
+                else:
+                    still_held.append(record)
+            held = still_held
+    out.extend(held)
+    return out, len(selected)
+
+
+def op_clock_jitter(stream: Stream, rng: np.random.Generator,
+                    sigma: float = 60.0,
+                    rate: float = 1.0) -> Tuple[Stream, int]:
+    """Shift record timestamps by ``Normal(0, sigma)`` seconds.
+
+    Timestamps are clamped at 0 (records reject negative times); arrival
+    order is preserved, so the *stream* becomes disordered relative to
+    its own clocks — the reorder buffer's job to absorb, up to the skew.
+    """
+    noise = rng.normal(0.0, sigma, size=len(stream))
+    selected = rng.random(len(stream)) < rate
+    out: Stream = []
+    applied = 0
+    for index, item in enumerate(stream):
+        if is_error_record(item) and selected[index]:
+            shifted = max(0.0, item.timestamp + float(noise[index]))
+            out.append(dataclasses.replace(item, timestamp=shifted))
+            applied += 1
+        else:
+            out.append(item)
+    return out, applied
+
+
+#: Corruption modes, in the order the RNG draws them.
+CORRUPT_MODES = ("payload", "timestamp_nan", "row")
+
+
+def op_corrupt(stream: Stream, rng: np.random.Generator,
+               rate: float = 0.005) -> Tuple[Stream, int]:
+    """Replace selected records with damaged payloads.
+
+    ``payload`` swaps the record for its raw-dict rendering (a parser
+    that forgot to construct the record), ``timestamp_nan`` poisons the
+    clock field, and ``row`` silently lands the error on a wrong row —
+    the one corruption the service *cannot* detect, only tolerate.
+    """
+    from repro.telemetry.mcelog import record_to_obj
+
+    selected = rng.random(len(stream)) < rate
+    modes = rng.integers(0, len(CORRUPT_MODES), size=len(stream))
+    out: Stream = []
+    applied = 0
+    for index, item in enumerate(stream):
+        if not (is_error_record(item) and selected[index]):
+            out.append(item)
+            continue
+        mode = CORRUPT_MODES[int(modes[index])]
+        if mode == "payload":
+            out.append(record_to_obj(item))
+        elif mode == "timestamp_nan":
+            out.append(dataclasses.replace(item, timestamp=math.nan))
+        else:  # "row": flip low row bits, staying in the packed field range
+            address = dataclasses.replace(
+                item.address, row=(item.address.row ^ 0x15) & 0x7FFF)
+            out.append(dataclasses.replace(item, address=address))
+        applied += 1
+    return out, applied
+
+
+def op_burst(stream: Stream, rng: np.random.Generator,
+             rate: float = 0.1, burst_size: int = 8) -> Tuple[Stream, int]:
+    """Deliver consecutive ``burst_size`` windows as one shuffled batch."""
+    if burst_size < 2:
+        return list(stream), 0
+    out: Stream = []
+    applied = 0
+    for start in range(0, len(stream), burst_size):
+        chunk = list(stream[start:start + burst_size])
+        if len(chunk) > 1 and rng.random() < rate:
+            order = rng.permutation(len(chunk))
+            chunk = [chunk[i] for i in order]
+            applied += 1
+        out.extend(chunk)
+    return out, applied
+
+
+#: Operator registry: plan names -> implementations.
+OPERATORS: Dict[str, Callable[..., Tuple[Stream, int]]] = {
+    "drop": op_drop,
+    "duplicate": op_duplicate,
+    "reorder": op_reorder,
+    "clock_jitter": op_clock_jitter,
+    "corrupt": op_corrupt,
+    "burst": op_burst,
+}
+
+
+def apply_operator(name: str, stream: Stream, rng: np.random.Generator,
+                   params: Dict[str, Any]) -> Tuple[Stream, int]:
+    """Apply one registered operator; unknown names raise ``ValueError``."""
+    operator = OPERATORS.get(name)
+    if operator is None:
+        raise ValueError(f"unknown chaos operator: {name!r} "
+                         f"(known: {sorted(OPERATORS)})")
+    return operator(stream, rng, **params)

@@ -1,0 +1,142 @@
+"""Chaos plans: a declarative, JSON-round-trippable campaign recipe.
+
+A :class:`ChaosPlan` names the stream operators to compose (in order,
+with parameters), the serving configuration under test, the
+process-level fault schedule (kill/restore points, checkpoint tampering)
+and the divergence tolerances the invariant oracle enforces against the
+clean-stream run.  Plans are frozen and fully JSON-serialisable, so a
+campaign report embeds the exact recipe that produced it and a plan file
+passed to ``cordial-repro chaos`` reruns bit-identically.
+
+Seeding contract: the campaign derives one ``SeedSequence`` child per
+run, and each run spawns one grandchild per operator plus one for the
+fault schedule — so adding an operator to the end of a plan never
+changes the randomness any earlier operator sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.chaos.operators import OPERATORS
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """One operator invocation: registry name plus keyword parameters."""
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name not in OPERATORS:
+            raise ValueError(f"unknown chaos operator: {self.name!r} "
+                             f"(known: {sorted(OPERATORS)})")
+        object.__setattr__(self, "params", dict(self.params))
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (sorted params for byte-stable reports)."""
+        return {"name": self.name,
+                "params": {k: self.params[k] for k in sorted(self.params)}}
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "OperatorSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(name=obj["name"], params=dict(obj.get("params", {})))
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A complete chaos recipe: operators, faults, and oracle tolerances.
+
+    Attributes:
+        operators: stream perturbations, applied in order per run.
+        max_skew: reorder window of the service under test (seconds).
+        spares_per_bank: row-sparing budget of the service under test.
+        kills_per_run: checkpoint/kill/restore faults injected at
+            randomized ingest points in each run (0 disables).
+        tamper_modes: at each kill point, one tampered copy of the
+            checkpoint per mode is load-tested; the oracle requires every
+            trial to fail with the typed ``CheckpointCorruptionError``.
+        max_icr_divergence: largest tolerated ``|ICR - clean ICR|``.
+        max_decision_divergence: largest tolerated relative drift of the
+            decision count versus the clean run (with a small absolute
+            floor so tiny streams don't flap).
+    """
+
+    operators: Tuple[OperatorSpec, ...]
+    max_skew: float = 3600.0
+    spares_per_bank: int = 64
+    kills_per_run: int = 0
+    tamper_modes: Tuple[str, ...] = ("truncate", "mangle_header", "drop_key")
+    max_icr_divergence: float = 0.25
+    max_decision_divergence: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operators", tuple(self.operators))
+        object.__setattr__(self, "tamper_modes", tuple(self.tamper_modes))
+        if self.max_skew < 0:
+            raise ValueError("max_skew must be >= 0")
+        if self.kills_per_run < 0:
+            raise ValueError("kills_per_run must be >= 0")
+        from repro.chaos.faults import TAMPER_MODES
+        for mode in self.tamper_modes:
+            if mode not in TAMPER_MODES:
+                raise ValueError(f"unknown tamper mode: {mode!r} "
+                                 f"(known: {sorted(TAMPER_MODES)})")
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering, byte-stable across processes."""
+        return {
+            "operators": [spec.to_dict() for spec in self.operators],
+            "max_skew": self.max_skew,
+            "spares_per_bank": self.spares_per_bank,
+            "kills_per_run": self.kills_per_run,
+            "tamper_modes": list(self.tamper_modes),
+            "max_icr_divergence": self.max_icr_divergence,
+            "max_decision_divergence": self.max_decision_divergence,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "ChaosPlan":
+        """Inverse of :meth:`to_dict` (used by the CLI's ``--plan``)."""
+        known = {"operators", "max_skew", "spares_per_bank", "kills_per_run",
+                 "tamper_modes", "max_icr_divergence",
+                 "max_decision_divergence"}
+        unknown = set(obj) - known
+        if unknown:
+            raise ValueError(f"unknown plan fields: {sorted(unknown)}")
+        kwargs: Dict[str, Any] = {
+            "operators": tuple(OperatorSpec.from_dict(spec)
+                               for spec in obj.get("operators", ()))}
+        for key in known - {"operators"}:
+            if key in obj:
+                value = obj[key]
+                kwargs[key] = tuple(value) if key == "tamper_modes" else value
+        return cls(**kwargs)
+
+
+def default_plan(max_skew: float = 3600.0, kills_per_run: int = 2,
+                 intensity: float = 1.0) -> ChaosPlan:
+    """The house plan: all six operators at field-plausible rates.
+
+    ``intensity`` scales every probability/rate at once, so a smoke run
+    can dial the same recipe down without changing its shape.
+    """
+    scale = float(intensity)
+    return ChaosPlan(
+        operators=(
+            OperatorSpec("clock_jitter",
+                         {"sigma": max_skew / 10.0, "rate": 0.5 * scale}),
+            OperatorSpec("burst", {"rate": 0.1 * scale, "burst_size": 8}),
+            OperatorSpec("duplicate",
+                         {"rate": 0.01 * scale, "max_delay_events": 8}),
+            OperatorSpec("reorder", {"rate": 0.005 * scale,
+                                     "displacement": 2.0 * max_skew}),
+            OperatorSpec("drop", {"rate": 0.01 * scale}),
+            OperatorSpec("corrupt", {"rate": 0.005 * scale}),
+        ),
+        max_skew=max_skew,
+        kills_per_run=kills_per_run,
+    )

@@ -107,6 +107,20 @@ class IsolationReplay:
         """Row-sparing budget per bank (delegated to the controller)."""
         return self.row_ctrl.spares_per_bank
 
+    def spared_rows_by_bank(self) -> Dict[tuple, Dict[int, float]]:
+        """Copy of the row-sparing ledger: ``{bank_key: {row: iso_time}}``.
+
+        A copy, not a view: auditors (the chaos oracle's spare-budget
+        and monotonicity checks) must be able to snapshot the ledger
+        without aliasing live controller state.
+        """
+        return {bank: dict(rows)
+                for bank, rows in self.row_ctrl._spared.items()}
+
+    def spared_banks_by_key(self) -> Dict[tuple, float]:
+        """Copy of the bank-sparing ledger: ``{bank_key: iso_time}``."""
+        return dict(self.bank_ctrl._spared)
+
     def isolate_bank(self, bank_key: tuple, timestamp: float) -> bool:
         """Retire a whole bank at ``timestamp``."""
         newly = self.bank_ctrl.spare_bank(bank_key, timestamp)

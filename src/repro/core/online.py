@@ -330,15 +330,26 @@ class CordialService:
         }
 
     def load_state_dict(self, state: dict) -> "CordialService":
-        """Restore state captured by :meth:`state_dict`."""
-        self.collector.load_state_dict(state["collector"])
-        self.replay.load_state_dict(state["replay"])
-        self.stats = ServiceStats.from_dict(state["stats"])
-        self._pattern_of = {tuple(bank): FailurePattern(value)
-                            for bank, value in state["pattern_of"]}
-        self._uer_rows = {tuple(bank): list(rows)
-                          for bank, rows in state["uer_rows"]}
-        self._feature_state = {}
+        """Restore state captured by :meth:`state_dict`.
+
+        The restore is **transactional**: every piece of the document is
+        parsed into fresh objects before anything is committed, so a
+        truncated or tampered state dict raises (see
+        :class:`~repro.core.persistence.CheckpointCorruptionError` for
+        the file-level wrapper) and leaves this service exactly as it
+        was — a failed recovery must never corrupt the survivor.
+        """
+        # Parse phase: build everything aside; self stays untouched.
+        collector = BMCCollector(metrics=self.metrics)
+        collector.load_state_dict(state["collector"])
+        replay = IsolationReplay(metrics=self.metrics)
+        replay.load_state_dict(state["replay"])
+        stats = ServiceStats.from_dict(state["stats"])
+        pattern_of = {tuple(bank): FailurePattern(value)
+                      for bank, value in state["pattern_of"]}
+        uer_rows = {tuple(bank): list(rows)
+                    for bank, rows in state["uer_rows"]}
+        feature_state: Dict[tuple, IncrementalFeatureState] = {}
         if self.incremental_features:
             # Version-2 checkpoints carry the folded state; for version-1
             # documents (or a snapshot taken with the recompute path) the
@@ -346,12 +357,23 @@ class CordialService:
             # which are identical to a fold over the same events.
             saved = {tuple(bank): folded
                      for bank, folded in state.get("feature_state", [])}
-            for bank in self._pattern_of:
+            for bank in pattern_of:
                 folded = saved.get(bank)
-                self._feature_state[bank] = (
+                feature_state[bank] = (
                     IncrementalFeatureState.from_dict(folded)
                     if folded is not None
                     else IncrementalFeatureState.from_history(
-                        self.collector.bank_history(bank)))
+                        collector.bank_history(bank)))
+        # Dry-run the metrics document against a scratch registry before
+        # touching the shared one.
+        MetricsRegistry().restore(state["metrics"])
+
+        # Commit phase: nothing below can raise.
+        self.collector = collector
+        self.replay = replay
+        self.stats = stats
+        self._pattern_of = pattern_of
+        self._uer_rows = uer_rows
+        self._feature_state = feature_state
         self.metrics.restore(state["metrics"])
         return self

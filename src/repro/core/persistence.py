@@ -39,6 +39,19 @@ CHECKPOINT_VERSION = 2
 SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
 
 
+class CheckpointCorruptionError(ModelPersistenceError):
+    """A service checkpoint is truncated, tampered with, or internally
+    inconsistent.
+
+    Raised instead of the raw ``json.JSONDecodeError`` / ``KeyError`` /
+    ``ValueError`` the damage would otherwise surface as, so recovery
+    code can catch one typed error and fall back to an older checkpoint.
+    A failed restore is transactional: when
+    :meth:`~repro.core.online.CordialService.load_state_dict` raises,
+    the in-memory service is left exactly as it was.
+    """
+
+
 def _model_to_obj(model) -> dict:
     serializer = _SERIALIZERS.get(type(model))
     if serializer is None:
@@ -146,19 +159,57 @@ def service_to_document(service: CordialService) -> dict:
 
 
 def service_from_document(document: dict) -> CordialService:
-    """Rebuild a service from :func:`service_to_document` output."""
-    if document.get("format") != CHECKPOINT_FORMAT:
-        raise ModelPersistenceError(
-            f"unexpected checkpoint format: {document.get('format')!r}")
-    if document.get("version") not in SUPPORTED_CHECKPOINT_VERSIONS:
-        raise ModelPersistenceError(
-            f"unsupported checkpoint version: {document.get('version')!r}")
-    cordial = pipeline_from_document(document["pipeline"])
-    state = document["state"]
-    service = CordialService(cordial,
-                             spares_per_bank=int(state["spares_per_bank"]),
-                             max_skew=float(state["max_skew"]))
-    return service.load_state_dict(state)
+    """Rebuild a service from :func:`service_to_document` output.
+
+    Raises :class:`CheckpointCorruptionError` when the document carries
+    the right format/version header but a damaged payload (missing keys,
+    wrong value shapes) — the signature of truncation or tampering.
+    """
+    if not isinstance(document, dict):
+        raise CheckpointCorruptionError(
+            f"checkpoint document is {type(document).__name__}, not an "
+            "object")
+    fmt = document.get("format")
+    if fmt != CHECKPOINT_FORMAT:
+        if fmt == PIPELINE_FORMAT:
+            # A recognizable sibling document: wrong *kind* of file, not
+            # a damaged one.
+            raise ModelPersistenceError(
+                f"unexpected checkpoint format: {fmt!r} "
+                "(this is a pipeline file — use load_cordial)")
+        # Anything else means the header itself is garbled — the classic
+        # bit-rot signature — so recovery code should treat it as a
+        # corrupt checkpoint and fall back.
+        raise CheckpointCorruptionError(
+            f"unrecognized checkpoint format: {fmt!r} (damaged header?)")
+    version = document.get("version")
+    if version not in SUPPORTED_CHECKPOINT_VERSIONS:
+        if isinstance(version, int):
+            raise ModelPersistenceError(
+                f"unsupported checkpoint version: {version!r}")
+        raise CheckpointCorruptionError(
+            f"invalid checkpoint version: {version!r}")
+    try:
+        cordial = pipeline_from_document(document["pipeline"])
+        state = document["state"]
+        if version >= 2 and "feature_state" not in state:
+            # Version-1 documents legitimately lack the folded feature
+            # state (it is rebuilt from the collector histories); a
+            # version-2 document without it has lost a key.
+            raise CheckpointCorruptionError(
+                "version-2 checkpoint is missing its feature_state "
+                "(truncated or key-dropped document)")
+        service = CordialService(cordial,
+                                 spares_per_bank=int(state["spares_per_bank"]),
+                                 max_skew=float(state["max_skew"]))
+        return service.load_state_dict(state)
+    except CheckpointCorruptionError:
+        raise
+    except (KeyError, IndexError, ValueError, TypeError,
+            AttributeError) as exc:
+        raise CheckpointCorruptionError(
+            f"corrupt checkpoint payload: {type(exc).__name__}: "
+            f"{exc}") from exc
 
 
 def save_service_checkpoint(service: CordialService,
@@ -179,11 +230,15 @@ def load_service_checkpoint(source: Union[str, Path]) -> CordialService:
     The restored service resumes exactly where the snapshot was taken:
     feeding it the remainder of the stream produces decisions and a
     final ICR byte-identical to a service that never restarted.
+
+    A truncated or tampered file raises
+    :class:`CheckpointCorruptionError` (a :class:`ModelPersistenceError`
+    subclass, so existing handlers keep working).
     """
     try:
         with open(source, "r", encoding="utf-8") as handle:
             document = json.load(handle)
-    except json.JSONDecodeError as exc:
-        raise ModelPersistenceError(
-            f"invalid checkpoint file: {exc}") from exc
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointCorruptionError(
+            f"unreadable checkpoint file: {exc}") from exc
     return service_from_document(document)

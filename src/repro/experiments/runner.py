@@ -14,6 +14,11 @@ streams a generated fleet's test split through ``CordialService`` (with
 optional bounded shuffling and a mid-stream checkpoint/restore) and dumps
 a metrics JSON report — the serving smoke check CI archives as an
 artifact.
+
+``cordial-repro chaos`` goes further: it runs a seeded fault-injection
+campaign (``repro.chaos``) against the same serving path — stream
+perturbation operators plus kill/restore and checkpoint-tampering
+faults — and exits non-zero if any invariant of the oracle is violated.
 """
 
 from __future__ import annotations
@@ -129,6 +134,43 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a seeded chaos campaign against the serving path."""
+    from repro.chaos import ChaosPlan, default_plan, run_chaos_campaign
+
+    if args.plan is not None:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan = ChaosPlan.from_dict(json.load(handle))
+    else:
+        plan = default_plan(kills_per_run=args.kills_per_run,
+                            intensity=args.intensity)
+    report = run_chaos_campaign(
+        scale=args.scale, seed=args.seed, model_name=args.model,
+        plan=plan, runs=args.runs, campaign_seed=args.campaign_seed,
+        jobs=args.jobs, max_events=args.max_events)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    bad_runs = sum(1 for run in report["runs"] if not run["ok"])
+    print(f"chaos campaign: {len(report['runs'])} runs over "
+          f"{report['config']['stream_events']:,} events "
+          f"({len(plan.operators)} operators, "
+          f"{plan.kills_per_run} kills/run)")
+    print(f"  clean ICR {report['clean']['summary']['icr']:.2%}, "
+          f"campaign digest {report['campaign_digest'][:16]}...")
+    if report["ok"]:
+        print("  all invariants held")
+    else:
+        print(f"  INVARIANT VIOLATIONS: {report['violations_total']} "
+              f"across {bad_runs} runs")
+        for run in report["runs"]:
+            for violation in run["violations"]:
+                print(f"    run {run['run']}: "
+                      f"[{violation['invariant']}] {violation['detail']}")
+    print(f"chaos report written to {args.output}")
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``cordial-repro`` argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -173,6 +215,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", type=str, default="serve_metrics.json",
                    help="where to write the metrics JSON report")
     p.set_defaults(func=cmd_serve_replay)
+
+    c = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection campaign against the online "
+             "service and validate the invariant oracle")
+    c.add_argument("--scale", type=float, default=0.08,
+                   help="fleet scale of the served dataset")
+    c.add_argument("--seed", type=int, default=11, help="generator seed")
+    c.add_argument("--model", default="LightGBM",
+                   choices=["Random Forest", "XGBoost", "LightGBM"])
+    c.add_argument("--runs", type=int, default=20,
+                   help="chaos runs in the campaign")
+    c.add_argument("--campaign-seed", type=int, default=0,
+                   dest="campaign_seed",
+                   help="root seed of the campaign's SeedSequence tree")
+    c.add_argument("--plan", type=str, default=None,
+                   help="JSON plan file (ChaosPlan.to_dict layout); "
+                        "default: the house plan with all six operators")
+    c.add_argument("--kills-per-run", type=int, default=2,
+                   dest="kills_per_run",
+                   help="kill/restore faults per run (default plan only)")
+    c.add_argument("--intensity", type=float, default=1.0,
+                   help="scale every operator rate at once "
+                        "(default plan only)")
+    c.add_argument("--max-events", type=int, default=None,
+                   dest="max_events",
+                   help="truncate the test stream (smoke runs)")
+    c.add_argument("--jobs", type=int, default=1)
+    c.add_argument("--output", type=str, default="chaos_report.json",
+                   help="where to write the campaign JSON report")
+    c.set_defaults(func=cmd_chaos)
     return parser
 
 

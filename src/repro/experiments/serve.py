@@ -110,13 +110,17 @@ def build_report(service: CordialService, decisions: Sequence[Decision],
     return report
 
 
-def run_serve_replay(scale: float = 0.12, seed: int = 42,
-                     model_name: str = "LightGBM", max_skew: float = 0.0,
-                     shuffle: bool = False, shuffle_seed: int = 0,
-                     spares_per_bank: int = 64, jobs: int = 1,
-                     checkpoint_path: Optional[str] = None,
-                     checkpoint_at: Optional[int] = None) -> dict:
-    """Generate, train, stream, and report — the full serve-replay run."""
+def prepare_serving_run(scale: float = 0.12, seed: int = 42,
+                        model_name: str = "LightGBM", jobs: int = 1,
+                        ) -> Tuple[Cordial, List[ErrorRecord], Dict, dict]:
+    """Generate a fleet, train a pipeline, and carve out the test stream.
+
+    The shared front half of every serving harness (serve-replay, the
+    chaos campaign): returns ``(cordial, stream, truth, meta)`` where
+    ``stream`` is the time-sorted test-split event stream, ``truth`` is
+    the per-bank ``(first_uer_time, row)`` ground truth for ICR scoring,
+    and ``meta`` carries split bookkeeping for reports.
+    """
     dataset = generate_fleet_dataset(FleetGenConfig(scale=scale), seed=seed,
                                      jobs=jobs)
     train_banks, test_banks = train_test_split_groups(
@@ -126,6 +130,22 @@ def run_serve_replay(scale: float = 0.12, seed: int = 42,
 
     test_set = set(test_banks)
     stream = [r for r in dataset.store if r.bank_key in test_set]
+    truth = {bank: dataset.bank_truth[bank].uer_row_sequence
+             for bank in test_banks
+             if dataset.bank_truth[bank].uer_row_sequence}
+    meta = {"test_banks": len(test_banks)}
+    return cordial, stream, truth, meta
+
+
+def run_serve_replay(scale: float = 0.12, seed: int = 42,
+                     model_name: str = "LightGBM", max_skew: float = 0.0,
+                     shuffle: bool = False, shuffle_seed: int = 0,
+                     spares_per_bank: int = 64, jobs: int = 1,
+                     checkpoint_path: Optional[str] = None,
+                     checkpoint_at: Optional[int] = None) -> dict:
+    """Generate, train, stream, and report — the full serve-replay run."""
+    cordial, stream, truth, meta = prepare_serving_run(
+        scale=scale, seed=seed, model_name=model_name, jobs=jobs)
     if shuffle:
         stream = bounded_shuffle(stream, max_skew, seed=shuffle_seed)
 
@@ -137,9 +157,6 @@ def run_serve_replay(scale: float = 0.12, seed: int = 42,
                                       checkpoint_path=checkpoint_path,
                                       checkpoint_at=checkpoint_at)
 
-    truth = {bank: dataset.bank_truth[bank].uer_row_sequence
-             for bank in test_banks
-             if dataset.bank_truth[bank].uer_row_sequence}
     return build_report(service, decisions, truth, config={
         "scale": scale,
         "seed": seed,
@@ -148,7 +165,7 @@ def run_serve_replay(scale: float = 0.12, seed: int = 42,
         "shuffle": shuffle,
         "shuffle_seed": shuffle_seed,
         "spares_per_bank": spares_per_bank,
-        "test_banks": len(test_banks),
+        "test_banks": meta["test_banks"],
         "stream_events": len(stream),
         "checkpointed_at": checkpoint_at if checkpoint_path else None,
     })

@@ -9,7 +9,8 @@ UER observed in a bank).
 
 from repro.telemetry.events import ErrorType, ErrorRecord
 from repro.telemetry.mcelog import (write_mce_log, read_mce_log,
-                                    iter_mce_log_lenient, MCELogError)
+                                    iter_mce_log_lenient,
+                                    iter_mce_log_quarantining, MCELogError)
 from repro.telemetry.store import ErrorStore
 from repro.telemetry.collector import BMCCollector, BankTrigger, DeadLetter
 from repro.telemetry.metrics import (Counter, Gauge, Histogram,
@@ -26,6 +27,7 @@ __all__ = [
     "write_mce_log",
     "read_mce_log",
     "iter_mce_log_lenient",
+    "iter_mce_log_quarantining",
     "MCELogError",
     "ErrorStore",
     "BMCCollector",

@@ -34,6 +34,7 @@ to see, which makes look-ahead bugs structurally impossible.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -46,6 +47,12 @@ ReleasedEvent = Tuple[ErrorRecord, Optional["BankTrigger"]]
 #: Dead-letter reasons used by the collector itself.
 REASON_LATE = "late"
 REASON_MALFORMED = "malformed"
+#: Dead-letter reason reserved for *upstream parser* failures (lines that
+#: never became records).  Kept distinct from ``REASON_MALFORMED`` so a
+#: corrupted input is counted exactly once: parser failures never reach
+#: :meth:`BMCCollector.ingest`, and ingest failures were parseable — the
+#: two quarantine paths can never both claim the same input.
+REASON_CORRUPT = "corrupt"
 
 
 @dataclass(frozen=True)
@@ -171,6 +178,20 @@ class BMCCollector:
         if not isinstance(record, ErrorRecord):
             self.quarantine(REASON_MALFORMED,
                             f"not an ErrorRecord: {type(record).__name__}")
+            return []
+        if not math.isfinite(record.timestamp):
+            # A NaN timestamp must never reach the reorder heap: NaN
+            # compares false against everything, so one poisoned head
+            # entry would silently block _drain from ever releasing
+            # again — the exact conservation leak the chaos corruption
+            # operator hunts for.  Quarantine it, counted exactly once.
+            # The record itself stays out of the evidence list: a
+            # non-finite timestamp cannot round-trip the checkpoint's
+            # strict record codec.
+            self.quarantine(
+                REASON_MALFORMED,
+                f"non-finite timestamp: {record.timestamp} "
+                f"(sequence {record.sequence})")
             return []
         if record.timestamp < self.watermark:
             self.quarantine(

@@ -11,6 +11,7 @@ verifies they agree.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, List, Optional, TextIO, Union
 
@@ -64,8 +65,16 @@ def record_from_obj(obj: dict, line_no: int = 0) -> ErrorRecord:
             if expanded != address:
                 raise MCELogError(
                     f"line {line_no}: packed and expanded addresses disagree")
+        timestamp = float(obj["ts"])
+        if not math.isfinite(timestamp):
+            # json.loads happily parses NaN/Infinity literals; a
+            # non-finite clock would poison downstream watermark and
+            # reorder-heap comparisons, so it is a parse error here —
+            # counted once by the parser, never seen by the collector.
+            raise MCELogError(
+                f"line {line_no}: non-finite timestamp: {timestamp}")
         return ErrorRecord(
-            timestamp=float(obj["ts"]),
+            timestamp=timestamp,
             sequence=int(obj["seq"]),
             address=address,
             error_type=ErrorType(obj["type"]),
@@ -74,7 +83,8 @@ def record_from_obj(obj: dict, line_no: int = 0) -> ErrorRecord:
         )
     except MCELogError:
         raise
-    except (KeyError, ValueError, TypeError) as exc:
+    except (KeyError, ValueError, TypeError, AttributeError,
+            OverflowError) as exc:
         raise MCELogError(f"line {line_no}: malformed event: {exc}") from exc
 
 
@@ -139,17 +149,24 @@ def iter_mce_log_lenient(
     analysis, where a corrupt file should stop the run.  An online
     service instead wants to keep consuming and quarantine the bad lines
     — exactly the dead-letter posture of
-    :meth:`repro.telemetry.collector.BMCCollector.quarantine`, which
-    plugs in directly::
-
-        iter_mce_log_lenient(path, on_malformed=lambda line_no, line, err:
-            collector.quarantine("malformed", f"line {line_no}: {err}"))
+    :meth:`repro.telemetry.collector.BMCCollector.quarantine`.  Use
+    :func:`iter_mce_log_quarantining` for that wiring: it routes parse
+    failures under the dedicated ``"corrupt"`` reason so they can never
+    collide with (or double-count against) the collector's own
+    ``"malformed"`` ingest quarantine.
 
     A bad *header* still raises: that is a wrong-file error, not noise.
 
+    Exactly-once accounting: every non-blank body line either yields one
+    record or fires ``on_malformed`` once — never both, never twice.
+    The ``yield`` sits outside the ``try`` block, so an exception thrown
+    *into* the suspended generator by its consumer can never re-enter
+    the parse handler and double-count the line.
+
     Args:
         on_malformed: called with ``(line_no, raw_line, error)`` for every
-            skipped line; ``None`` just counts them silently.
+            skipped line; ``None`` skips them silently (the quarantining
+            wrapper above is the counted variant).
     """
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as handle:
@@ -171,7 +188,37 @@ def iter_mce_log_lenient(
         if not line:
             continue
         try:
-            yield record_from_obj(json.loads(line), line_no)
+            record = record_from_obj(json.loads(line), line_no)
         except (json.JSONDecodeError, MCELogError) as exc:
             if on_malformed is not None:
                 on_malformed(line_no, line, str(exc))
+            continue
+        yield record
+
+
+def iter_mce_log_quarantining(source: Union[str, Path, TextIO],
+                              collector) -> Iterator[ErrorRecord]:
+    """Lenient reader wired into a collector's dead-letter quarantine.
+
+    Parse failures are quarantined under the dedicated ``"corrupt"``
+    reason (:data:`repro.telemetry.collector.REASON_CORRUPT`), *not*
+    under the collector's own ``"malformed"`` — so a damaged input is
+    counted exactly once no matter where it dies: lines the parser
+    rejects never reach :meth:`~repro.telemetry.collector.BMCCollector.ingest`,
+    and records the collector rejects were parseable lines.  The event
+    conservation audit is then exact on both ledgers::
+
+        lines read   == records yielded + dead_letter_counts["corrupt"]
+        ingested     == released + late + malformed + still buffered
+
+    Args:
+        collector: anything with the
+            :meth:`~repro.telemetry.collector.BMCCollector.quarantine`
+            signature.
+    """
+    from repro.telemetry.collector import REASON_CORRUPT
+
+    def route(line_no: int, line: str, error: str) -> None:
+        collector.quarantine(REASON_CORRUPT, f"line {line_no}: {error}")
+
+    yield from iter_mce_log_lenient(source, on_malformed=route)

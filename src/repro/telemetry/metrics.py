@@ -194,18 +194,27 @@ class MetricsRegistry:
         return document
 
     def restore(self, document: Mapping) -> "MetricsRegistry":
-        """Load state exported by :meth:`as_dict` (replaces current state)."""
-        self._counters = {k: Counter(v)
-                          for k, v in document.get("counters", {}).items()}
-        self._gauges = {k: Gauge(v["value"], v["max"])
-                        for k, v in document.get("gauges", {}).items()}
-        self._histograms = {}
+        """Load state exported by :meth:`as_dict` (replaces current state).
+
+        Atomic: the whole document is parsed before any of it is
+        installed, so a malformed document raises and leaves the
+        registry untouched (restores must never half-apply — see the
+        transactional contract of ``CordialService.load_state_dict``).
+        """
+        counters = {k: Counter(v)
+                    for k, v in document.get("counters", {}).items()}
+        gauges = {k: Gauge(v["value"], v["max"])
+                  for k, v in document.get("gauges", {}).items()}
+        histograms = {}
         for key, state in document.get("histograms", {}).items():
             histogram = Histogram(state["buckets"])
             histogram.counts = list(state["counts"])
             histogram.sum = float(state["sum"])
             histogram.count = int(state["count"])
-            self._histograms[key] = histogram
+            histograms[key] = histogram
+        self._counters = counters
+        self._gauges = gauges
+        self._histograms = histograms
         return self
 
     def counter_value(self, name: str,

@@ -166,3 +166,85 @@ class TestLenientReader:
                 collector.quarantine("malformed", f"line {line_no}: {err}")))
         assert len(loaded) == 2
         assert collector.dead_letter_counts == {"malformed": 1}
+
+
+class TestExactlyOnceAccounting:
+    """A damaged input dies exactly once, in exactly one ledger.
+
+    The parser owns structurally corrupt *lines* (reason ``"corrupt"``),
+    the collector owns semantically bad *records* (reason
+    ``"malformed"``); no input may ever be counted in both, or twice in
+    either.
+    """
+
+    def _log_text(self, records):
+        buffer = io.StringIO()
+        write_mce_log(records, buffer)
+        return buffer.getvalue()
+
+    def test_quarantining_reader_counts_corrupt_exactly_once(self):
+        from repro.telemetry.collector import BMCCollector
+        from repro.telemetry.mcelog import iter_mce_log_quarantining
+
+        records = [make_record(seq=i, t=float(i), row=i) for i in range(4)]
+        lines = self._log_text(records).splitlines()
+        lines[2] = "{broken json"
+        lines[4] = '{"ts": "not-a-number"}'
+        collector = BMCCollector()
+        loaded = []
+        for record in iter_mce_log_quarantining(
+                io.StringIO("\n".join(lines) + "\n"), collector):
+            loaded.append(record)
+            collector.ingest(record)
+        collector.flush()
+        assert loaded == [records[0], records[2]]
+        # Two dead lines under "corrupt", no leakage into "malformed".
+        assert collector.dead_letter_counts == {"corrupt": 2}
+        # The conservation identity holds with parser kills included:
+        # every body line is a release, a corrupt line, or buffered.
+        released = collector.metrics.counter_value(
+            "collector.events_released")
+        ingested = collector.metrics.counter_value(
+            "collector.events_ingested")
+        assert ingested == len(loaded)
+        assert (len(lines) - 1  # header
+                == released + collector.dead_letter_counts["corrupt"]
+                + collector.pending_count)
+
+    def test_nan_timestamp_is_a_parse_error(self):
+        # json.loads accepts the bare NaN literal; the parser must not.
+        text = self._log_text([make_record(seq=0, t=1.0)])
+        text = text.replace('"ts": 1.0', '"ts": NaN')
+        assert '"ts": NaN' in text
+        with pytest.raises(MCELogError, match="non-finite"):
+            read_mce_log(io.StringIO(text))
+        dead = []
+        assert list(iter_mce_log_lenient(
+            io.StringIO(text),
+            on_malformed=lambda n, raw, err: dead.append(n))) == []
+        assert dead == [2]  # exactly once
+
+    def test_nan_record_quarantined_without_poisoning_the_buffer(self):
+        # Regression: a NaN timestamp compares False against the
+        # watermark *and* against every heap neighbour, so before the
+        # ingest guard it would sit at the reorder-heap head forever and
+        # flush() would release nothing.
+        import math
+
+        from repro.telemetry.collector import BMCCollector
+
+        collector = BMCCollector(max_skew=100.0)
+        good = [make_record(seq=i, t=float(i), row=i,
+                            error_type=ErrorType.CE) for i in range(3)]
+        collector.ingest(good[0])
+        nan_record = ErrorRecord(timestamp=math.nan, sequence=99,
+                                 address=good[0].address,
+                                 error_type=ErrorType.CE)
+        assert collector.ingest(nan_record) == []
+        for record in good[1:]:
+            collector.ingest(record)
+        released = list(collector.flush())
+        # Every good event still comes out; the NaN died exactly once.
+        assert [r.sequence for r, _ in released] == [0, 1, 2]
+        assert collector.dead_letter_counts == {"malformed": 1}
+        assert collector.pending_count == 0
