@@ -62,9 +62,10 @@ def perturb_stream(stream: Sequence[ErrorRecord], plan: ChaosPlan,
     return perturbed, applied
 
 
-def _service_for(cordial: Cordial, plan: ChaosPlan) -> CordialService:
+def _service_for(cordial: Cordial, plan: ChaosPlan,
+                 obs=None) -> CordialService:
     return CordialService(cordial, spares_per_bank=plan.spares_per_bank,
-                          max_skew=plan.max_skew)
+                          max_skew=plan.max_skew, obs=obs)
 
 
 def _summarize(service: CordialService, decisions: Sequence[Decision],
@@ -131,7 +132,7 @@ def run_one(cordial: Cordial, stream: Sequence[ErrorRecord],
 def run_campaign(cordial: Cordial, stream: Sequence[ErrorRecord],
                  truth: Dict[tuple, Sequence[Tuple[float, int]]],
                  plan: ChaosPlan, config: CampaignConfig, workdir: str,
-                 context: Optional[dict] = None) -> dict:
+                 context: Optional[dict] = None, obs=None) -> dict:
     """Execute a full campaign; returns the byte-stable JSON report.
 
     Args:
@@ -144,10 +145,19 @@ def run_campaign(cordial: Cordial, stream: Sequence[ErrorRecord],
             in the report, so reports are location-independent).
         context: free-form labels merged into the report's config block
             (scale, model name, ...).
+        obs: optional :class:`~repro.obs.Observability` bundle, attached
+            to the **clean baseline** serve only.  Per-run services stay
+            unobserved on purpose: the ``drop_key`` tamper operator
+            samples the checkpoint's state keys, and an optional ``obs``
+            key would give it a target whose loss loads cleanly —
+            silently weakening the tamper-detection invariant.  The
+            journal additionally records one ``run`` event per chaos run
+            and a closing ``campaign`` event; none of it enters the
+            report, which stays byte-stable and path-free.
     """
     from repro.experiments.serve import serve_stream
 
-    clean_service = _service_for(cordial, plan)
+    clean_service = _service_for(cordial, plan, obs=obs)
     clean_service, clean_decisions = serve_stream(clean_service, stream)
     clean_icr = clean_service.coverage(truth)
     clean = CleanBaseline(decision_count=len(clean_decisions),
@@ -155,15 +165,36 @@ def run_campaign(cordial: Cordial, stream: Sequence[ErrorRecord],
     oracle = InvariantOracle(plan, clean=clean)
 
     root = np.random.SeedSequence(config.seed)
-    runs = [run_one(cordial, stream, truth, plan, run_seed, oracle,
-                    workdir, run_index)
-            for run_index, run_seed in enumerate(root.spawn(config.runs))]
+    runs = []
+    for run_index, run_seed in enumerate(root.spawn(config.runs)):
+        run = run_one(cordial, stream, truth, plan, run_seed, oracle,
+                      workdir, run_index)
+        if obs is not None:
+            obs.journal.event("run", run=run_index, ok=run["ok"],
+                              violations=len(run["violations"]),
+                              dead_letters=run["summary"]["dead_letters"])
+        runs.append(run)
 
     campaign_hash = hashlib.sha256()
     campaign_hash.update(decisions_digest(clean_decisions).encode())
     for run in runs:
         campaign_hash.update(run["decisions_digest"].encode())
     violations_total = sum(len(run["violations"]) for run in runs)
+    # Aggregate the dead-letter *reason histogram* across chaos runs.
+    # The per-run summaries always carried it, but the campaign roll-up
+    # used to drop it, so the report could not be reconciled against the
+    # journal's quarantine ledger without re-reading every run.
+    dead_letters_total: Dict[str, int] = {}
+    for run in runs:
+        for reason, count in run["summary"]["dead_letters"].items():
+            dead_letters_total[reason] = (
+                dead_letters_total.get(reason, 0) + count)
+    if obs is not None:
+        obs.journal.event("campaign", runs=config.runs,
+                          violations_total=violations_total,
+                          dead_letters_total={
+                              k: dead_letters_total[k]
+                              for k in sorted(dead_letters_total)})
     return {
         "config": {
             "runs": config.runs,
@@ -178,6 +209,8 @@ def run_campaign(cordial: Cordial, stream: Sequence[ErrorRecord],
             "decisions_digest": decisions_digest(clean_decisions),
         },
         "runs": runs,
+        "dead_letters_total": {k: dead_letters_total[k]
+                               for k in sorted(dead_letters_total)},
         "violations_total": violations_total,
         "ok": violations_total == 0,
         "campaign_digest": campaign_hash.hexdigest(),
@@ -189,13 +222,20 @@ def run_chaos_campaign(scale: float = 0.08, seed: int = 11,
                        plan: Optional[ChaosPlan] = None,
                        runs: int = 20, campaign_seed: int = 0,
                        jobs: int = 1, max_events: Optional[int] = None,
-                       workdir: Optional[str] = None) -> dict:
+                       workdir: Optional[str] = None,
+                       obs_dir: Optional[str] = None) -> dict:
     """Generate, train, and run a campaign — the CLI entry's workhorse.
 
     Reuses the serve-replay plumbing: the same fleet generation, 70:30
     bank split, training, and test-stream construction as
     ``cordial-repro serve-replay``, so chaos results are directly
     comparable with the serving smoke reports.
+
+    Args:
+        obs_dir: when given, observe the clean baseline serve (see
+            :func:`run_campaign`) and write the journal/trace/audit
+            artifacts into this directory.  The campaign report itself
+            is unchanged — it stays byte-stable and path-free.
     """
     import tempfile
 
@@ -210,9 +250,25 @@ def run_chaos_campaign(scale: float = 0.08, seed: int = 11,
     context = {**meta, "scale": scale, "generator_seed": seed,
                "model_name": model_name}
     config = CampaignConfig(runs=runs, seed=campaign_seed)
-    if workdir is not None:
-        return run_campaign(cordial, stream, truth, plan, config,
-                            workdir, context=context)
-    with tempfile.TemporaryDirectory(prefix="cordial-chaos-") as scratch:
-        return run_campaign(cordial, stream, truth, plan, config,
-                            scratch, context=context)
+    obs = None
+    if obs_dir is not None:
+        from repro.obs import Observability, build_provenance
+
+        obs = Observability.create(
+            obs_dir,
+            provenance=build_provenance(
+                seeds={"generator": seed, "campaign": campaign_seed},
+                config={**context, "runs": runs, "plan": plan.to_dict()}))
+    try:
+        if workdir is not None:
+            report = run_campaign(cordial, stream, truth, plan, config,
+                                  workdir, context=context, obs=obs)
+        else:
+            with tempfile.TemporaryDirectory(
+                    prefix="cordial-chaos-") as scratch:
+                report = run_campaign(cordial, stream, truth, plan, config,
+                                      scratch, context=context, obs=obs)
+    finally:
+        if obs is not None:
+            obs.export(obs_dir)
+    return report

@@ -95,7 +95,22 @@ class BlockExplainer:
         if not 0 <= block < featurizer.window.n_blocks:
             raise ValueError(f"block {block} out of range")
         X = featurizer.extract_blocks(history, last_uer_row)
-        sample = X[block]
+        return self.explain_sample(X[block], block)
+
+    def explain_sample(self, sample: np.ndarray,
+                       block: int) -> BlockExplanation:
+        """Explain one pre-extracted block feature row.
+
+        The serving-path audit trail (:mod:`repro.obs.audit`) already
+        holds the exact feature matrix a decision scored — this entry
+        point explains it without re-walking any bank history, so the
+        explanation is guaranteed to describe the decision as made, not
+        a recomputation of it.
+        """
+        featurizer = self.predictor.featurizer
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.shape != (featurizer.n_features,):
+            raise ValueError("sample shape mismatch")
         names = featurizer.feature_names()
 
         # one batched prediction: the sample + one row per neutralisation

@@ -27,13 +27,17 @@ The serving path is hardened for field telemetry:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.core.incremental import IncrementalFeatureState
 from repro.core.isolation import IsolationReplay
 from repro.core.pipeline import Cordial
 from repro.faults.types import FailurePattern
+from repro.obs import Observability
 from repro.telemetry.collector import BMCCollector
 from repro.telemetry.events import ErrorRecord, ErrorType
 from repro.telemetry.metrics import MetricsRegistry
@@ -132,19 +136,29 @@ class CordialService:
             (``tests/test_feature_equivalence.py``), so False exists only
             as the recompute reference for equivalence tests and
             benchmarks.
+        obs: optional :class:`~repro.obs.Observability` bundle.  Strictly
+            passive — with it attached the decisions and ICR are
+            byte-identical to an unobserved run
+            (``tests/test_obs_equivalence.py``); the journal and audit
+            trail record what the service did, never influence it.
     """
 
     def __init__(self, cordial: Cordial, spares_per_bank: int = 64,
                  max_skew: float = 0.0,
                  metrics: Optional[MetricsRegistry] = None,
-                 incremental_features: bool = True) -> None:
+                 incremental_features: bool = True,
+                 obs: Optional[Observability] = None) -> None:
         if not getattr(cordial, "_fitted", False):
             raise ValueError("CordialService requires a fitted Cordial")
         self.cordial = cordial
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.obs = obs
+        if obs is not None and not obs.audit.feature_names:
+            obs.audit.feature_names = list(
+                cordial.predictor.featurizer.feature_names())
         self.collector = BMCCollector(
             trigger_uer_rows=cordial.trigger_uer_rows,
-            max_skew=max_skew, metrics=self.metrics)
+            max_skew=max_skew, metrics=self.metrics, obs=obs)
         self.replay = IsolationReplay(spares_per_bank=spares_per_bank,
                                       metrics=self.metrics)
         self.stats = ServiceStats()
@@ -152,6 +166,7 @@ class CordialService:
         self._pattern_of: Dict[tuple, FailurePattern] = {}
         self._uer_rows: Dict[tuple, List[int]] = {}
         self._feature_state: Dict[tuple, IncrementalFeatureState] = {}
+        self._explainer = None  # lazily built when obs.audit.attributions
 
     # -- event path ----------------------------------------------------------
     def ingest(self, record: ErrorRecord) -> List[Decision]:
@@ -160,7 +175,9 @@ class CordialService:
         With a positive ``max_skew`` the decisions may belong to earlier
         events that this arrival released from the reorder buffer.
         """
-        with self.metrics.timer("service.ingest_seconds"):
+        span = (self.obs.tracer.span("service.ingest")
+                if self.obs is not None else nullcontext())
+        with span, self.metrics.timer("service.ingest_seconds"):
             self.stats.events_ingested += 1
             decisions: List[Decision] = []
             for released, trigger in self.collector.ingest(record):
@@ -174,7 +191,14 @@ class CordialService:
 
     def flush(self) -> List[Decision]:
         """Release the reorder buffer (end of stream); returns decisions."""
+        span = (self.obs.tracer.span("service.flush")
+                if self.obs is not None else nullcontext())
         decisions: List[Decision] = []
+        with span:
+            self._flush_into(decisions)
+        return decisions
+
+    def _flush_into(self, decisions: List[Decision]) -> None:
         for released, trigger in self.collector.flush():
             decisions.extend(self._process(released, trigger))
         for decision in decisions:
@@ -182,7 +206,6 @@ class CordialService:
             self.metrics.counter(
                 "service.decisions",
                 labels={"action": decision.action}).inc()
-        return decisions
 
     def _process(self, record: ErrorRecord, trigger) -> List[Decision]:
         """Handle one *released* (in-order) event."""
@@ -204,11 +227,22 @@ class CordialService:
     def _on_trigger(self, trigger) -> List[Decision]:
         self.stats.triggers_fired += 1
         pattern = self.cordial.classifier.predict(trigger.history)
+        if self.obs is not None:
+            self.obs.journal.trigger(trigger.bank_key, trigger.timestamp,
+                                     pattern.value, tuple(trigger.uer_rows))
         if not pattern.is_aggregation:
             # Bank sparing retires the whole bank: keep no per-bank
             # prediction state (it would never be read again and grows
             # without bound over a long stream).
             self.replay.isolate_bank(trigger.bank_key, trigger.timestamp)
+            if self.obs is not None:
+                self.obs.journal.isolation(
+                    trigger.bank_key, trigger.timestamp, "bank-spare",
+                    (), 0, None)
+                self.obs.audit.record_decision(
+                    kind="trigger", timestamp=trigger.timestamp,
+                    bank_key=trigger.bank_key, action="bank-spare",
+                    pattern=pattern.value)
             return [Decision(timestamp=trigger.timestamp,
                              bank_key=trigger.bank_key, pattern=pattern,
                              action="bank-spare", rows=())]
@@ -217,10 +251,24 @@ class CordialService:
         if self.incremental_features:
             self._feature_state[trigger.bank_key] = (
                 IncrementalFeatureState.from_history(trigger.history))
-        prediction = self.cordial.predictor.predict(trigger.history,
-                                                    trigger.uer_rows[-1])
+        # extract + predict_from_features is exactly what predict() does
+        # internally; splitting it here hands the audit trail the very
+        # feature matrix the model scored.
+        predictor = self.cordial.predictor
+        X = predictor.featurizer.extract_blocks(trigger.history,
+                                                trigger.uer_rows[-1])
+        prediction = predictor.predict_from_features(X, trigger.uer_rows[-1])
         rows = tuple(int(r) for r in prediction.rows_to_isolate())
-        self.replay.isolate_rows(trigger.bank_key, rows, trigger.timestamp)
+        budget_before = (self.replay.row_ctrl.remaining(trigger.bank_key)
+                         if self.obs is not None else None)
+        newly = self.replay.isolate_rows(trigger.bank_key, rows,
+                                         trigger.timestamp)
+        if self.obs is not None:
+            self._observe_row_decision(
+                kind="trigger", timestamp=trigger.timestamp,
+                bank_key=trigger.bank_key, pattern=pattern,
+                prediction=prediction, X=X, rows=rows, newly=newly,
+                budget_before=budget_before)
         return [Decision(timestamp=trigger.timestamp,
                          bank_key=trigger.bank_key, pattern=pattern,
                          action="row-spare", rows=rows)]
@@ -234,6 +282,9 @@ class CordialService:
         rows_seen.append(record.row)
         self.stats.repredictions += 1
         self.metrics.counter("service.repredictions").inc()
+        if self.obs is not None:
+            self.obs.journal.reprediction(record.bank_key, record.timestamp,
+                                          record.row)
         predictor = self.cordial.predictor
         if self.incremental_features:
             # O(1)-per-event fold already happened in _process; build the
@@ -241,17 +292,64 @@ class CordialService:
             # re-walking the bank history.
             agg = self._feature_state[record.bank_key].aggregates()
             X = predictor.featurizer.extract_from_aggregates(agg, record.row)
-            prediction = predictor.predict_from_features(X, record.row)
         else:
             history = self._history_through(record)
-            prediction = predictor.predict(history, record.row)
+            X = predictor.featurizer.extract_blocks(history, record.row)
+        prediction = predictor.predict_from_features(X, record.row)
         rows = tuple(int(r) for r in prediction.rows_to_isolate())
-        self.replay.isolate_rows(record.bank_key, rows, record.timestamp)
+        budget_before = (self.replay.row_ctrl.remaining(record.bank_key)
+                         if self.obs is not None else None)
+        newly = self.replay.isolate_rows(record.bank_key, rows,
+                                         record.timestamp)
+        pattern = self._pattern_of[record.bank_key]
+        if self.obs is not None:
+            self._observe_row_decision(
+                kind="reprediction", timestamp=record.timestamp,
+                bank_key=record.bank_key, pattern=pattern,
+                prediction=prediction, X=X, rows=rows, newly=newly,
+                budget_before=budget_before)
         return Decision(timestamp=record.timestamp,
                         bank_key=record.bank_key,
-                        pattern=self._pattern_of[record.bank_key],
+                        pattern=pattern,
                         action="row-spare", rows=rows,
                         is_reprediction=True)
+
+    def _observe_row_decision(self, *, kind: str, timestamp: float,
+                              bank_key: tuple, pattern: FailurePattern,
+                              prediction, X: np.ndarray, rows: tuple,
+                              newly: int, budget_before: int) -> None:
+        """Journal + audit one row-sparing decision (obs is attached)."""
+        budget_after = self.replay.row_ctrl.remaining(bank_key)
+        self.obs.journal.isolation(bank_key, timestamp, "row-spare", rows,
+                                   newly, budget_after)
+        attributions = None
+        if self.obs.audit.attributions:
+            attributions = self.obs.audit.attribute_flagged(
+                self._block_explainer(), X, prediction.flagged)
+        self.obs.audit.record_decision(
+            kind=kind, timestamp=timestamp, bank_key=bank_key,
+            action="row-spare", pattern=pattern.value,
+            threshold=self.cordial.predictor.effective_threshold,
+            probabilities=prediction.probabilities,
+            flagged=prediction.flagged,
+            block_ranges=prediction.block_ranges, features=X,
+            rows_requested=rows, newly_spared=newly,
+            budget_before=budget_before, budget_after=budget_after,
+            attributions=attributions)
+
+    def _block_explainer(self):
+        """Lazily built explainer for audit attributions.
+
+        The baseline is a zero vector — the natural neutral point for
+        count/recency features — so building it needs no training data.
+        """
+        if self._explainer is None:
+            from repro.core.explain import BlockExplainer
+
+            n = self.cordial.predictor.featurizer.n_features
+            self._explainer = BlockExplainer(
+                self.cordial.predictor, baseline=np.zeros(n))
+        return self._explainer
 
     def _history_through(self, record: ErrorRecord) -> tuple:
         """The bank's history up to and including ``record``.
@@ -311,7 +409,17 @@ class CordialService:
         The model itself is *not* included — persistence
         (:func:`repro.core.persistence.save_service_checkpoint`) stores
         the fitted pipeline next to this state in the same document.
+        When an observability bundle is attached, its checkpointable
+        slice (the audit trail — see ``Observability.state_dict``) rides
+        along under ``"obs"``; unobserved services omit the key, so
+        their checkpoints are byte-identical to pre-observability ones.
         """
+        state = self._base_state_dict()
+        if self.obs is not None:
+            state["obs"] = self.obs.state_dict()
+        return state
+
+    def _base_state_dict(self) -> dict:
         return {
             "spares_per_bank": self.replay.spares_per_bank,
             "max_skew": self.collector.max_skew,
@@ -367,6 +475,11 @@ class CordialService:
         # Dry-run the metrics document against a scratch registry before
         # touching the shared one.
         MetricsRegistry().restore(state["metrics"])
+        # The obs slice (audit trail) parses into a scratch bundle too —
+        # only version-3 checkpoints taken with obs attached carry it.
+        obs_state = state.get("obs")
+        if obs_state is not None:
+            Observability().load_state_dict(obs_state)
 
         # Commit phase: nothing below can raise.
         self.collector = collector
@@ -376,4 +489,10 @@ class CordialService:
         self._uer_rows = uer_rows
         self._feature_state = feature_state
         self.metrics.restore(state["metrics"])
+        if obs_state is not None:
+            if self.obs is None:
+                self.obs = Observability()
+            self.obs.load_state_dict(obs_state)
+        if self.obs is not None:
+            self.collector.obs = self.obs
         return self

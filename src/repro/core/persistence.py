@@ -35,8 +35,12 @@ CHECKPOINT_FORMAT = "cordial-service-checkpoint"
 #: Version 2 adds the per-bank incremental feature state
 #: (``state["feature_state"]``); version-1 documents are still loadable —
 #: the state is rebuilt from the collector's released bank histories.
-CHECKPOINT_VERSION = 2
-SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
+#: Version 3 adds the *optional* observability slice (``state["obs"]``,
+#: the decision audit trail) — optional because unobserved services omit
+#: it, so a version-3 checkpoint without the key is legitimate, not
+#: truncated.
+CHECKPOINT_VERSION = 3
+SUPPORTED_CHECKPOINT_VERSIONS = (1, 2, 3)
 
 
 class CheckpointCorruptionError(ModelPersistenceError):
@@ -158,12 +162,19 @@ def service_to_document(service: CordialService) -> dict:
     }
 
 
-def service_from_document(document: dict) -> CordialService:
+def service_from_document(document: dict,
+                          obs=None) -> CordialService:
     """Rebuild a service from :func:`service_to_document` output.
 
     Raises :class:`CheckpointCorruptionError` when the document carries
     the right format/version header but a damaged payload (missing keys,
     wrong value shapes) — the signature of truncation or tampering.
+
+    Args:
+        obs: live :class:`~repro.obs.Observability` bundle to attach to
+            the restored service.  A mid-stream restore passes the run's
+            own bundle so the journal keeps appending to the same file
+            and the audit trail continues from the checkpointed records.
     """
     if not isinstance(document, dict):
         raise CheckpointCorruptionError(
@@ -201,7 +212,8 @@ def service_from_document(document: dict) -> CordialService:
                 "(truncated or key-dropped document)")
         service = CordialService(cordial,
                                  spares_per_bank=int(state["spares_per_bank"]),
-                                 max_skew=float(state["max_skew"]))
+                                 max_skew=float(state["max_skew"]),
+                                 obs=obs)
         return service.load_state_dict(state)
     except CheckpointCorruptionError:
         raise
@@ -224,7 +236,8 @@ def save_service_checkpoint(service: CordialService,
         json.dump(document, handle)
 
 
-def load_service_checkpoint(source: Union[str, Path]) -> CordialService:
+def load_service_checkpoint(source: Union[str, Path],
+                            obs=None) -> CordialService:
     """Restore a service snapshot written by :func:`save_service_checkpoint`.
 
     The restored service resumes exactly where the snapshot was taken:
@@ -234,6 +247,10 @@ def load_service_checkpoint(source: Union[str, Path]) -> CordialService:
     A truncated or tampered file raises
     :class:`CheckpointCorruptionError` (a :class:`ModelPersistenceError`
     subclass, so existing handlers keep working).
+
+    Args:
+        obs: live observability bundle to re-attach (see
+            :func:`service_from_document`).
     """
     try:
         with open(source, "r", encoding="utf-8") as handle:
@@ -241,4 +258,4 @@ def load_service_checkpoint(source: Union[str, Path]) -> CordialService:
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise CheckpointCorruptionError(
             f"unreadable checkpoint file: {exc}") from exc
-    return service_from_document(document)
+    return service_from_document(document, obs=obs)

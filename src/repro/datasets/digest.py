@@ -51,6 +51,20 @@ def canonical_lines(dataset: FleetDataset) -> Iterator[str]:
         ))
 
 
+def config_digest(config) -> str:
+    """SHA-256 hex digest of any JSON-serialisable configuration object.
+
+    Canonicalised through ``json.dumps(sort_keys=True)``, so two configs
+    digest equal iff they are value-equal — the run-journal provenance
+    header (:mod:`repro.obs.journal`) uses this to make "same
+    configuration?" a string comparison.
+    """
+    import json
+
+    payload = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def fleet_digest(dataset: FleetDataset) -> str:
     """SHA-256 hex digest over the canonical serialisation of a dataset."""
     digest = hashlib.sha256()

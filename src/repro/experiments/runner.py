@@ -19,6 +19,11 @@ artifact.
 campaign (``repro.chaos``) against the same serving path — stream
 perturbation operators plus kill/restore and checkpoint-tampering
 faults — and exits non-zero if any invariant of the oracle is violated.
+
+Both serving subcommands take ``--obs DIR`` to capture the run's full
+observability record (journal, trace, audit trail, Prometheus metrics —
+see ``docs/OBSERVABILITY.md``); ``cordial-repro obs-report DIR``
+summarises such a directory after the fact.
 """
 
 from __future__ import annotations
@@ -119,17 +124,24 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
         scale=args.scale, seed=args.seed, model_name=args.model,
         max_skew=args.max_skew, shuffle=args.shuffle,
         shuffle_seed=args.shuffle_seed, jobs=args.jobs,
-        checkpoint_path=args.checkpoint)
+        checkpoint_path=args.checkpoint, obs_dir=args.obs,
+        audit_attributions=args.audit_attributions)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     summary = report["summary"]
+    timing = report["timing"]
     print(f"served {summary['events_ingested']:,} events: "
           f"{summary['triggers_fired']} triggers, "
           f"{summary['repredictions']} repredictions, "
           f"{summary['decisions_total']} decisions, "
           f"ICR {summary['icr']:.2%} "
           f"(dead-lettered: {summary['events_dead_lettered'] or 0})")
+    print(f"  wall {timing['wall_seconds']:.2f}s, "
+          f"cpu {timing['cpu_seconds']:.2f}s, "
+          f"{timing['events_per_second']:,.0f} events/s")
+    if args.obs is not None:
+        print(f"observability artifacts written to {args.obs}")
     print(f"metrics report written to {args.output}")
     return 0
 
@@ -147,7 +159,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     report = run_chaos_campaign(
         scale=args.scale, seed=args.seed, model_name=args.model,
         plan=plan, runs=args.runs, campaign_seed=args.campaign_seed,
-        jobs=args.jobs, max_events=args.max_events)
+        jobs=args.jobs, max_events=args.max_events, obs_dir=args.obs)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -158,6 +170,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
           f"{plan.kills_per_run} kills/run)")
     print(f"  clean ICR {report['clean']['summary']['icr']:.2%}, "
           f"campaign digest {report['campaign_digest'][:16]}...")
+    if report["dead_letters_total"]:
+        rendered = ", ".join(f"{k}={v}" for k, v in
+                             sorted(report["dead_letters_total"].items()))
+        print(f"  dead letters across runs: {rendered}")
     if report["ok"]:
         print("  all invariants held")
     else:
@@ -167,8 +183,94 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             for violation in run["violations"]:
                 print(f"    run {run['run']}: "
                       f"[{violation['invariant']}] {violation['detail']}")
+    if args.obs is not None:
+        print(f"observability artifacts written to {args.obs}")
     print(f"chaos report written to {args.output}")
     return 0 if report["ok"] else 1
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    """Summarise the artifacts of an ``--obs`` output directory."""
+    import os
+
+    from repro.obs import (AUDIT_FILE, JOURNAL_FILE, SUMMARY_FILE,
+                           TRACE_FILE, AuditLog, read_journal)
+
+    directory = args.dir
+    out = {}
+
+    journal_path = os.path.join(directory, JOURNAL_FILE)
+    if os.path.exists(journal_path):
+        header, events = read_journal(journal_path)
+        provenance = header.get("provenance", {})
+        counts = {}
+        for event in events:
+            counts[event["type"]] = counts.get(event["type"], 0) + 1
+        out["journal"] = {
+            "events": len(events),
+            "counts_by_type": {k: counts[k] for k in sorted(counts)},
+            "git_sha": provenance.get("git_sha"),
+            "config_digest": provenance.get("config_digest"),
+            "seeds": provenance.get("seeds", {}),
+        }
+
+    audit_path = os.path.join(directory, AUDIT_FILE)
+    if os.path.exists(audit_path):
+        audit = AuditLog.read_jsonl(audit_path)
+        out["audit"] = audit.summary()
+        if args.bank is not None and args.row is not None:
+            bank_key = tuple(int(b) for b in args.bank.split(","))
+            decisions = audit.explain(bank_key, args.row)
+            out["explain"] = {
+                "bank_key": list(bank_key), "row": args.row,
+                "decisions": decisions}
+
+    summary_path = os.path.join(directory, SUMMARY_FILE)
+    if os.path.exists(summary_path):
+        with open(summary_path, "r", encoding="utf-8") as handle:
+            out["run_summary"] = json.load(handle)
+
+    trace_path = os.path.join(directory, TRACE_FILE)
+    if os.path.exists(trace_path):
+        with open(trace_path, "r", encoding="utf-8") as handle:
+            out["trace_events"] = len(json.load(handle)["traceEvents"])
+
+    if not out:
+        print(f"no observability artifacts found under {directory}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        json.dump(out, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+
+    if "journal" in out:
+        journal = out["journal"]
+        print(f"journal: {journal['events']} events")
+        for kind, count in journal["counts_by_type"].items():
+            print(f"  {kind}: {count}")
+        print(f"  provenance: git {journal['git_sha'] or 'unknown'}, "
+              f"config digest {(journal['config_digest'] or '')[:16]}, "
+              f"seeds {journal['seeds']}")
+    if "audit" in out:
+        audit_summary = out["audit"]
+        print(f"audit: {audit_summary['records']} decisions "
+              f"(by kind: {audit_summary['by_kind']}, "
+              f"by action: {audit_summary['by_action']})")
+    if "trace_events" in out:
+        print(f"trace: {out['trace_events']} spans")
+    if "explain" in out:
+        explained = out["explain"]
+        print(f"decisions touching bank {explained['bank_key']} "
+              f"row {explained['row']}: {len(explained['decisions'])}")
+        for decision in explained["decisions"]:
+            rows = decision["rows_requested"]
+            print(f"  [{decision['index']}] t={decision['timestamp']:.0f} "
+                  f"{decision['kind']}/{decision['action']} "
+                  f"pattern={decision['pattern']} "
+                  f"requested {len(rows)} rows, "
+                  f"newly spared {decision['newly_spared']}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -214,6 +316,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1)
     p.add_argument("--output", type=str, default="serve_metrics.json",
                    help="where to write the metrics JSON report")
+    p.add_argument("--obs", type=str, default=None, metavar="DIR",
+                   help="write observability artifacts (run journal, "
+                        "trace, audit trail, Prometheus metrics) into "
+                        "this directory")
+    p.add_argument("--audit-attributions", action="store_true",
+                   dest="audit_attributions",
+                   help="record per-feature attributions for every "
+                        "flagged block in the audit trail (slow)")
     p.set_defaults(func=cmd_serve_replay)
 
     c = sub.add_parser(
@@ -245,7 +355,26 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--jobs", type=int, default=1)
     c.add_argument("--output", type=str, default="chaos_report.json",
                    help="where to write the campaign JSON report")
+    c.add_argument("--obs", type=str, default=None, metavar="DIR",
+                   help="observe the clean baseline serve and write its "
+                        "journal/trace/audit artifacts into this "
+                        "directory (the campaign report is unchanged)")
     c.set_defaults(func=cmd_chaos)
+
+    o = sub.add_parser(
+        "obs-report",
+        help="summarise the artifacts of an --obs output directory "
+             "(journal counts, provenance, audit roll-up; optionally "
+             "explain one bank/row)")
+    o.add_argument("dir", help="an --obs output directory")
+    o.add_argument("--bank", type=str, default=None,
+                   help="comma-separated bank key to explain "
+                        "(e.g. 0,0,1,0,2,0,3,1)")
+    o.add_argument("--row", type=int, default=None,
+                   help="row to explain (with --bank)")
+    o.add_argument("--json", action="store_true",
+                   help="emit the summary as JSON instead of text")
+    o.set_defaults(func=cmd_obs_report)
     return parser
 
 

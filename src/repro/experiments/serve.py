@@ -12,6 +12,7 @@ smoke-checked in CI without a separate ground-truth harness.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,7 +21,10 @@ from repro.core.online import CordialService, Decision
 from repro.core.pipeline import Cordial
 from repro.datasets import FleetGenConfig, generate_fleet_dataset
 from repro.ml.selection import train_test_split_groups
+from repro.obs import Observability, build_provenance
+from repro.obs.tracer import resolve_clock
 from repro.telemetry.events import ErrorRecord
+from repro.telemetry.metrics import MetricsRegistry
 
 #: Split seed matching the test-suite convention (`tests/conftest.py`).
 SPLIT_SEED = 7
@@ -68,16 +72,31 @@ def serve_stream(service: CordialService,
         if checkpoint_path is not None and checkpoint_at == index + 1:
             from repro.core.persistence import (load_service_checkpoint,
                                                 save_service_checkpoint)
+            # The live obs bundle survives the restart: the journal file
+            # keeps appending and the audit trail resumes from the
+            # checkpointed records (the ``obs`` slice of the document).
+            obs = service.obs
+            if obs is not None:
+                obs.journal.checkpoint("save", at_event=index + 1)
             save_service_checkpoint(service, checkpoint_path)
-            service = load_service_checkpoint(checkpoint_path)
+            service = load_service_checkpoint(checkpoint_path, obs=obs)
+            if obs is not None:
+                obs.journal.checkpoint("restore", at_event=index + 1)
     decisions.extend(service.flush())
     return service, decisions
 
 
 def build_report(service: CordialService, decisions: Sequence[Decision],
                  uer_rows_by_bank: Dict[tuple, Sequence[Tuple[float, int]]],
-                 config: Optional[dict] = None) -> dict:
-    """Assemble the serve-replay metrics report (JSON-ready)."""
+                 config: Optional[dict] = None,
+                 timing: Optional[dict] = None) -> dict:
+    """Assemble the serve-replay metrics report (JSON-ready).
+
+    Args:
+        timing: optional wall/CPU duration block (see
+            :class:`TimingProbe`), included verbatim under
+            ``"timing"``.
+    """
     icr = service.replay.result(uer_rows_by_bank)
     actions = dict(service.stats.decisions_by_action)
     trigger_decisions = [d for d in decisions if not d.is_reprediction]
@@ -107,7 +126,37 @@ def build_report(service: CordialService, decisions: Sequence[Decision],
         },
         "metrics": service.metrics.as_dict(),
     }
+    if timing is not None:
+        report["timing"] = dict(timing)
     return report
+
+
+class TimingProbe:
+    """Wall/CPU stopwatch for one serving stretch.
+
+    Wall time reads the *trace clock* — the tracer's clock when an
+    :class:`~repro.obs.Observability` bundle is given, otherwise
+    :func:`repro.obs.tracer.resolve_clock` (which honours
+    ``REPRO_FAKE_CLOCK``, making the wall figures reproducible in
+    tests); CPU time always reads :func:`time.process_time`.
+    """
+
+    def __init__(self, obs: Optional[Observability] = None) -> None:
+        self._clock = (obs.tracer.clock if obs is not None
+                       else resolve_clock(None))
+        self._wall_start = self._clock()
+        self._cpu_start = time.process_time()
+
+    def finish(self, events: int) -> dict:
+        """The ``timing`` report block after ``events`` stream events."""
+        wall = self._clock() - self._wall_start
+        cpu = time.process_time() - self._cpu_start
+        return {
+            "wall_seconds": wall,
+            "cpu_seconds": cpu,
+            "events": int(events),
+            "events_per_second": events / wall if wall > 0 else 0.0,
+        }
 
 
 def prepare_serving_run(scale: float = 0.12, seed: int = 42,
@@ -142,22 +191,27 @@ def run_serve_replay(scale: float = 0.12, seed: int = 42,
                      shuffle: bool = False, shuffle_seed: int = 0,
                      spares_per_bank: int = 64, jobs: int = 1,
                      checkpoint_path: Optional[str] = None,
-                     checkpoint_at: Optional[int] = None) -> dict:
-    """Generate, train, stream, and report — the full serve-replay run."""
+                     checkpoint_at: Optional[int] = None,
+                     obs_dir: Optional[str] = None,
+                     audit_attributions: bool = False) -> dict:
+    """Generate, train, stream, and report — the full serve-replay run.
+
+    Args:
+        obs_dir: when given, attach a full observability bundle and
+            write its artifacts (journal, trace, audit trail, metrics,
+            Prometheus exposition, summary) into this directory; the
+            decisions and ICR stay byte-identical to an unobserved run.
+        audit_attributions: record per-feature attributions for every
+            flagged block in the audit trail (slow; implies ``obs_dir``).
+    """
     cordial, stream, truth, meta = prepare_serving_run(
         scale=scale, seed=seed, model_name=model_name, jobs=jobs)
     if shuffle:
         stream = bounded_shuffle(stream, max_skew, seed=shuffle_seed)
-
-    service = CordialService(cordial, spares_per_bank=spares_per_bank,
-                             max_skew=max_skew)
     if checkpoint_path is not None and checkpoint_at is None:
         checkpoint_at = len(stream) // 2
-    service, decisions = serve_stream(service, stream,
-                                      checkpoint_path=checkpoint_path,
-                                      checkpoint_at=checkpoint_at)
 
-    return build_report(service, decisions, truth, config={
+    config = {
         "scale": scale,
         "seed": seed,
         "model_name": model_name,
@@ -168,4 +222,29 @@ def run_serve_replay(scale: float = 0.12, seed: int = 42,
         "test_banks": meta["test_banks"],
         "stream_events": len(stream),
         "checkpointed_at": checkpoint_at if checkpoint_path else None,
-    })
+    }
+    metrics = MetricsRegistry()
+    obs = None
+    if obs_dir is not None:
+        obs = Observability.create(
+            obs_dir, metrics=metrics,
+            provenance=build_provenance(
+                seeds={"generator": seed, "shuffle": shuffle_seed,
+                       "split": SPLIT_SEED},
+                config=config),
+            attributions=audit_attributions)
+    service = CordialService(cordial, spares_per_bank=spares_per_bank,
+                             max_skew=max_skew, metrics=metrics, obs=obs)
+
+    probe = TimingProbe(obs)
+    service, decisions = serve_stream(service, stream,
+                                      checkpoint_path=checkpoint_path,
+                                      checkpoint_at=checkpoint_at)
+    timing = probe.finish(len(stream))
+
+    report = build_report(service, decisions, truth, config=config,
+                          timing=timing)
+    if obs is not None:
+        artifacts = obs.export(obs_dir, metrics=service.metrics)
+        report["obs"] = {"artifacts": artifacts, "summary": obs.summary()}
+    return report

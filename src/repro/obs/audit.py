@@ -1,0 +1,232 @@
+"""Per-decision audit trail: the forensic record behind every isolation.
+
+"Why did this bank get spared at time t?" is the question the AIOps
+deployment study (Wu et al.) singles out as the gap between offline
+metrics and on-call trust.  :class:`AuditLog` answers it by capturing,
+for every isolation decision the service emits, exactly what the model
+saw and chose:
+
+* the per-block **feature matrix** the predictor scored (row-sparing
+  decisions), and the feature-name schema to read it by;
+* the per-block **probabilities** and the **threshold** actually applied;
+* the **trigger kind** (initial trigger vs re-prediction) and classified
+  pattern;
+* the **spare-budget state** before and after the request (requested vs
+  newly spared vs truncated);
+* optionally, per-feature **attributions** for each flagged block,
+  reused from :class:`repro.core.explain.BlockExplainer` over the very
+  feature rows the decision scored.
+
+``AuditLog.explain(bank_key, row)`` then answers the operator question
+directly: every decision that requested isolation of that row (or
+retired the whole bank).  The log is JSON-ready throughout, rides in the
+version-3 service checkpoint, and is exported as JSONL next to the run
+journal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+AUDIT_FORMAT = "cordial-audit-log"
+AUDIT_VERSION = 1
+
+
+class AuditLog:
+    """Append-only record of every isolation decision, queryable by row.
+
+    Args:
+        feature_names: the cross-row feature schema (stored once; every
+            record's ``features`` matrix is read against it).
+        attributions: when True, row-sparing records carry per-feature
+            attributions for each flagged block (computed by the caller
+            through :meth:`attribute_flagged`; expensive, off by
+            default).
+        top_k: attributions kept per flagged block.
+    """
+
+    def __init__(self, feature_names: Sequence[str] = (),
+                 attributions: bool = False, top_k: int = 5) -> None:
+        self.feature_names: List[str] = [str(n) for n in feature_names]
+        self.attributions = attributions
+        self.top_k = top_k
+        self.records: List[dict] = []
+        # row -> record indices, built incrementally so explain() is O(1)
+        # in the run length.  Keys are (bank_key, row) for row sparing and
+        # (bank_key,) for bank sparing.
+        self._by_row: Dict[tuple, List[int]] = {}
+
+    # -- recording -----------------------------------------------------------
+    def record_decision(self, *, kind: str, timestamp: float,
+                        bank_key: tuple, action: str, pattern: Optional[str],
+                        threshold: Optional[float] = None,
+                        probabilities: Optional[np.ndarray] = None,
+                        flagged: Optional[np.ndarray] = None,
+                        block_ranges: Optional[Sequence[Tuple[int, int]]] = None,
+                        features: Optional[np.ndarray] = None,
+                        rows_requested: Sequence[int] = (),
+                        newly_spared: int = 0,
+                        budget_before: Optional[int] = None,
+                        budget_after: Optional[int] = None,
+                        attributions: Optional[dict] = None) -> dict:
+        """Append one decision record; returns it (JSON-ready)."""
+        record = {
+            "index": len(self.records),
+            "kind": kind,
+            "timestamp": float(timestamp),
+            "bank_key": [int(b) for b in bank_key],
+            "action": action,
+            "pattern": pattern,
+            "threshold": None if threshold is None else float(threshold),
+            "probabilities": (None if probabilities is None
+                              else [float(p) for p in probabilities]),
+            "flagged_blocks": (None if flagged is None
+                               else [int(i) for i, f in enumerate(flagged)
+                                     if f]),
+            "block_ranges": (None if block_ranges is None
+                             else [[int(s), int(e)]
+                                   for s, e in block_ranges]),
+            "features": (None if features is None
+                         else [[float(v) for v in row] for row in features]),
+            "rows_requested": [int(r) for r in rows_requested],
+            "newly_spared": int(newly_spared),
+            "budget_before": budget_before,
+            "budget_after": budget_after,
+            "attributions": attributions,
+        }
+        index = len(self.records)
+        self.records.append(record)
+        bank = tuple(record["bank_key"])
+        if action == "bank-spare":
+            self._by_row.setdefault((bank,), []).append(index)
+        for row in record["rows_requested"]:
+            self._by_row.setdefault((bank, row), []).append(index)
+        return record
+
+    def attribute_flagged(self, explainer, features: np.ndarray,
+                          flagged: np.ndarray) -> dict:
+        """Per-feature attributions for each flagged block.
+
+        ``explainer`` is a fitted
+        :class:`~repro.core.explain.BlockExplainer`; the attributions
+        come from :meth:`~repro.core.explain.BlockExplainer.explain_sample`
+        over the decision's own feature rows, so they explain the scores
+        as computed, not a re-extraction.
+        """
+        out = {}
+        for block, keep in enumerate(flagged):
+            if not keep:
+                continue
+            explanation = explainer.explain_sample(features[block], block)
+            out[str(block)] = [
+                {"name": c.name, "value": c.value,
+                 "baseline": c.baseline_value, "delta": c.delta}
+                for c in explanation.top(self.top_k)]
+        return out
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def explain(self, bank_key: tuple, row: int) -> List[dict]:
+        """Every decision that isolated ``row`` of ``bank_key``.
+
+        Matches row-sparing decisions whose request covered the row and
+        any bank-sparing decision that retired the whole bank, in
+        decision order.  An empty list means the run never acted on that
+        row — itself an answer.
+        """
+        bank = tuple(int(b) for b in bank_key)
+        indices = sorted(set(self._by_row.get((bank,), [])
+                             + self._by_row.get((bank, int(row)), [])))
+        return [self.records[i] for i in indices]
+
+    def decisions_for_bank(self, bank_key: tuple) -> List[dict]:
+        """Every decision recorded against ``bank_key``, in order."""
+        bank = tuple(int(b) for b in bank_key)
+        return [r for r in self.records
+                if tuple(r["bank_key"]) == bank]
+
+    def summary(self) -> dict:
+        """Per-kind and per-action counts (JSON-ready)."""
+        kinds: Dict[str, int] = {}
+        actions: Dict[str, int] = {}
+        for record in self.records:
+            kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+            actions[record["action"]] = actions.get(record["action"], 0) + 1
+        return {"records": len(self.records),
+                "by_kind": {k: kinds[k] for k in sorted(kinds)},
+                "by_action": {k: actions[k] for k in sorted(actions)}}
+
+    # -- persistence ---------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete JSON-ready state (rides in the v3 service checkpoint)."""
+        return {"feature_names": list(self.feature_names),
+                "attributions": self.attributions,
+                "top_k": self.top_k,
+                "records": list(self.records)}
+
+    def load_state_dict(self, state: dict) -> "AuditLog":
+        """Restore state captured by :meth:`state_dict` (replaces all)."""
+        feature_names = [str(n) for n in state["feature_names"]]
+        records = [dict(r) for r in state["records"]]
+        by_row: Dict[tuple, List[int]] = {}
+        for index, record in enumerate(records):
+            bank = tuple(int(b) for b in record["bank_key"])
+            if record["action"] == "bank-spare":
+                by_row.setdefault((bank,), []).append(index)
+            for row in record["rows_requested"]:
+                by_row.setdefault((bank, int(row)), []).append(index)
+        self.feature_names = feature_names
+        self.attributions = bool(state.get("attributions", False))
+        self.top_k = int(state.get("top_k", 5))
+        self.records = records
+        self._by_row = by_row
+        return self
+
+    def write_jsonl(self, path: Union[str, Path]) -> int:
+        """Export header + records as JSONL; returns records written."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"format": AUDIT_FORMAT, "version": AUDIT_VERSION,
+                       "feature_names": list(self.feature_names)},
+                      handle, sort_keys=True)
+            handle.write("\n")
+            for record in self.records:
+                json.dump(record, handle, sort_keys=True)
+                handle.write("\n")
+        return len(self.records)
+
+    @classmethod
+    def read_jsonl(cls, path: Union[str, Path]) -> "AuditLog":
+        """Reload an audit log exported by :meth:`write_jsonl`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        if not lines:
+            raise ValueError("empty audit file (missing header)")
+        header = json.loads(lines[0])
+        if header.get("format") != AUDIT_FORMAT:
+            raise ValueError(
+                f"not an audit log: format {header.get('format')!r}")
+        log = cls(feature_names=header.get("feature_names", ()))
+        for line in lines[1:]:
+            record = json.loads(line)
+            log.record_decision(
+                kind=record["kind"], timestamp=record["timestamp"],
+                bank_key=tuple(record["bank_key"]), action=record["action"],
+                pattern=record["pattern"], threshold=record["threshold"],
+                probabilities=record["probabilities"],
+                flagged=None, block_ranges=record["block_ranges"],
+                features=record["features"],
+                rows_requested=record["rows_requested"],
+                newly_spared=record["newly_spared"],
+                budget_before=record["budget_before"],
+                budget_after=record["budget_after"],
+                attributions=record["attributions"])
+            # record_decision re-derives flagged_blocks as None; keep the
+            # original rendering so a read-back log equals its source.
+            log.records[-1]["flagged_blocks"] = record["flagged_blocks"]
+        return log

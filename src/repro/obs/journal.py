@@ -1,0 +1,235 @@
+"""Append-only structured run journal (JSONL) with a provenance header.
+
+Both deployment studies the serving layer leans on (Yu et al., Wu et
+al.) observe that an offline AUC means nothing on call without the run's
+*paper trail*: what code, what seeds, what configuration produced these
+decisions, and what did the pipeline actually see?  :class:`RunJournal`
+is that trail — line one is a provenance header (git SHA, seed tree,
+config digest via :func:`repro.datasets.digest.config_digest`), every
+following line one typed event record:
+
+========================  =====================================================
+``ingest`` / ``release``  sampled stream progress markers (every
+                          ``sample_every``-th event; counts stay exact)
+``quarantine``            one dead-lettered input, with its counted reason
+``trigger``               a bank armed its k-th-distinct-UER trigger
+``reprediction``          a post-trigger re-run fired
+``isolation``             rows or a bank were spared (the decision record)
+``checkpoint``            a service snapshot was saved / restored
+========================  =====================================================
+
+Events carry a monotonically increasing ``seq`` and a clock reading from
+the *trace clock* (see :mod:`repro.obs.tracer`), so under
+``REPRO_FAKE_CLOCK`` the whole journal is byte-stable across reruns.
+The journal mirrors everything into a bounded in-memory window and, when
+given a path, appends each line to disk immediately — a crash loses at
+most the line being written, never the file so far.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+from collections import deque
+from pathlib import Path
+from typing import (Callable, Deque, Dict, List, Mapping, Optional, Tuple,
+                    Union)
+
+from repro.obs.tracer import resolve_clock
+
+JOURNAL_FORMAT = "cordial-run-journal"
+JOURNAL_VERSION = 1
+
+#: Every event type the journal emits (the schema contract of
+#: ``docs/OBSERVABILITY.md``).
+EVENT_TYPES = ("ingest", "release", "quarantine", "trigger",
+               "reprediction", "isolation", "checkpoint", "run", "campaign")
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """Best-effort HEAD SHA of the working tree (None outside a repo)."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"], cwd=cwd,
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and len(sha) == 40 else None
+
+
+def build_provenance(seeds: Optional[Mapping] = None,
+                     config: Optional[Mapping] = None,
+                     cwd: Optional[str] = None) -> dict:
+    """The provenance header payload: git SHA + seed tree + config digest.
+
+    ``config`` is both embedded verbatim and digested through
+    :func:`repro.datasets.digest.config_digest`, so two journals describe
+    the same run iff their digests match — no field-by-field diffing.
+    """
+    from repro.datasets.digest import config_digest
+
+    config = dict(config or {})
+    return {
+        "git_sha": git_sha(cwd),
+        "seeds": {str(k): seeds[k] for k in sorted(seeds)} if seeds else {},
+        "config": config,
+        "config_digest": config_digest(config),
+    }
+
+
+class RunJournal:
+    """Typed, append-only JSONL event journal for one serving run.
+
+    Args:
+        path: file to append to (opened lazily, line-buffered); ``None``
+            keeps the journal in memory only.
+        clock: event clock (defaults to :func:`resolve_clock`, which
+            honours ``REPRO_FAKE_CLOCK``).
+        provenance: header payload (see :func:`build_provenance`);
+            written as line one before any event.
+        sample_every: journal one ``ingest``/``release`` marker per this
+            many occurrences (0 disables the markers entirely).  Counts
+            in :meth:`summary` are always exact regardless.
+        max_events: in-memory retention window (the file keeps
+            everything).
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None,
+                 clock: Optional[Callable[[], float]] = None,
+                 provenance: Optional[Mapping] = None,
+                 sample_every: int = 1_000,
+                 max_events: int = 100_000) -> None:
+        if sample_every < 0:
+            raise ValueError("sample_every must be >= 0")
+        self.path = None if path is None else Path(path)
+        self.clock = resolve_clock(clock)
+        self.sample_every = sample_every
+        self.provenance = dict(provenance or {})
+        self.seq = 0
+        self.counts: Dict[str, int] = {}
+        self._events: Deque[dict] = deque(maxlen=max_events)
+        self._handle: Optional[io.TextIOBase] = None
+        self._ingest_seen = 0
+        self._release_seen = 0
+        self._header_written = False
+
+    # -- plumbing ------------------------------------------------------------
+    def _write_line(self, obj: dict) -> None:
+        if self.path is None:
+            return
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        json.dump(obj, self._handle, sort_keys=True)
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def _ensure_header(self) -> None:
+        if self._header_written:
+            return
+        self._header_written = True
+        header = {"format": JOURNAL_FORMAT, "version": JOURNAL_VERSION,
+                  "provenance": self.provenance}
+        self._write_line(header)
+
+    def event(self, event_type: str, **fields) -> dict:
+        """Append one typed event; returns the record (JSON-ready)."""
+        self._ensure_header()
+        self.seq += 1
+        self.counts[event_type] = self.counts.get(event_type, 0) + 1
+        record = {"seq": self.seq, "t": self.clock(), "type": event_type}
+        record.update(fields)
+        self._events.append(record)
+        self._write_line(record)
+        return record
+
+    def close(self) -> None:
+        """Flush and close the backing file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- typed emitters ------------------------------------------------------
+    def ingest(self, timestamp: float, sequence: int, pending: int) -> None:
+        """Sampled stream-progress marker for one ingested event."""
+        self._ingest_seen += 1
+        if self.sample_every and self._ingest_seen % self.sample_every == 0:
+            self.event("ingest", n=self._ingest_seen,
+                       event_timestamp=timestamp, sequence=sequence,
+                       pending=pending)
+
+    def release(self, timestamp: float, sequence: int) -> None:
+        """Sampled marker for one event released from the reorder buffer."""
+        self._release_seen += 1
+        if self.sample_every and self._release_seen % self.sample_every == 0:
+            self.event("release", n=self._release_seen,
+                       event_timestamp=timestamp, sequence=sequence)
+
+    def quarantine(self, reason: str, detail: str,
+                   timestamp: Optional[float] = None) -> None:
+        """One dead-lettered input (always journalled — never sampled)."""
+        self.event("quarantine", reason=reason, detail=detail,
+                   event_timestamp=timestamp)
+
+    def trigger(self, bank_key: tuple, timestamp: float, pattern: str,
+                uer_rows: Tuple[int, ...]) -> None:
+        """A bank armed its trigger."""
+        self.event("trigger", bank_key=[int(b) for b in bank_key],
+                   event_timestamp=timestamp, pattern=pattern,
+                   uer_rows=[int(r) for r in uer_rows])
+
+    def reprediction(self, bank_key: tuple, timestamp: float,
+                     row: int) -> None:
+        """A post-trigger re-prediction fired."""
+        self.event("reprediction", bank_key=[int(b) for b in bank_key],
+                   event_timestamp=timestamp, row=int(row))
+
+    def isolation(self, bank_key: tuple, timestamp: float, action: str,
+                  rows: Tuple[int, ...], newly_spared: int,
+                  budget_after: Optional[int]) -> None:
+        """Rows or a bank were spared."""
+        self.event("isolation", bank_key=[int(b) for b in bank_key],
+                   event_timestamp=timestamp, action=action,
+                   rows=[int(r) for r in rows],
+                   newly_spared=int(newly_spared),
+                   budget_after=budget_after)
+
+    def checkpoint(self, kind: str, at_event: int) -> None:
+        """A service snapshot was saved (``kind="save"``) or restored."""
+        self.event("checkpoint", kind=kind, at_event=int(at_event))
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def events(self) -> List[dict]:
+        """The retained in-memory event window, oldest first."""
+        return list(self._events)
+
+    def summary(self) -> dict:
+        """Exact per-type counts plus stream totals (JSON-ready)."""
+        return {
+            "events_journalled": self.seq,
+            "counts_by_type": {k: self.counts[k]
+                               for k in sorted(self.counts)},
+            "ingests_seen": self._ingest_seen,
+            "releases_seen": self._release_seen,
+        }
+
+
+def read_journal(path: Union[str, Path]) -> Tuple[dict, List[dict]]:
+    """Parse a journal file back into ``(header, events)``.
+
+    Raises ``ValueError`` on a missing or foreign header — a journal
+    without provenance is not a journal.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise ValueError("empty journal file (missing header)")
+    header = json.loads(lines[0])
+    if header.get("format") != JOURNAL_FORMAT:
+        raise ValueError(
+            f"not a run journal: format {header.get('format')!r}")
+    if header.get("version") != JOURNAL_VERSION:
+        raise ValueError(
+            f"unsupported journal version: {header.get('version')!r}")
+    return header, [json.loads(line) for line in lines[1:]]

@@ -1,0 +1,187 @@
+"""Prometheus text exposition for the dependency-free metrics registry.
+
+The registry (:mod:`repro.telemetry.metrics`) deliberately has no
+prometheus-client dependency; this module renders its export document in
+the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ version
+``0.0.4`` instead, so a node exporter's textfile collector — or a plain
+``curl`` — can scrape a Cordial serving run with standard tooling:
+
+* metric names are sanitised to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (dots become
+  underscores);
+* label values are escaped per the spec (backslash, double quote,
+  newline);
+* histograms render cumulative ``_bucket{le="..."}`` series straight from
+  the registry's version-2 export (which carries cumulative counts — see
+  ``MetricsRegistry.as_dict``), plus ``_sum`` and ``_count``;
+* non-finite values render as ``NaN`` / ``+Inf`` / ``-Inf`` exactly as
+  the format requires.
+
+:func:`snapshot_delta` diffs two export documents, which is how the
+serve-replay report and the benchmarks attribute counter movement to a
+specific stretch of stream.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.telemetry.metrics import MetricsRegistry
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """A legal Prometheus metric name (dots and hyphens to underscores)."""
+    cleaned = _NAME_OK.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (str(value).replace("\\", "\\\\").replace("\"", "\\\"")
+            .replace("\n", "\\n"))
+
+
+def format_value(value: float) -> str:
+    """Render a sample value (non-finite values per the format spec)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def parse_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a registry series key ``name{k=v,...}`` into (name, labels)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: Dict[str, str] = {}
+    for pair in rest.rstrip("}").split(","):
+        if not pair:
+            continue
+        label, _, value = pair.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def _render_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{sanitize_name(k)}="{escape_label_value(v)}"'
+             for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(source: Union[MetricsRegistry, Mapping],
+                      namespace: str = "cordial") -> str:
+    """The full registry as Prometheus text exposition.
+
+    Args:
+        source: a live :class:`MetricsRegistry` or its ``as_dict``
+            export document (both metric-export versions accepted;
+            cumulative bucket counts are derived when a version-1
+            document lacks them).
+        namespace: prefix joined with ``_`` onto every metric name.
+    """
+    document = (source.as_dict() if isinstance(source, MetricsRegistry)
+                else source)
+    prefix = sanitize_name(namespace) + "_" if namespace else ""
+    lines: List[str] = []
+
+    families: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for key in sorted(document.get("counters", {})):
+        name, labels = parse_series_key(key)
+        families.setdefault(name, []).append(
+            (labels, document["counters"][key]))
+    for name in sorted(families):
+        metric = prefix + sanitize_name(name)
+        lines.append(f"# HELP {metric} Counter {name} from the Cordial "
+                     "metrics registry.")
+        lines.append(f"# TYPE {metric} counter")
+        for labels, value in families[name]:
+            lines.append(
+                f"{metric}{_render_labels(labels)} {format_value(value)}")
+
+    gauge_families: Dict[str, List[Tuple[Dict[str, str], Mapping]]] = {}
+    for key in sorted(document.get("gauges", {})):
+        name, labels = parse_series_key(key)
+        gauge_families.setdefault(name, []).append(
+            (labels, document["gauges"][key]))
+    for name in sorted(gauge_families):
+        for suffix, field in (("", "value"), ("_max", "max")):
+            metric = prefix + sanitize_name(name) + suffix
+            what = "high-water mark of gauge" if suffix else "Gauge"
+            lines.append(f"# HELP {metric} {what} {name} from the Cordial "
+                         "metrics registry.")
+            lines.append(f"# TYPE {metric} gauge")
+            for labels, state in gauge_families[name]:
+                lines.append(f"{metric}{_render_labels(labels)} "
+                             f"{format_value(state[field])}")
+
+    histogram_families: Dict[str, List[Tuple[Dict[str, str], Mapping]]] = {}
+    for key in sorted(document.get("histograms", {})):
+        name, labels = parse_series_key(key)
+        histogram_families.setdefault(name, []).append(
+            (labels, document["histograms"][key]))
+    for name in sorted(histogram_families):
+        metric = prefix + sanitize_name(name)
+        lines.append(f"# HELP {metric} Histogram {name} from the Cordial "
+                     "metrics registry.")
+        lines.append(f"# TYPE {metric} histogram")
+        for labels, state in histogram_families[name]:
+            cumulative = state.get("cumulative")
+            if cumulative is None:  # version-1 document: derive here
+                cumulative, running = [], 0
+                for count in state["counts"]:
+                    running += count
+                    cumulative.append(running)
+            bounds = [format_value(b) for b in state["buckets"]] + ["+Inf"]
+            for bound, count in zip(bounds, cumulative):
+                extra = f'le="{bound}"'
+                lines.append(f"{metric}_bucket{_render_labels(labels, extra)}"
+                             f" {format_value(count)}")
+            lines.append(f"{metric}_sum{_render_labels(labels)} "
+                         f"{format_value(state['sum'])}")
+            lines.append(f"{metric}_count{_render_labels(labels)} "
+                         f"{format_value(state['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_delta(before: Mapping, after: Mapping) -> dict:
+    """Diff two ``MetricsRegistry.as_dict`` documents.
+
+    Returns, per section: counter deltas (``after - before``; series
+    absent from ``before`` count from zero), gauge final values, and
+    histogram ``count``/``sum`` deltas.  Series untouched between the
+    snapshots are omitted, so the delta of a quiet stretch is empty —
+    which makes it the right tool for attributing metric movement to one
+    phase of a run.
+    """
+    out = {"counters": {}, "gauges": {}, "histograms": {}}
+    before_counters = before.get("counters", {})
+    for key, value in after.get("counters", {}).items():
+        delta = value - before_counters.get(key, 0.0)
+        if delta:
+            out["counters"][key] = delta
+    before_gauges = before.get("gauges", {})
+    for key, state in after.get("gauges", {}).items():
+        if before_gauges.get(key) != state:
+            out["gauges"][key] = dict(state)
+    before_histograms = before.get("histograms", {})
+    for key, state in after.get("histograms", {}).items():
+        prior = before_histograms.get(key, {"count": 0, "sum": 0.0})
+        count_delta = state["count"] - prior["count"]
+        if count_delta:
+            out["histograms"][key] = {
+                "count": count_delta,
+                "sum": state["sum"] - prior["sum"]}
+    return out

@@ -121,11 +121,18 @@ class BMCCollector:
         max_dead_letters: how many quarantined inputs to *keep* (counts
             are always exact; the list is a bounded evidence window).
         metrics: optional shared :class:`MetricsRegistry`.
+        obs: optional :class:`~repro.obs.Observability` bundle; when
+            attached, every quarantine lands in the run journal (with
+            its counted reason) and the journal's sampled
+            ingest/release stream-progress markers are fed.  Strictly
+            passive — release order, triggers and dead-letter ledgers
+            are identical with or without it.
     """
 
     def __init__(self, trigger_uer_rows: int = 3, max_skew: float = 0.0,
                  max_pending: int = 100_000, max_dead_letters: int = 1_000,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 obs=None) -> None:
         if trigger_uer_rows < 1:
             raise ValueError("trigger_uer_rows must be >= 1")
         if max_skew < 0:
@@ -137,6 +144,7 @@ class BMCCollector:
         self.max_pending = max_pending
         self.max_dead_letters = max_dead_letters
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.obs = obs
         self._banks: Dict[tuple, _BankBuffer] = {}
         # Reorder buffer: heap of (timestamp, sequence, record).
         self._pending: List[Tuple[float, int, ErrorRecord]] = []
@@ -171,6 +179,12 @@ class BMCCollector:
                 record=record))
         self.metrics.counter("collector.dead_letters",
                              labels={"reason": reason}).inc()
+        if self.obs is not None:
+            self.obs.journal.quarantine(
+                reason, detail,
+                timestamp=(timestamp
+                           if timestamp is not None
+                           and math.isfinite(timestamp) else None))
 
     def ingest(self, record: ErrorRecord) -> List[ReleasedEvent]:
         """Feed one event; returns the events it released, in order."""
@@ -204,6 +218,9 @@ class BMCCollector:
                        (record.timestamp, record.sequence, record))
         if record.timestamp > self._max_timestamp:
             self._max_timestamp = record.timestamp
+        if self.obs is not None:
+            self.obs.journal.ingest(record.timestamp, record.sequence,
+                                    len(self._pending))
         released = self._drain(self.watermark,
                                inclusive=(self.max_skew == 0))
         while len(self._pending) > self.max_pending:
@@ -234,6 +251,8 @@ class BMCCollector:
     def _apply(self, record: ErrorRecord) -> Optional[BankTrigger]:
         """Apply one released event to bank state; maybe arm a trigger."""
         self.metrics.counter("collector.events_released").inc()
+        if self.obs is not None:
+            self.obs.journal.release(record.timestamp, record.sequence)
         buffer = self._banks.setdefault(record.bank_key, _BankBuffer())
         buffer.events.append(record)
         if record.error_type is ErrorType.UER:

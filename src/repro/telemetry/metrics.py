@@ -33,6 +33,11 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 DEFAULT_LATENCY_BUCKETS = (1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
                            1e-2, 3e-2, 1e-1, 3e-1, 1.0)
 
+#: Export-document version: 2 adds per-histogram cumulative (``le``)
+#: bucket counts.  Version-1 documents (no ``version`` key) restore
+#: unchanged.
+EXPORT_VERSION = 2
+
 
 def _series_key(name: str, labels: Optional[Mapping[str, str]]) -> str:
     """Canonical series name: ``name`` or ``name{k=v,...}`` (sorted keys)."""
@@ -112,6 +117,20 @@ class Histogram:
         """Average observation (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus-style cumulative (``le``) counts per bucket.
+
+        ``cumulative_counts()[i]`` is the number of observations <=
+        ``buckets[i]``; the final entry (the implicit +inf bucket)
+        always equals :attr:`count`.
+        """
+        cumulative: List[int] = []
+        running = 0
+        for count in self.counts:
+            running += count
+            cumulative.append(running)
+        return cumulative
+
 
 class MetricsRegistry:
     """Named metrics, created on first use and shared by name.
@@ -170,12 +189,21 @@ class MetricsRegistry:
     def as_dict(self, include_histograms: bool = True) -> dict:
         """Full registry state with sorted keys (JSON-ready).
 
+        The document carries ``"version": EXPORT_VERSION`` so consumers
+        can tell the formats apart: version 2 adds Prometheus-style
+        cumulative (``le``) bucket counts to every histogram, so the
+        exporter (:mod:`repro.obs.promexport`) reads them instead of
+        re-deriving.  :meth:`restore` accepts both versions — the
+        cumulative counts are redundant with ``counts`` and are
+        recomputed on export, so old checkpoints stay loadable.
+
         Args:
             include_histograms: drop histogram series (typically
                 wall-clock latency, the one nondeterministic part) when
                 False.
         """
         document = {
+            "version": EXPORT_VERSION,
             "counters": {k: self._counters[k].value
                          for k in sorted(self._counters)},
             "gauges": {k: {"value": g.value, "max": g.max_value}
@@ -186,6 +214,7 @@ class MetricsRegistry:
                 k: {
                     "buckets": list(h.buckets),
                     "counts": list(h.counts),
+                    "cumulative": h.cumulative_counts(),
                     "sum": h.sum,
                     "count": h.count,
                 }

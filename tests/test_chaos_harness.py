@@ -319,6 +319,43 @@ class TestCampaignAcceptance:
         text = json.dumps(acceptance)
         assert "tmp" not in text and "ckpt" not in text
 
+    def test_dead_letter_reasons_aggregate_across_runs(self, acceptance):
+        # Regression: the campaign roll-up used to drop the per-reason
+        # dead-letter histogram the run summaries carry, so the report
+        # could not be reconciled against a journal's quarantine ledger.
+        expect = {}
+        for run in acceptance["runs"]:
+            for reason, count in run["summary"]["dead_letters"].items():
+                expect[reason] = expect.get(reason, 0) + count
+        assert acceptance["dead_letters_total"] == expect
+        # The house plan's reorder/corrupt operators guarantee real
+        # quarantines somewhere in 20 runs.
+        assert sum(expect.values()) > 0
+
+    def test_observed_campaign_report_is_unchanged(self, acceptance,
+                                                   cordial, test_stream,
+                                                   truth, plan, tmp_path):
+        # Observability attaches to the clean baseline only and must
+        # leave the byte-stable report untouched.
+        from repro.obs import FakeClock, Observability, SpanTracer
+
+        obs = Observability(tracer=SpanTracer(clock=FakeClock()))
+        observed = run_campaign(cordial, test_stream[:160], truth, plan,
+                                CampaignConfig(runs=20, seed=0),
+                                str(tmp_path),
+                                context={"suite": "acceptance"}, obs=obs)
+        assert json.dumps(observed, sort_keys=True) == \
+               json.dumps(acceptance, sort_keys=True)
+        # The journal witnessed the campaign: one run event per run,
+        # plus the closing roll-up that matches the report.
+        runs = [e for e in obs.journal.events if e["type"] == "run"]
+        assert len(runs) == 20
+        closing = [e for e in obs.journal.events
+                   if e["type"] == "campaign"]
+        assert len(closing) == 1
+        assert closing[0]["dead_letters_total"] == \
+               observed["dead_letters_total"]
+
 
 class TestCorruptStreamServing:
     def test_nan_corruption_is_quarantined_exactly_once(self, cordial):

@@ -135,7 +135,7 @@ class TestCheckpointRestore:
         save_service_checkpoint(service, str(path))
         document = json.loads(path.read_text())
         assert document["format"] == "cordial-service-checkpoint"
-        assert document["version"] == 2
+        assert document["version"] == 3
         assert "pipeline" in document and "state" in document
         assert "feature_state" in document["state"]
 

@@ -248,3 +248,41 @@ class TestExactlyOnceAccounting:
         assert [r.sequence for r, _ in released] == [0, 1, 2]
         assert collector.dead_letter_counts == {"malformed": 1}
         assert collector.pending_count == 0
+
+    def test_journal_quarantines_agree_with_dead_letter_ledger(self):
+        # The obs journal is a second witness of every quarantine; it
+        # must agree with the dead-letter ledger exactly — same total,
+        # same per-reason histogram, nothing double-journalled.
+        import math
+
+        from repro.obs import FakeClock, Observability, SpanTracer
+        from repro.telemetry.collector import BMCCollector
+
+        obs = Observability(tracer=SpanTracer(clock=FakeClock()))
+        collector = BMCCollector(max_skew=5.0, obs=obs)
+        collector.ingest(make_record(seq=0, t=100.0))
+        # Late: far behind the watermark once it advances.
+        collector.ingest(make_record(seq=1, t=200.0))
+        collector.ingest(make_record(seq=2, t=10.0))
+        # Malformed: NaN timestamp and a non-record.
+        collector.ingest(ErrorRecord(timestamp=math.nan, sequence=3,
+                                     address=make_record().address,
+                                     error_type=ErrorType.CE))
+        collector.ingest("not a record")
+        collector.flush()
+
+        quarantined = [e for e in obs.journal.events
+                       if e["type"] == "quarantine"]
+        by_reason = {}
+        for event in quarantined:
+            by_reason[event["reason"]] = (
+                by_reason.get(event["reason"], 0) + 1)
+        assert by_reason == dict(collector.dead_letter_counts)
+        assert (obs.journal.summary()["counts_by_type"]["quarantine"]
+                == sum(collector.dead_letter_counts.values()))
+        # The NaN timestamp was scrubbed before journalling: the journal
+        # stays pure JSON even when the dead input was not.
+        assert all(e["event_timestamp"] is None
+                   or math.isfinite(e["event_timestamp"])
+                   for e in quarantined)
+

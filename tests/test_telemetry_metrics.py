@@ -4,8 +4,8 @@ import json
 
 import pytest
 
-from repro.telemetry.metrics import (Counter, Gauge, Histogram,
-                                    MetricsRegistry)
+from repro.telemetry.metrics import (EXPORT_VERSION, Counter, Gauge,
+                                    Histogram, MetricsRegistry)
 
 
 class TestCounter:
@@ -48,6 +48,18 @@ class TestHistogram:
             Histogram(buckets=(2.0, 1.0))
         with pytest.raises(ValueError):
             Histogram(buckets=())
+
+    def test_cumulative_counts_are_prefix_sums(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 0.6, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.counts == [2, 1, 1]
+        assert histogram.cumulative_counts() == [2, 3, 4]
+        # The +inf entry always equals the total count.
+        assert histogram.cumulative_counts()[-1] == histogram.count
+
+    def test_cumulative_counts_empty(self):
+        assert Histogram(buckets=(1.0,)).cumulative_counts() == [0, 0]
 
 
 class TestMetricsRegistry:
@@ -111,6 +123,30 @@ class TestMetricsRegistry:
         restored.counter("events").inc()
         assert restored.counter_value("events") == 6.0
         assert restored.gauge("depth").max_value == 3
+
+    def test_export_is_versioned_with_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        document = registry.as_dict()
+        assert document["version"] == EXPORT_VERSION == 2
+        exported = document["histograms"]["lat"]
+        assert exported["counts"] == [1, 1, 0]
+        assert exported["cumulative"] == [1, 2, 2]
+
+    def test_version1_document_restores(self):
+        # A pre-version export: no "version", no "cumulative".
+        document = {
+            "counters": {"events": 5.0},
+            "gauges": {"depth": {"value": 1.0, "max": 3.0}},
+            "histograms": {"lat": {"buckets": [1.0], "counts": [2, 1],
+                                   "sum": 3.5, "count": 3}},
+        }
+        restored = MetricsRegistry().restore(document)
+        assert restored.counter_value("events") == 5.0
+        exported = restored.as_dict()
+        assert exported["version"] == 2
+        assert exported["histograms"]["lat"]["cumulative"] == [2, 3]
 
     def test_restore_replaces_in_place_keeping_references(self):
         registry = MetricsRegistry()
