@@ -1,0 +1,104 @@
+"""Perf smoke test of the parallel model-training engine.
+
+Fits the three model families serially and with ``REPRO_PERF_JOBS``
+workers on a synthetic multiclass problem sized like the cross-row block
+task, asserts the forest's parallel fit clears a speedup floor, and
+records every timing to a ``BENCH_training.json`` artifact.  Skipped on
+machines with fewer than 4 cores, where process parallelism cannot win.
+
+Tunables: ``REPRO_PERF_TRAIN_SAMPLES`` (default 6000),
+``REPRO_PERF_JOBS`` (default 4), ``REPRO_PERF_SEED`` (default 0),
+``REPRO_PERF_TRAIN_FLOOR`` (default 2.0, the forest-fit speedup floor),
+``REPRO_PERF_TRAIN_OUTPUT`` (default ``BENCH_training.json``).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gbdt import XGBClassifier
+from repro.ml.lgbm import LGBMClassifier
+
+PERF_SAMPLES = int(os.environ.get("REPRO_PERF_TRAIN_SAMPLES", "6000"))
+PERF_JOBS = int(os.environ.get("REPRO_PERF_JOBS", "4"))
+PERF_SEED = int(os.environ.get("REPRO_PERF_SEED", "0"))
+#: Required serial/parallel fit-time ratio for the (embarrassingly
+#: parallel) forest.  The boosting families only parallelise a round's
+#: per-class trees, so they are recorded but not gated.
+PERF_FLOOR = float(os.environ.get("REPRO_PERF_TRAIN_FLOOR", "2.0"))
+PERF_OUTPUT = os.environ.get("REPRO_PERF_TRAIN_OUTPUT",
+                             "BENCH_training.json")
+
+
+def _block_like_dataset(n_samples, seed):
+    """Synthetic stand-in for the cross-row block task: wide-ish,
+    noisy, three classes."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_samples, 24))
+    raw = (X[:, 0] + 0.6 * X[:, 1] ** 2 - 0.8 * X[:, 2] * X[:, 3]
+           + rng.normal(scale=0.7, size=n_samples))
+    y = np.clip(np.digitize(raw, [-0.5, 0.8]), 0, 2)
+    return X, y
+
+
+def _factories():
+    return {
+        "forest": lambda jobs: RandomForestClassifier(
+            n_estimators=120, max_depth=12, min_samples_leaf=2,
+            class_weight="balanced", random_state=PERF_SEED, n_jobs=jobs),
+        "xgb": lambda jobs: XGBClassifier(
+            n_estimators=40, max_depth=6, subsample=0.9, colsample=0.8,
+            random_state=PERF_SEED, n_jobs=jobs),
+        "lgbm": lambda jobs: LGBMClassifier(
+            n_estimators=40, num_leaves=31, min_child_samples=5,
+            feature_fraction=0.8, random_state=PERF_SEED, n_jobs=jobs),
+    }
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < PERF_JOBS,
+                    reason=f"needs >= {PERF_JOBS} cores for process "
+                           "parallelism to pay off")
+def test_parallel_training_speedup():
+    X, y = _block_like_dataset(PERF_SAMPLES, PERF_SEED)
+    record = {
+        "samples": PERF_SAMPLES,
+        "jobs": PERF_JOBS,
+        "seed": PERF_SEED,
+        "cpu_count": os.cpu_count(),
+        "floor": PERF_FLOOR,
+        "models": {},
+    }
+    probas = {}
+    for family, make in _factories().items():
+        start = time.perf_counter()
+        serial = make(1).fit(X, y)
+        t_serial = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = make(PERF_JOBS).fit(X, y)
+        t_parallel = time.perf_counter() - start
+
+        record["models"][family] = {
+            "serial_s": round(t_serial, 3),
+            "parallel_s": round(t_parallel, 3),
+            "speedup": round(t_serial / t_parallel, 3),
+        }
+        probas[family] = (serial.predict_proba(X), parallel.predict_proba(X))
+
+    with open(PERF_OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"\nparallel training: {record}")
+
+    # The perf claim never compromises the bit-identity contract.
+    for family, (p_serial, p_parallel) in probas.items():
+        assert np.array_equal(p_serial, p_parallel), (
+            f"{family}: parallel fit diverged from serial")
+    forest = record["models"]["forest"]
+    assert forest["speedup"] >= PERF_FLOOR, (
+        f"forest parallel fit speedup {forest['speedup']:.2f}x below the "
+        f"{PERF_FLOOR:.1f}x floor (timings in {PERF_OUTPUT})")

@@ -105,7 +105,7 @@ def cmd_train(args: argparse.Namespace) -> int:
     dataset = FleetDataset(config=FleetGenConfig(), seed=0, store=store,
                            bank_truth=truth)
     cordial = Cordial(model_name=args.model, trigger_uer_rows=args.trigger,
-                      random_state=args.seed)
+                      random_state=args.seed, n_jobs=args.jobs)
     cordial.fit(dataset, banks)
     save_cordial(cordial, args.output)
     print(f"saved pipeline ({args.model}, threshold "
@@ -177,7 +177,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     train, test = train_test_split_groups(banks, test_fraction=0.3,
                                           seed=args.seed)
     cordial = Cordial(model_name=args.model, trigger_uer_rows=args.trigger,
-                      random_state=args.seed)
+                      random_state=args.seed, n_jobs=args.jobs)
     cordial.fit(dataset, train)
     evaluation = cordial.evaluate(dataset, test)
     baseline = evaluate_neighbor_baseline(dataset, test,
@@ -232,6 +232,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["Random Forest", "XGBoost", "LightGBM"])
     p.add_argument("--trigger", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes for model training "
+                        "(the fitted pipeline is identical for any value)")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("predict", help="replay a log through a pipeline")
@@ -249,6 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["Random Forest", "XGBoost", "LightGBM"])
     p.add_argument("--trigger", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes for model training "
+                        "(results are identical for any value)")
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser("analyze", help="empirical study over a log")

@@ -24,13 +24,16 @@ MODEL_NAMES = ("LightGBM", "XGBoost", "Random Forest")
 
 
 def make_model(name: str, random_state: Optional[int] = 0,
-               task: str = "pattern"):
+               task: str = "pattern", n_jobs: Optional[int] = None):
     """Instantiate one of the paper's three model families by name.
 
     Args:
         task: ``"pattern"`` (bank classification, ~1k samples x 40
             features) or ``"blocks"`` (cross-row prediction, ~10k heavily
             imbalanced samples — deeper forests, more rounds).
+        n_jobs: training worker processes (``None``/``1`` = serial,
+            ``-1`` = all cores); never changes the fitted model — see
+            :mod:`repro.ml.parallel`.
     """
     if task not in ("pattern", "blocks"):
         raise ValueError(f"unknown task: {task!r}")
@@ -41,19 +44,19 @@ def make_model(name: str, random_state: Optional[int] = 0,
             max_depth=None if deep else 12,
             min_samples_leaf=2,
             max_features="sqrt", class_weight="balanced",
-            random_state=random_state)
+            random_state=random_state, n_jobs=n_jobs)
     if name == "XGBoost":
         return XGBClassifier(
             n_estimators=150 if deep else 120, learning_rate=0.1,
             max_depth=6 if deep else 5,
             reg_lambda=1.0, min_samples_leaf=2, subsample=0.9,
-            colsample=0.8, random_state=random_state)
+            colsample=0.8, random_state=random_state, n_jobs=n_jobs)
     if name == "LightGBM":
         return LGBMClassifier(
             n_estimators=150 if deep else 120, learning_rate=0.1,
             num_leaves=63 if deep else 31,
             min_child_samples=5, feature_fraction=0.8,
-            random_state=random_state)
+            random_state=random_state, n_jobs=n_jobs)
     raise ValueError(f"unknown model name: {name!r}; "
                      f"expected one of {MODEL_NAMES}")
 
@@ -66,14 +69,17 @@ class FailurePatternClassifier:
             or ``"LightGBM"``.
         featurizer: the Section IV-B featurizer (injected for ablations).
         random_state: seed forwarded to the model.
+        n_jobs: training worker processes forwarded to the model; never
+            changes the fit.
     """
 
     def __init__(self, model_name: str = "Random Forest",
                  featurizer: Optional[BankPatternFeaturizer] = None,
-                 random_state: Optional[int] = 0) -> None:
+                 random_state: Optional[int] = 0,
+                 n_jobs: Optional[int] = None) -> None:
         self.model_name = model_name
         self.featurizer = featurizer or BankPatternFeaturizer()
-        self.model = make_model(model_name, random_state)
+        self.model = make_model(model_name, random_state, n_jobs=n_jobs)
         self._fitted = False
 
     def fit(self, histories: Sequence[Sequence[ErrorRecord]],

@@ -54,13 +54,16 @@ class CrossRowPredictor:
             blocks).
         threshold: probability cut-off for flagging a block.
         random_state: model seed.
+        n_jobs: training worker processes forwarded to the model (and to
+            the threshold-selection probe); never changes the fit.
     """
 
     def __init__(self, model_name: str = "Random Forest",
                  window: Optional[CrossRowWindow] = None,
                  threshold: Optional[float] = None,
                  total_rows: int = 32768,
-                 random_state: Optional[int] = 0) -> None:
+                 random_state: Optional[int] = 0,
+                 n_jobs: Optional[int] = None) -> None:
         if threshold is not None and not 0.0 < threshold < 1.0:
             raise ValueError("threshold must be in (0, 1) or None")
         self.model_name = model_name
@@ -69,7 +72,9 @@ class CrossRowPredictor:
         # None = pick the F1-maximising threshold on the training blocks.
         self.threshold = threshold
         self._auto_threshold = 0.5
-        self.model = make_model(model_name, random_state, task="blocks")
+        self.n_jobs = n_jobs
+        self.model = make_model(model_name, random_state, task="blocks",
+                                n_jobs=n_jobs)
         self._fitted = False
 
     @property
@@ -143,7 +148,8 @@ class CrossRowPredictor:
         val_mask = np.asarray([g in held_out for g in groups])
         if y[~val_mask].sum() == 0 or y[val_mask].sum() == 0:
             return 0.5
-        probe = make_model(self.model_name, random_state=29, task="blocks")
+        probe = make_model(self.model_name, random_state=29, task="blocks",
+                           n_jobs=self.n_jobs)
         probe.fit(X[~val_mask], y[~val_mask],
                   sample_weight=(None if sample_weight is None
                                  else sample_weight[~val_mask]))

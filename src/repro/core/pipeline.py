@@ -123,6 +123,9 @@ class Cordial:
             row; the Table IV block metrics are still computed only at the
             trigger snapshot.
         random_state: seed for both models.
+        n_jobs: training worker processes forwarded to both stages'
+            models (``None``/``1`` = serial, ``-1`` = all cores); never
+            changes the fitted pipeline.
     """
 
     def __init__(self, model_name: str = "Random Forest",
@@ -131,16 +134,17 @@ class Cordial:
                  threshold: Optional[float] = None,
                  spares_per_bank: int = 64,
                  repredict_each_uer: bool = True,
-                 random_state: Optional[int] = 0) -> None:
+                 random_state: Optional[int] = 0,
+                 n_jobs: Optional[int] = None) -> None:
         self.model_name = model_name
         self.trigger_uer_rows = trigger_uer_rows
         self.spares_per_bank = spares_per_bank
         self.repredict_each_uer = repredict_each_uer
         self.classifier = FailurePatternClassifier(
-            model_name, random_state=random_state)
+            model_name, random_state=random_state, n_jobs=n_jobs)
         self.predictor = CrossRowPredictor(
             model_name, window=window, threshold=threshold,
-            random_state=random_state)
+            random_state=random_state, n_jobs=n_jobs)
         self._fitted = False
 
     # ------------------------------------------------------------------ train

@@ -29,8 +29,10 @@ class ExperimentContext:
             reduce it).
         seed: generator seed.
         split_seed: seed of the 7:3 bank split (Section V-A).
-        jobs: worker processes for dataset generation (and the default
-            concurrency of :func:`repro.experiments.runner.run_all`).
+        jobs: worker processes for dataset generation, model training
+            (forwarded to every :class:`Cordial` as ``n_jobs``) and the
+            default concurrency of
+            :func:`repro.experiments.runner.run_all`.
             Never changes any result — only wall-clock time.
     """
 
@@ -71,7 +73,8 @@ class ExperimentContext:
         with self._lock:
             if model_name not in self._models:
                 cordial = Cordial(model_name=model_name,
-                                  random_state=self.seed)
+                                  random_state=self.seed,
+                                  n_jobs=self.jobs)
                 cordial.fit(self.dataset, self.split[0])
                 self._models[model_name] = cordial
             return self._models[model_name]

@@ -174,7 +174,7 @@ def prepare_serving_run(scale: float = 0.12, seed: int = 42,
                                      jobs=jobs)
     train_banks, test_banks = train_test_split_groups(
         dataset.uer_banks, test_fraction=0.3, seed=SPLIT_SEED)
-    cordial = Cordial(model_name=model_name, random_state=0)
+    cordial = Cordial(model_name=model_name, random_state=0, n_jobs=jobs)
     cordial.fit(dataset, train_banks)
 
     test_set = set(test_banks)

@@ -39,6 +39,8 @@ from repro.ml.calibration import (
     expected_calibration_error,
 )
 from repro.ml.cv import GroupKFold, KFold, StratifiedKFold, cross_val_score
+from repro.ml.scoring import Scorer, accuracy, auprc, auroc, make_scorer
+from repro.ml.parallel import resolve_n_jobs
 from repro.ml.persist import ModelPersistenceError, dump_model, load_model
 from repro.ml.ranking import (best_f1_threshold, pr_auc,
                               precision_recall_curve, roc_auc)
@@ -67,6 +69,12 @@ __all__ = [
     "StratifiedKFold",
     "GroupKFold",
     "cross_val_score",
+    "Scorer",
+    "accuracy",
+    "auprc",
+    "auroc",
+    "make_scorer",
+    "resolve_n_jobs",
     "ModelPersistenceError",
     "dump_model",
     "load_model",

@@ -2,14 +2,27 @@
 
 The paper uses a single 7:3 split; cross-validation quantifies how much
 of a model ordering (RF vs XGB vs LGBM in Tables III/IV) is split luck.
-All splitters are deterministic under a seed and yield index arrays.
+
+Determinism contract: every splitter and :func:`cross_val_score` is a
+pure function of its inputs and its ``seed``.  ``cross_val_score``
+defaults to ``seed=0`` (like :func:`repro.ml.tuning.grid_search`), so two
+calls with the same arguments always return the same scores; pass
+``seed=None`` to opt into OS-entropy splits explicitly.  Splitters
+validate *all* folds eagerly, before yielding the first one, so callers
+never fit models on early folds only to die mid-iteration.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Iterator, List, Optional, Sequence, Tuple
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import (Callable, Hashable, Iterator, List, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
+
+from repro.ml.parallel import resolve_n_jobs
+from repro.ml.scoring import Scorer, resolve_scorer
 
 
 class KFold:
@@ -39,6 +52,24 @@ class KFold:
             yield np.sort(train), np.sort(test)
 
 
+def _validated_folds(fold_of: np.ndarray, n_splits: int
+                     ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Materialise (train, test) pairs, checking every fold up front.
+
+    Raising before the first yield means a caller that has to fit a model
+    per fold never wastes work on early folds of a doomed split.
+    """
+    pairs = []
+    for fold in range(n_splits):
+        test = np.nonzero(fold_of == fold)[0]
+        train = np.nonzero(fold_of != fold)[0]
+        if test.size == 0 or train.size == 0:
+            raise ValueError(
+                f"fold {fold} of {n_splits} came out empty; reduce n_splits")
+        pairs.append((train, test))
+    return pairs
+
+
 class StratifiedKFold:
     """K-fold preserving per-class proportions (needed for the skewed
     pattern classes: 68 % single-row vs 12 % double-row)."""
@@ -50,7 +81,11 @@ class StratifiedKFold:
         self.seed = seed
 
     def split(self, y: Sequence) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
-        """Yield (train_idx, test_idx) pairs stratified by ``y``."""
+        """Yield (train_idx, test_idx) pairs stratified by ``y``.
+
+        All folds are validated non-empty before the first pair is
+        yielded.
+        """
         y = np.asarray(y)
         rng = np.random.default_rng(self.seed)
         fold_of = np.empty(len(y), dtype=np.int64)
@@ -59,12 +94,7 @@ class StratifiedKFold:
             members = rng.permutation(members)
             for position, index in enumerate(members):
                 fold_of[index] = position % self.n_splits
-        for fold in range(self.n_splits):
-            test = np.nonzero(fold_of == fold)[0]
-            train = np.nonzero(fold_of != fold)[0]
-            if test.size == 0 or train.size == 0:
-                raise ValueError("a fold came out empty; reduce n_splits")
-            yield train, test
+        yield from _validated_folds(fold_of, self.n_splits)
 
 
 class GroupKFold:
@@ -80,7 +110,11 @@ class GroupKFold:
 
     def split(self, groups: Sequence[Hashable]
               ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
-        """Yield (train_idx, test_idx) pairs split by distinct group."""
+        """Yield (train_idx, test_idx) pairs split by distinct group.
+
+        All folds are validated non-empty before the first pair is
+        yielded.
+        """
         groups = list(groups)
         distinct = sorted(set(groups))
         if len(distinct) < self.n_splits:
@@ -90,33 +124,90 @@ class GroupKFold:
         fold_of_group = {distinct[g]: i % self.n_splits
                          for i, g in enumerate(order)}
         fold_of = np.asarray([fold_of_group[g] for g in groups])
-        for fold in range(self.n_splits):
-            test = np.nonzero(fold_of == fold)[0]
-            train = np.nonzero(fold_of != fold)[0]
-            yield train, test
+        yield from _validated_folds(fold_of, self.n_splits)
+
+
+def _fit_and_score(model_factory: Callable[[], object], X: np.ndarray,
+                   y: np.ndarray, sample_weight: Optional[np.ndarray],
+                   train_idx: np.ndarray, test_idx: np.ndarray,
+                   scorer: Scorer) -> float:
+    """Fit a fresh model on one fold and score the held-out side.
+
+    Module-level so it is picklable for the fold-parallel tier; the
+    serial path calls the very same function, so ``n_jobs`` cannot
+    change a score.
+    """
+    model = model_factory()
+    if sample_weight is None:
+        model.fit(X[train_idx], y[train_idx])
+    else:
+        model.fit(X[train_idx], y[train_idx],
+                  sample_weight=sample_weight[train_idx])
+    return scorer(model, X[test_idx], y[test_idx])
+
+
+def run_fold_tasks(worker: Callable, task_args: Sequence[tuple],
+                   n_jobs: Optional[int],
+                   pickle_probe: tuple = ()) -> List:
+    """Run fold-level tasks serially or over a ``ProcessPoolExecutor``.
+
+    Results come back in submission order, so parallelism never reorders
+    scores.  If ``pickle_probe`` (typically the model factory and scorer)
+    does not pickle — lambdas are common here — the tasks silently run
+    serially instead; the results are identical either way because each
+    task is independent and the per-task function is shared.
+    """
+    jobs = resolve_n_jobs(n_jobs)
+    if jobs > 1 and len(task_args) > 1:
+        try:
+            pickle.dumps(pickle_probe)
+        except Exception:
+            jobs = 1
+    if jobs <= 1 or len(task_args) <= 1:
+        return [worker(*args) for args in task_args]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(worker, *args) for args in task_args]
+        return [future.result() for future in futures]
 
 
 def cross_val_score(model_factory: Callable[[], object], X, y,
-                    n_splits: int = 5, seed: Optional[int] = None,
+                    n_splits: int = 5, seed: Optional[int] = 0,
                     scorer: Optional[Callable] = None,
-                    stratified: bool = True) -> np.ndarray:
+                    stratified: bool = True,
+                    sample_weight=None,
+                    n_jobs: Optional[int] = None) -> np.ndarray:
     """Fit a fresh model per fold; return the per-fold scores.
+
+    Deterministic by default: ``seed=0`` fixes the fold assignment, so
+    repeated calls score identical splits (pass ``seed=None`` for
+    OS-entropy splits).  Scores are returned in fold order regardless of
+    ``n_jobs``.
 
     Args:
         model_factory: zero-argument callable building an unfitted model
-            with ``fit``/``predict``.
-        scorer: ``scorer(y_true, y_pred) -> float``; defaults to accuracy.
+            with ``fit``/``predict`` (and ``predict_proba`` if the scorer
+            needs it).
+        scorer: a :class:`repro.ml.scoring.Scorer` (e.g. from
+            :func:`repro.ml.scoring.make_scorer` with ``needs_proba=True``
+            for AUPRC/ROC-AUC), or a legacy ``scorer(y_true, y_pred)``
+            callable; defaults to accuracy.
+        sample_weight: optional per-sample fit weights; each fold's model
+            sees the training slice of them.
+        n_jobs: folds fitted concurrently (``None``/``1`` = serial,
+            ``-1`` = all cores); never changes the scores.
     """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
-    if scorer is None:
-        scorer = lambda a, b: float(np.mean(np.asarray(a) == np.asarray(b)))
+    if sample_weight is not None:
+        sample_weight = np.asarray(sample_weight, dtype=np.float64)
+        if sample_weight.shape != (len(y),):
+            raise ValueError("sample_weight shape mismatch")
+    scorer = resolve_scorer(scorer)
     splitter = (StratifiedKFold(n_splits, seed) if stratified
                 else KFold(n_splits, seed=seed))
     source = splitter.split(y) if stratified else splitter.split(len(y))
-    scores: List[float] = []
-    for train_idx, test_idx in source:
-        model = model_factory()
-        model.fit(X[train_idx], y[train_idx])
-        scores.append(scorer(y[test_idx], model.predict(X[test_idx])))
-    return np.asarray(scores)
+    tasks = [(model_factory, X, y, sample_weight, train_idx, test_idx, scorer)
+             for train_idx, test_idx in source]
+    scores = run_fold_tasks(_fit_and_score, tasks, n_jobs,
+                            pickle_probe=(model_factory, scorer))
+    return np.asarray(scores, dtype=np.float64)

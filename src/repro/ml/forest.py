@@ -15,12 +15,18 @@ from typing import List, Optional, Union
 import numpy as np
 
 from repro.ml._binning import BinMapper
-from repro.ml._hist import HistTree, TreeParams, grow_classification_tree
+from repro.ml._hist import HistTree, TreeParams
+from repro.ml.parallel import ForestSpec, grow_forest, resolve_n_jobs
 from repro.ml.tree import resolve_max_features
 
 
 class RandomForestClassifier:
     """Bagged ensemble of gini histogram trees.
+
+    Every tree draws its bootstrap resample and feature subsets from its
+    own ``SeedSequence(random_state)`` child (see :mod:`repro.ml.parallel`),
+    so tree growth is order-independent and the fitted forest is
+    bit-identical for every ``n_jobs``.
 
     Args:
         n_estimators: number of trees.
@@ -34,6 +40,8 @@ class RandomForestClassifier:
             to their frequency — useful for the heavily skewed pattern
             classes of Table III).
         random_state: seed for all resampling and feature subsampling.
+        n_jobs: worker processes growing trees (``None``/``1`` = serial,
+            ``-1`` = all cores); never changes the fitted model.
     """
 
     def __init__(self, n_estimators: int = 100,
@@ -43,11 +51,13 @@ class RandomForestClassifier:
                  max_bins: int = 255,
                  bootstrap: bool = True,
                  class_weight: Optional[str] = None,
-                 random_state: Optional[int] = None) -> None:
+                 random_state: Optional[int] = None,
+                 n_jobs: Optional[int] = None) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
         if class_weight not in (None, "balanced"):
             raise ValueError("class_weight must be None or 'balanced'")
+        resolve_n_jobs(n_jobs)  # validate eagerly
         self.n_estimators = n_estimators
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
@@ -56,6 +66,7 @@ class RandomForestClassifier:
         self.bootstrap = bootstrap
         self.class_weight = class_weight
         self.random_state = random_state
+        self.n_jobs = n_jobs
         self.classes_: Optional[np.ndarray] = None
         self.trees_: List[HistTree] = []
         self._mapper: Optional[BinMapper] = None
@@ -97,23 +108,15 @@ class RandomForestClassifier:
             min_samples_leaf=self.min_samples_leaf,
             feature_fraction=k / n_features,
         )
-        rng = np.random.default_rng(self.random_state)
-        self.trees_ = []
+        seeds = np.random.SeedSequence(self.random_state).spawn(
+            self.n_estimators)
+        spec = ForestSpec(n_classes=n_classes, n_bins=n_bins, params=params,
+                          bootstrap=self.bootstrap)
+        self.trees_ = grow_forest(binned, encoded, weights, spec, seeds,
+                                  n_jobs=resolve_n_jobs(self.n_jobs))
         importance = np.zeros(n_features, dtype=np.float64)
-        for _ in range(self.n_estimators):
-            if self.bootstrap:
-                idx = rng.integers(0, n_samples, size=n_samples)
-                bag_counts = np.bincount(idx, minlength=n_samples)
-                bag_weights = weights * bag_counts
-                rows = np.nonzero(bag_counts)[0]
-            else:
-                rows = np.arange(n_samples)
-                bag_weights = weights
-            tree = grow_classification_tree(
-                binned[rows], encoded[rows], bag_weights[rows], n_classes,
-                n_bins, params, rng)
+        for tree in self.trees_:
             tree.accumulate_importance(importance)
-            self.trees_.append(tree)
         total = importance.sum()
         self.feature_importances_ = (
             importance / total if total > 0 else importance)

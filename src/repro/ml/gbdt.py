@@ -20,7 +20,9 @@ from typing import List, Optional
 import numpy as np
 
 from repro.ml._binning import BinMapper
-from repro.ml._hist import HistTree, TreeParams, grow_regression_tree
+from repro.ml._hist import HistTree, TreeParams
+from repro.ml.parallel import (BoostingPool, RoundSpec, RoundTask,
+                               resolve_n_jobs)
 
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
@@ -48,7 +50,14 @@ class XGBClassifier:
         max_bins: histogram resolution.
         base_score: prior probability used to initialise raw scores
             (binary only; multiclass starts from zero logits).
-        random_state: seed for row/feature subsampling.
+        random_state: seed for row/feature subsampling.  Every boosting
+            round draws from its own ``SeedSequence`` child (see
+            :mod:`repro.ml.parallel`), so the fitted ensemble is
+            bit-identical for every ``n_jobs``.
+        n_jobs: worker processes growing a round's per-class trees
+            (``None``/``1`` = serial, ``-1`` = all cores).  Rounds remain
+            sequential, so parallelism only pays off in multiclass mode;
+            the result never depends on it.
     """
 
     def __init__(self, n_estimators: int = 100, learning_rate: float = 0.1,
@@ -57,7 +66,8 @@ class XGBClassifier:
                  subsample: float = 1.0, colsample: float = 1.0,
                  min_samples_leaf: int = 1, max_bins: int = 255,
                  base_score: float = 0.5,
-                 random_state: Optional[int] = None) -> None:
+                 random_state: Optional[int] = None,
+                 n_jobs: Optional[int] = None) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
         if not 0.0 < learning_rate <= 1.0:
@@ -66,6 +76,8 @@ class XGBClassifier:
             raise ValueError("subsample must be in (0, 1]")
         if not 0.0 < base_score < 1.0:
             raise ValueError("base_score must be in (0, 1)")
+        resolve_n_jobs(n_jobs)  # validate eagerly
+        self.n_jobs = n_jobs
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
         self.max_depth = max_depth
@@ -122,48 +134,57 @@ class XGBClassifier:
             min_child_weight=self.min_child_weight,
             feature_fraction=self.colsample,
         )
-        rng = np.random.default_rng(self.random_state)
+        round_seeds = np.random.SeedSequence(self.random_state).spawn(
+            self.n_estimators)
+        spec = RoundSpec(n_bins=n_bins, params=params, leafwise=False)
         importance = np.zeros(n_features, dtype=np.float64)
         self.trees_ = []
 
-        if self._is_binary:
-            self._base_raw = float(
-                np.log(self.base_score / (1.0 - self.base_score)))
-            raw = np.full(n_samples, self._base_raw, dtype=np.float64)
-            target = encoded.astype(np.float64)
-            for _ in range(self.n_estimators):
-                prob = _sigmoid(raw)
-                grad = (prob - target) * weights
-                hess = np.maximum(prob * (1.0 - prob), 1e-16) * weights
-                sample_idx = self._draw_rows(n_samples, rng)
-                tree = grow_regression_tree(
-                    binned, grad, hess, n_bins, params, rng,
-                    leafwise=False, sample_idx=sample_idx)
-                tree.accumulate_importance(importance)
-                raw += self.learning_rate * tree.predict_value(binned)[:, 0]
-                self.trees_.append([tree])
-        else:
-            n_classes = len(self.classes_)
-            self._base_raw = 0.0
-            raw = np.zeros((n_samples, n_classes), dtype=np.float64)
-            onehot = np.zeros((n_samples, n_classes), dtype=np.float64)
-            onehot[np.arange(n_samples), encoded] = 1.0
-            for _ in range(self.n_estimators):
-                prob = _softmax(raw)
-                round_trees: List[HistTree] = []
-                sample_idx = self._draw_rows(n_samples, rng)
-                for k in range(n_classes):
-                    grad = (prob[:, k] - onehot[:, k]) * weights
-                    hess = np.maximum(
-                        prob[:, k] * (1.0 - prob[:, k]), 1e-16) * weights
-                    tree = grow_regression_tree(
-                        binned, grad, hess, n_bins, params, rng,
-                        leafwise=False, sample_idx=sample_idx)
+        with BoostingPool(binned, n_jobs=resolve_n_jobs(self.n_jobs)) as pool:
+            if self._is_binary:
+                self._base_raw = float(
+                    np.log(self.base_score / (1.0 - self.base_score)))
+                raw = np.full(n_samples, self._base_raw, dtype=np.float64)
+                target = encoded.astype(np.float64)
+                for t in range(self.n_estimators):
+                    prob = _sigmoid(raw)
+                    grad = (prob - target) * weights
+                    hess = np.maximum(prob * (1.0 - prob), 1e-16) * weights
+                    row_seed, tree_seed = round_seeds[t].spawn(2)
+                    sample_idx = self._draw_rows(
+                        n_samples, np.random.default_rng(row_seed))
+                    (tree, pred), = pool.grow_round(spec, [RoundTask(
+                        class_index=0, seed=tree_seed, grad=grad, hess=hess,
+                        sample_idx=sample_idx)])
                     tree.accumulate_importance(importance)
-                    raw[:, k] += (self.learning_rate
-                                  * tree.predict_value(binned)[:, 0])
-                    round_trees.append(tree)
-                self.trees_.append(round_trees)
+                    raw += self.learning_rate * pred
+                    self.trees_.append([tree])
+            else:
+                n_classes = len(self.classes_)
+                self._base_raw = 0.0
+                raw = np.zeros((n_samples, n_classes), dtype=np.float64)
+                onehot = np.zeros((n_samples, n_classes), dtype=np.float64)
+                onehot[np.arange(n_samples), encoded] = 1.0
+                for t in range(self.n_estimators):
+                    prob = _softmax(raw)
+                    children = round_seeds[t].spawn(1 + n_classes)
+                    sample_idx = self._draw_rows(
+                        n_samples, np.random.default_rng(children[0]))
+                    tasks = []
+                    for k in range(n_classes):
+                        grad = (prob[:, k] - onehot[:, k]) * weights
+                        hess = np.maximum(
+                            prob[:, k] * (1.0 - prob[:, k]), 1e-16) * weights
+                        tasks.append(RoundTask(
+                            class_index=k, seed=children[1 + k], grad=grad,
+                            hess=hess, sample_idx=sample_idx))
+                    round_trees: List[HistTree] = []
+                    for k, (tree, pred) in enumerate(
+                            pool.grow_round(spec, tasks)):
+                        tree.accumulate_importance(importance)
+                        raw[:, k] += self.learning_rate * pred
+                        round_trees.append(tree)
+                    self.trees_.append(round_trees)
 
         total = importance.sum()
         self.feature_importances_ = (

@@ -21,8 +21,10 @@ from typing import List, Optional
 import numpy as np
 
 from repro.ml._binning import BinMapper
-from repro.ml._hist import HistTree, TreeParams, grow_regression_tree
+from repro.ml._hist import HistTree, TreeParams
 from repro.ml.gbdt import _sigmoid, _softmax
+from repro.ml.parallel import (BoostingPool, RoundSpec, RoundTask,
+                               resolve_n_jobs)
 
 
 class LGBMClassifier:
@@ -40,7 +42,13 @@ class LGBMClassifier:
         goss: enable Gradient-based One-Side Sampling.
         top_rate / other_rate: GOSS retention fractions.
         max_bins: histogram resolution.
-        random_state: seed for sampling.
+        random_state: seed for sampling.  Every boosting round draws from
+            its own ``SeedSequence`` child (see :mod:`repro.ml.parallel`),
+            so the fitted ensemble is bit-identical for every ``n_jobs``.
+        n_jobs: worker processes growing a round's per-class trees
+            (``None``/``1`` = serial, ``-1`` = all cores).  Rounds remain
+            sequential, so parallelism only pays off in multiclass mode;
+            the result never depends on it.
     """
 
     def __init__(self, n_estimators: int = 100, learning_rate: float = 0.1,
@@ -49,7 +57,8 @@ class LGBMClassifier:
                  min_split_gain: float = 0.0, feature_fraction: float = 1.0,
                  goss: bool = False, top_rate: float = 0.2,
                  other_rate: float = 0.1, max_bins: int = 255,
-                 random_state: Optional[int] = None) -> None:
+                 random_state: Optional[int] = None,
+                 n_jobs: Optional[int] = None) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
         if not 0.0 < learning_rate <= 1.0:
@@ -59,6 +68,8 @@ class LGBMClassifier:
         if goss and not (0.0 < top_rate < 1.0 and 0.0 < other_rate
                          and top_rate + other_rate <= 1.0):
             raise ValueError("invalid GOSS rates")
+        resolve_n_jobs(n_jobs)  # validate eagerly
+        self.n_jobs = n_jobs
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
         self.num_leaves = num_leaves
@@ -141,55 +152,65 @@ class LGBMClassifier:
             min_gain=self.min_split_gain,
             feature_fraction=self.feature_fraction,
         )
-        rng = np.random.default_rng(self.random_state)
+        round_seeds = np.random.SeedSequence(self.random_state).spawn(
+            self.n_estimators)
+        spec = RoundSpec(n_bins=n_bins, params=params, leafwise=True)
         importance = np.zeros(n_features, dtype=np.float64)
         self.trees_ = []
 
         n_classes = len(self.classes_)
-        if self._is_binary:
-            raw = np.zeros(n_samples, dtype=np.float64)
-            target = encoded.astype(np.float64)
-            for _ in range(self.n_estimators):
-                prob = _sigmoid(raw)
-                grad = (prob - target) * weights
-                hess = np.maximum(prob * (1.0 - prob), 1e-16) * weights
-                if self.goss:
-                    sample_idx, mult = self._goss_sample(np.abs(grad), rng)
-                    grad_fit, hess_fit = grad * mult, hess * mult
-                else:
-                    sample_idx, grad_fit, hess_fit = None, grad, hess
-                tree = grow_regression_tree(
-                    binned, grad_fit, hess_fit, n_bins, params, rng,
-                    leafwise=True, sample_idx=sample_idx)
-                tree.accumulate_importance(importance)
-                raw += self.learning_rate * tree.predict_value(binned)[:, 0]
-                self.trees_.append([tree])
-        else:
-            raw = np.zeros((n_samples, n_classes), dtype=np.float64)
-            onehot = np.zeros((n_samples, n_classes), dtype=np.float64)
-            onehot[np.arange(n_samples), encoded] = 1.0
-            for _ in range(self.n_estimators):
-                prob = _softmax(raw)
-                grads = (prob - onehot) * weights[:, None]
-                hesses = np.maximum(prob * (1.0 - prob), 1e-16) * weights[:, None]
-                if self.goss:
-                    sample_idx, mult = self._goss_sample(
-                        np.abs(grads).sum(axis=1), rng)
-                else:
-                    sample_idx, mult = None, None
-                round_trees: List[HistTree] = []
-                for k in range(n_classes):
-                    grad, hess = grads[:, k], hesses[:, k]
-                    if mult is not None:
-                        grad, hess = grad * mult, hess * mult
-                    tree = grow_regression_tree(
-                        binned, grad, hess, n_bins, params, rng,
-                        leafwise=True, sample_idx=sample_idx)
+        with BoostingPool(binned, n_jobs=resolve_n_jobs(self.n_jobs)) as pool:
+            if self._is_binary:
+                raw = np.zeros(n_samples, dtype=np.float64)
+                target = encoded.astype(np.float64)
+                for t in range(self.n_estimators):
+                    prob = _sigmoid(raw)
+                    grad = (prob - target) * weights
+                    hess = np.maximum(prob * (1.0 - prob), 1e-16) * weights
+                    goss_seed, tree_seed = round_seeds[t].spawn(2)
+                    if self.goss:
+                        sample_idx, mult = self._goss_sample(
+                            np.abs(grad), np.random.default_rng(goss_seed))
+                        grad_fit, hess_fit = grad * mult, hess * mult
+                    else:
+                        sample_idx, grad_fit, hess_fit = None, grad, hess
+                    (tree, pred), = pool.grow_round(spec, [RoundTask(
+                        class_index=0, seed=tree_seed, grad=grad_fit,
+                        hess=hess_fit, sample_idx=sample_idx)])
                     tree.accumulate_importance(importance)
-                    raw[:, k] += (self.learning_rate
-                                  * tree.predict_value(binned)[:, 0])
-                    round_trees.append(tree)
-                self.trees_.append(round_trees)
+                    raw += self.learning_rate * pred
+                    self.trees_.append([tree])
+            else:
+                raw = np.zeros((n_samples, n_classes), dtype=np.float64)
+                onehot = np.zeros((n_samples, n_classes), dtype=np.float64)
+                onehot[np.arange(n_samples), encoded] = 1.0
+                for t in range(self.n_estimators):
+                    prob = _softmax(raw)
+                    grads = (prob - onehot) * weights[:, None]
+                    hesses = np.maximum(
+                        prob * (1.0 - prob), 1e-16) * weights[:, None]
+                    children = round_seeds[t].spawn(1 + n_classes)
+                    if self.goss:
+                        sample_idx, mult = self._goss_sample(
+                            np.abs(grads).sum(axis=1),
+                            np.random.default_rng(children[0]))
+                    else:
+                        sample_idx, mult = None, None
+                    tasks = []
+                    for k in range(n_classes):
+                        grad, hess = grads[:, k], hesses[:, k]
+                        if mult is not None:
+                            grad, hess = grad * mult, hess * mult
+                        tasks.append(RoundTask(
+                            class_index=k, seed=children[1 + k], grad=grad,
+                            hess=hess, sample_idx=sample_idx))
+                    round_trees: List[HistTree] = []
+                    for k, (tree, pred) in enumerate(
+                            pool.grow_round(spec, tasks)):
+                        tree.accumulate_importance(importance)
+                        raw[:, k] += self.learning_rate * pred
+                        round_trees.append(tree)
+                    self.trees_.append(round_trees)
 
         total = importance.sum()
         self.feature_importances_ = (

@@ -1,0 +1,380 @@
+"""Parallel model-training engine, bit-identical to serial by construction.
+
+The tree growers in :mod:`repro.ml._hist` dominate every experiment table
+and every serving-path retrain, and failure predictors must be retrained
+frequently as error populations drift — so training speed is a fleet-scale
+requirement, not a one-off cost.  This module applies the dataset layer's
+parallelisation playbook (``repro.datasets.parallel``) to model fitting:
+
+* **per-task seeding** — every tree (forest) or round-tree (boosting) gets
+  its own ``numpy.random.SeedSequence`` child, so a grown tree is a pure
+  function of ``(data, params, its seed)`` and never of which worker grew
+  it, in what order, or how many workers there are.  The spawned
+  derivation is canonical: the *serial* path runs the identical per-task
+  functions with the identical seeds, so ``n_jobs`` can never change a
+  fitted model by so much as a bit;
+* **shared-memory data shipping** — the quantile-binned ``uint8/uint16``
+  feature matrix (plus the forest's labels/weights) is published once per
+  fit through ``multiprocessing.shared_memory`` and attached read-only by
+  every worker, instead of being pickled into each task;
+* **total-order merge** — workers return ``(index, result)`` pairs that
+  the parent reassembles in task order before accumulating importances or
+  updating boosted raw scores, so floating-point summation order matches
+  the serial path exactly.
+
+Seeding contract (mirrors the dataset layer's diagram)::
+
+    RandomForestClassifier(random_state)
+        SeedSequence(random_state).spawn(n_estimators)
+        └── child t → tree t's bootstrap draw + feature subsampling
+
+    XGBClassifier / LGBMClassifier(random_state)
+        SeedSequence(random_state).spawn(n_estimators)
+        └── child t → round t → spawn(1 + n_trees_in_round)
+             ├── grandchild 0     → row sampling (subsample / GOSS)
+             └── grandchild 1 + k → class-k tree's feature subsampling
+
+Boosting rounds stay sequential (round ``t + 1``'s gradients depend on
+round ``t``'s predictions); the parallel win there is the per-class trees
+of a multiclass round, which are independent given the round's gradients.
+The forest is embarrassingly parallel across all of its trees.
+
+``tests/test_training_equivalence.py`` locks the ``n_jobs`` invariance
+down to persisted-model bytes; ``benchmarks/test_perf_training.py``
+records the speedup to ``BENCH_training.json``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml._hist import (HistTree, TreeParams, grow_classification_tree,
+                            grow_regression_tree)
+
+#: Task chunks per worker for the forest fan-out: enough slack that an
+#: unlucky chunk (a few deep trees) does not serialise the pool's tail.
+CHUNKS_PER_JOB = 4
+
+#: Shared-memory offsets are aligned so every array view starts on a
+#: boundary that satisfies any numpy dtype.
+_ALIGN = 16
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise an ``n_jobs`` knob to a worker count.
+
+    ``None``/``1`` mean serial, ``-1`` means one worker per CPU, any other
+    positive integer is taken literally.
+    """
+    if n_jobs is None:
+        return 1
+    jobs = int(n_jobs)
+    if jobs == -1:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError("n_jobs must be a positive integer, -1, or None")
+    return jobs
+
+
+# --------------------------------------------------------------------------
+# Shared-memory dataset shipping
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DatasetHandle:
+    """Picklable descriptor of a published :class:`SharedDataset`.
+
+    Attributes:
+        shm_name: name of the backing shared-memory segment.
+        arrays: ``{array name: (byte offset, shape, dtype string)}``.
+    """
+
+    shm_name: str
+    arrays: Dict[str, Tuple[int, tuple, str]]
+
+
+class SharedDataset:
+    """Named arrays packed into one shared-memory segment.
+
+    The parent publishes the fit-constant arrays (binned matrix, labels,
+    weights) once; workers attach read-only views through the picklable
+    :meth:`handle` instead of receiving a pickled copy per task.  Use as a
+    context manager so the segment is always closed and unlinked.
+    """
+
+    def __init__(self, arrays: Dict[str, np.ndarray]) -> None:
+        contiguous = {name: np.ascontiguousarray(a)
+                      for name, a in arrays.items()}
+        offsets: Dict[str, int] = {}
+        cursor = 0
+        for name, array in contiguous.items():
+            cursor = -(-cursor // _ALIGN) * _ALIGN
+            offsets[name] = cursor
+            cursor += array.nbytes
+        self._shm = shared_memory.SharedMemory(create=True,
+                                               size=max(1, cursor))
+        self._spec: Dict[str, Tuple[int, tuple, str]] = {}
+        for name, array in contiguous.items():
+            view = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=self._shm.buf, offset=offsets[name])
+            view[...] = array
+            self._spec[name] = (offsets[name], tuple(array.shape),
+                                array.dtype.str)
+
+    def handle(self) -> DatasetHandle:
+        """The picklable descriptor workers attach with."""
+        return DatasetHandle(shm_name=self._shm.name, arrays=dict(self._spec))
+
+    def close(self) -> None:
+        """Release the parent's mapping and unlink the segment."""
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedDataset":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: Worker-side attachment cache: one mapping per segment per process
+#: (workers live exactly as long as their pool, so entries never go
+#: stale).
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach(handle: DatasetHandle) -> Dict[str, np.ndarray]:
+    """Attach (or reuse) a shared dataset; returns read-only views."""
+    segment = _ATTACHED.get(handle.shm_name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=handle.shm_name)
+        if multiprocessing.get_start_method(allow_none=False) != "fork":
+            # Under spawn each worker has its own resource tracker, which
+            # would otherwise try to unlink the parent-owned segment at
+            # worker exit (and warn about a "leak").  Under fork the
+            # tracker is shared and already knows the name.
+            try:  # pragma: no cover - spawn-only path
+                from multiprocessing import resource_tracker
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:
+                pass
+        _ATTACHED[handle.shm_name] = segment
+    arrays: Dict[str, np.ndarray] = {}
+    for name, (offset, shape, dtype) in handle.arrays.items():
+        view = np.ndarray(shape, dtype=np.dtype(dtype),
+                          buffer=segment.buf, offset=offset)
+        view.setflags(write=False)
+        arrays[name] = view
+    return arrays
+
+
+# --------------------------------------------------------------------------
+# Random-forest task tree
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ForestSpec:
+    """Fit-constant forest parameters shipped once per worker batch."""
+
+    n_classes: int
+    n_bins: int
+    params: TreeParams
+    bootstrap: bool
+
+
+@dataclass(frozen=True)
+class ForestTask:
+    """One tree of the forest: its position and its SeedSequence child."""
+
+    index: int
+    seed: np.random.SeedSequence
+
+
+def _forest_tree_task(binned: np.ndarray, encoded: np.ndarray,
+                      weights: np.ndarray, spec: ForestSpec,
+                      task: ForestTask) -> Tuple[int, HistTree]:
+    """Grow one forest tree — the single source of truth for both paths.
+
+    The serial path calls this in-process with the same seeds the workers
+    receive, which is what makes ``n_jobs`` bit-invariant by construction.
+    """
+    rng = np.random.default_rng(task.seed)
+    n_samples = binned.shape[0]
+    if spec.bootstrap:
+        idx = rng.integers(0, n_samples, size=n_samples)
+        bag_counts = np.bincount(idx, minlength=n_samples)
+        bag_weights = weights * bag_counts
+        rows = np.nonzero(bag_counts)[0]
+    else:
+        rows = np.arange(n_samples)
+        bag_weights = weights
+    tree = grow_classification_tree(binned[rows], encoded[rows],
+                                    bag_weights[rows], spec.n_classes,
+                                    spec.n_bins, spec.params, rng)
+    return task.index, tree
+
+
+def _forest_worker(handle: DatasetHandle, spec: ForestSpec,
+                   tasks: Sequence[ForestTask]
+                   ) -> List[Tuple[int, HistTree]]:
+    """Worker: grow one chunk of forest trees from the shared dataset."""
+    data = _attach(handle)
+    return [_forest_tree_task(data["binned"], data["encoded"],
+                              data["weights"], spec, task)
+            for task in tasks]
+
+
+def _chunk(tasks: Sequence, n_chunks: int) -> List[List]:
+    """Split tasks into at most ``n_chunks`` contiguous chunks."""
+    n_chunks = max(1, min(n_chunks, len(tasks)))
+    bounds = np.linspace(0, len(tasks), n_chunks + 1).astype(int)
+    return [list(tasks[bounds[i]:bounds[i + 1]]) for i in range(n_chunks)
+            if bounds[i] < bounds[i + 1]]
+
+
+def grow_forest(binned: np.ndarray, encoded: np.ndarray,
+                weights: np.ndarray, spec: ForestSpec,
+                seeds: Sequence[np.random.SeedSequence],
+                n_jobs: int = 1) -> List[HistTree]:
+    """Grow every tree of a forest; returns them in task (index) order.
+
+    ``n_jobs <= 1`` runs the identical per-tree tasks in-process; more
+    workers fan the chunks out over a ``ProcessPoolExecutor`` with the
+    binned matrix, labels and weights shipped once via shared memory.
+    """
+    tasks = [ForestTask(index=i, seed=seed) for i, seed in enumerate(seeds)]
+    if n_jobs <= 1 or len(tasks) <= 1:
+        pairs = [_forest_tree_task(binned, encoded, weights, spec, task)
+                 for task in tasks]
+    else:
+        with SharedDataset({"binned": binned, "encoded": encoded,
+                            "weights": weights}) as dataset:
+            handle = dataset.handle()
+            chunks = _chunk(tasks, n_jobs * CHUNKS_PER_JOB)
+            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+                futures = [pool.submit(_forest_worker, handle, spec, chunk)
+                           for chunk in chunks]
+                pairs = [pair for future in futures
+                         for pair in future.result()]
+    trees: List[Optional[HistTree]] = [None] * len(tasks)
+    for index, tree in pairs:
+        trees[index] = tree
+    return trees  # type: ignore[return-value]
+
+
+# --------------------------------------------------------------------------
+# Boosting-round task tree
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RoundSpec:
+    """Fit-constant boosting parameters shipped with every round."""
+
+    n_bins: int
+    params: TreeParams
+    leafwise: bool
+
+
+@dataclass(frozen=True)
+class RoundTask:
+    """One tree of one boosting round.
+
+    ``grad``/``hess`` are this round's per-sample statistics for one
+    class column (already GOSS-amplified where applicable); they change
+    every round, so they travel with the task rather than in the shared
+    dataset.
+    """
+
+    class_index: int
+    seed: np.random.SeedSequence
+    grad: np.ndarray
+    hess: np.ndarray
+    sample_idx: Optional[np.ndarray]
+
+
+def _round_tree_task(binned: np.ndarray, spec: RoundSpec, task: RoundTask
+                     ) -> Tuple[int, HistTree, np.ndarray]:
+    """Grow one round-tree and score it on the full training matrix.
+
+    Returning the predictions lets the parent update its raw scores
+    without re-walking the tree, and keeps that (deterministic) work on
+    the worker's CPU.
+    """
+    rng = np.random.default_rng(task.seed)
+    tree = grow_regression_tree(binned, task.grad, task.hess, spec.n_bins,
+                                spec.params, rng, leafwise=spec.leafwise,
+                                sample_idx=task.sample_idx)
+    return task.class_index, tree, tree.predict_value(binned)[:, 0]
+
+
+def _round_worker(handle: DatasetHandle, spec: RoundSpec,
+                  tasks: Sequence[RoundTask]
+                  ) -> List[Tuple[int, HistTree, np.ndarray]]:
+    """Worker: grow round-trees against the shared binned matrix."""
+    data = _attach(handle)
+    return [_round_tree_task(data["binned"], spec, task) for task in tasks]
+
+
+class BoostingPool:
+    """Per-fit worker pool for boosting rounds.
+
+    Publishes the binned matrix and starts the process pool lazily, on
+    the first round that actually has more than one tree to grow — a
+    binary objective (one tree per round) therefore never pays for a
+    pool it cannot use.  Rounds are submitted one at a time (they are
+    sequential by nature); within a round the per-class trees run
+    concurrently and are merged back in class order.
+    """
+
+    def __init__(self, binned: np.ndarray, n_jobs: int = 1) -> None:
+        self._binned = binned
+        self._n_jobs = max(1, int(n_jobs))
+        self._dataset: Optional[SharedDataset] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> None:
+        if self._pool is None:
+            self._dataset = SharedDataset({"binned": self._binned})
+            self._pool = ProcessPoolExecutor(max_workers=self._n_jobs)
+
+    def grow_round(self, spec: RoundSpec, tasks: Sequence[RoundTask]
+                   ) -> List[Tuple[HistTree, np.ndarray]]:
+        """Grow one round's trees; returns ``(tree, train_pred)`` pairs in
+        class order regardless of worker completion order."""
+        if self._n_jobs <= 1 or len(tasks) <= 1:
+            results = [_round_tree_task(self._binned, spec, task)
+                       for task in tasks]
+        else:
+            self._ensure_pool()
+            handle = self._dataset.handle()
+            futures = [self._pool.submit(_round_worker, handle, spec, [task])
+                       for task in tasks]
+            results = [item for future in futures
+                       for item in future.result()]
+        results.sort(key=lambda item: item[0])
+        return [(tree, pred) for _, tree, pred in results]
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared dataset."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._dataset is not None:
+            self._dataset.close()
+            self._dataset = None
+
+    def __enter__(self) -> "BoostingPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

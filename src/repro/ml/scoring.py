@@ -1,0 +1,90 @@
+"""Scorer objects: which model output a metric consumes.
+
+``cross_val_score`` and ``grid_search`` historically scored hard
+``model.predict`` labels only, which locked out every threshold-free
+metric the paper reports (AUPRC via :func:`repro.ml.ranking.pr_auc`,
+ROC-AUC, …).  A :class:`Scorer` bundles a metric with the model output it
+needs, so probability metrics plug into CV and tuning unchanged::
+
+    from repro.ml.ranking import pr_auc
+    from repro.ml.scoring import make_scorer
+
+    cross_val_score(factory, X, y, scorer=make_scorer(pr_auc,
+                                                      needs_proba=True))
+
+Plain ``scorer(y_true, y_pred)`` callables keep working everywhere a
+scorer is accepted (they are wrapped by :func:`resolve_scorer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.ml.ranking import pr_auc, roc_auc
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact label matches (the historical default scorer)."""
+    return float(np.mean(np.asarray(y_true) == np.asarray(y_pred)))
+
+
+def auprc(y_true, y_score) -> float:
+    """:func:`repro.ml.ranking.pr_auc` in scorer ``(y_true, y_hat)``
+    argument order — pair with ``make_scorer(auprc, needs_proba=True)``."""
+    return pr_auc(y_score, y_true)
+
+
+def auroc(y_true, y_score) -> float:
+    """:func:`repro.ml.ranking.roc_auc` in scorer argument order."""
+    return roc_auc(y_score, y_true)
+
+
+@dataclass(frozen=True)
+class Scorer:
+    """A metric plus the model output it scores.  Higher is better.
+
+    Attributes:
+        fn: ``fn(y_true, y_hat) -> float``.  For ``needs_proba`` scorers
+            ``y_hat`` is the positive-class probability column on binary
+            problems and the full ``(n, n_classes)`` matrix otherwise;
+            for label scorers it is ``model.predict``'s output.
+        needs_proba: score ``predict_proba`` instead of ``predict``.
+        name: diagnostic label.
+    """
+
+    fn: Callable
+    needs_proba: bool = False
+    name: str = "score"
+
+    def __call__(self, model, X, y_true) -> float:
+        """Score a fitted model on ``(X, y_true)``."""
+        if self.needs_proba:
+            proba = np.asarray(model.predict_proba(X))
+            y_hat = proba[:, 1] if proba.shape[1] == 2 else proba
+        else:
+            y_hat = model.predict(X)
+        return float(self.fn(y_true, y_hat))
+
+
+def make_scorer(fn: Callable, needs_proba: bool = False,
+                name: Optional[str] = None) -> Scorer:
+    """Wrap a metric function into a :class:`Scorer`."""
+    return Scorer(fn=fn, needs_proba=needs_proba,
+                  name=name or getattr(fn, "__name__", "score"))
+
+
+def resolve_scorer(scorer) -> Scorer:
+    """Normalise the ``scorer=`` argument of CV/tuning entry points.
+
+    ``None`` means accuracy; a :class:`Scorer` passes through; any other
+    callable is treated as a legacy ``scorer(y_true, y_pred)`` label
+    metric.
+    """
+    if scorer is None:
+        return Scorer(fn=accuracy, name="accuracy")
+    if isinstance(scorer, Scorer):
+        return scorer
+    return Scorer(fn=scorer, name=getattr(scorer, "__name__", "score"))

@@ -3,6 +3,11 @@
 Small and deterministic: exhaustive grid, stratified CV per candidate,
 refit on the full data with the winning configuration.  Enough to answer
 "did the paper's hyperparameters matter?" without a tuning framework.
+
+The CV folds are computed once (every candidate scores the exact same
+splits) and the (candidate, fold) fit tasks fan out over the fold-level
+parallel tier of :mod:`repro.ml.cv` when ``n_jobs`` asks for it — the
+selected model and every score are identical for every ``n_jobs``.
 """
 
 from __future__ import annotations
@@ -13,7 +18,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.ml.cv import StratifiedKFold
+from repro.ml.cv import StratifiedKFold, run_fold_tasks
+from repro.ml.scoring import Scorer, resolve_scorer
 
 
 @dataclass(frozen=True)
@@ -26,8 +32,33 @@ class GridSearchResult:
     best_model: object
 
     def ranked(self) -> List[tuple]:
-        """(params, score) pairs, best first."""
-        return sorted(self.results.items(), key=lambda item: -item[1])
+        """(params, score) pairs, best first.
+
+        Ties break deterministically on the parameter items (compared by
+        ``repr`` so mixed-type grids like ``[None, 5]`` still order), so
+        the ranking never depends on dict insertion order.
+        """
+        return sorted(
+            self.results.items(),
+            key=lambda item: (-item[1],
+                              tuple((name, repr(value))
+                                    for name, value in item[0])))
+
+
+def _fit_and_score_candidate(model_factory: Callable[..., object],
+                             params: Dict[str, object], X: np.ndarray,
+                             y: np.ndarray,
+                             sample_weight: Optional[np.ndarray],
+                             train_idx: np.ndarray, test_idx: np.ndarray,
+                             scorer: Scorer) -> float:
+    """One (candidate, fold) fit — shared by the serial and parallel paths."""
+    model = model_factory(**params)
+    if sample_weight is None:
+        model.fit(X[train_idx], y[train_idx])
+    else:
+        model.fit(X[train_idx], y[train_idx],
+                  sample_weight=sample_weight[train_idx])
+    return scorer(model, X[test_idx], y[test_idx])
 
 
 def grid_search(model_factory: Callable[..., object],
@@ -35,15 +66,24 @@ def grid_search(model_factory: Callable[..., object],
                 X, y,
                 n_splits: int = 3,
                 seed: Optional[int] = 0,
-                scorer: Optional[Callable] = None) -> GridSearchResult:
+                scorer: Optional[Callable] = None,
+                sample_weight=None,
+                n_jobs: Optional[int] = None) -> GridSearchResult:
     """Exhaustive grid search with stratified CV.
 
     Args:
         model_factory: ``model_factory(**params)`` builds an unfitted
-            estimator with ``fit`` / ``predict``.
+            estimator with ``fit`` / ``predict`` (and ``predict_proba``
+            if the scorer needs it).
         param_grid: ``{name: candidate values}``.
-        scorer: ``scorer(y_true, y_pred) -> float`` (higher better);
-            defaults to accuracy.
+        scorer: a :class:`repro.ml.scoring.Scorer` or a legacy
+            ``scorer(y_true, y_pred)`` callable (higher better); defaults
+            to accuracy.
+        sample_weight: optional per-sample fit weights, sliced per fold
+            and used whole for the final refit.
+        n_jobs: (candidate, fold) fits run concurrently
+            (``None``/``1`` = serial, ``-1`` = all cores); never changes
+            the scores or the selected model.
 
     Returns the result with the winning model refit on all data.
     """
@@ -51,22 +91,27 @@ def grid_search(model_factory: Callable[..., object],
         raise ValueError("param_grid must not be empty")
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
-    if scorer is None:
-        scorer = lambda a, b: float(np.mean(np.asarray(a) == np.asarray(b)))
+    if sample_weight is not None:
+        sample_weight = np.asarray(sample_weight, dtype=np.float64)
+        if sample_weight.shape != (len(y),):
+            raise ValueError("sample_weight shape mismatch")
+    scorer = resolve_scorer(scorer)
 
     names = sorted(param_grid)
+    candidates = [dict(zip(names, values)) for values in
+                  itertools.product(*(param_grid[name] for name in names))]
+    folds = list(StratifiedKFold(n_splits, seed=seed).split(y))
+    tasks = [(model_factory, params, X, y, sample_weight, train_idx,
+              test_idx, scorer)
+             for params in candidates for train_idx, test_idx in folds]
+    fold_scores = run_fold_tasks(_fit_and_score_candidate, tasks, n_jobs,
+                                 pickle_probe=(model_factory, scorer))
+
     results: Dict[tuple, float] = {}
     best_key, best_score = None, -np.inf
-    for values in itertools.product(*(param_grid[name] for name in names)):
-        params = dict(zip(names, values))
-        fold_scores = []
-        for train_idx, test_idx in StratifiedKFold(n_splits,
-                                                   seed=seed).split(y):
-            model = model_factory(**params)
-            model.fit(X[train_idx], y[train_idx])
-            fold_scores.append(scorer(y[test_idx],
-                                      model.predict(X[test_idx])))
-        mean_score = float(np.mean(fold_scores))
+    for i, params in enumerate(candidates):
+        mean_score = float(np.mean(
+            fold_scores[i * len(folds):(i + 1) * len(folds)]))
         key = tuple(sorted(params.items()))
         results[key] = mean_score
         if mean_score > best_score:
@@ -74,6 +119,9 @@ def grid_search(model_factory: Callable[..., object],
 
     best_params = dict(best_key)
     best_model = model_factory(**best_params)
-    best_model.fit(X, y)
+    if sample_weight is None:
+        best_model.fit(X, y)
+    else:
+        best_model.fit(X, y, sample_weight=sample_weight)
     return GridSearchResult(best_params=best_params, best_score=best_score,
                             results=results, best_model=best_model)

@@ -1,0 +1,273 @@
+"""Serial == parallel training, down to persisted-model bytes.
+
+The contract of :mod:`repro.ml.parallel`: ``n_jobs`` is a pure
+wall-clock knob — every tree draws from its own ``SeedSequence`` child
+and workers merge in total order, so the fitted model can never depend
+on worker count.  These tests lock that down for all three model
+families, plus regression tests for the CV/tuning bugfixes that shipped
+alongside (eager fold validation, deterministic default seeds,
+proba-aware scorers, ``sample_weight`` threading, ranked tie-breaks).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.cv import GroupKFold, StratifiedKFold, cross_val_score
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gbdt import XGBClassifier
+from repro.ml.lgbm import LGBMClassifier
+from repro.ml.parallel import resolve_n_jobs
+from repro.ml.persist import dump_model
+from repro.ml.scoring import auprc, make_scorer
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.tuning import GridSearchResult, grid_search
+
+
+def _dataset(n=240, n_classes=3, seed=7):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 6))
+    raw = X[:, 0] + 0.8 * X[:, 1] ** 2 - X[:, 2] + rng.normal(
+        scale=0.5, size=n)
+    if n_classes == 2:
+        y = (raw > 0.2).astype(int)
+    else:
+        y = np.clip(np.digitize(raw, [-0.4, 0.7]), 0, n_classes - 1)
+    return X, y
+
+
+MODEL_FACTORIES = {
+    "forest": lambda jobs: RandomForestClassifier(
+        n_estimators=12, max_depth=6, random_state=3, n_jobs=jobs),
+    "xgb": lambda jobs: XGBClassifier(
+        n_estimators=5, max_depth=3, subsample=0.8, colsample=0.7,
+        random_state=3, n_jobs=jobs),
+    "lgbm": lambda jobs: LGBMClassifier(
+        n_estimators=5, num_leaves=7, min_child_samples=4, goss=True,
+        feature_fraction=0.7, random_state=3, n_jobs=jobs),
+}
+
+
+class TestBitIdenticalTraining:
+    """n_jobs in {1, 2, 4}: identical trees, probabilities, importances,
+    and persisted bytes — multiclass so boosting rounds fan out too."""
+
+    @pytest.mark.parametrize("family", sorted(MODEL_FACTORIES))
+    @pytest.mark.parametrize("n_classes", [2, 3])
+    def test_predictions_and_importances_identical(self, family, n_classes):
+        X, y = _dataset(n_classes=n_classes)
+        make = MODEL_FACTORIES[family]
+        reference = make(1).fit(X, y)
+        for jobs in (2, 4):
+            candidate = make(jobs).fit(X, y)
+            assert np.array_equal(reference.predict_proba(X),
+                                  candidate.predict_proba(X))
+            assert np.array_equal(reference.feature_importances_,
+                                  candidate.feature_importances_)
+            assert np.array_equal(reference.predict(X), candidate.predict(X))
+
+    @pytest.mark.parametrize("family", sorted(MODEL_FACTORIES))
+    def test_persisted_model_bytes_identical(self, family, tmp_path):
+        X, y = _dataset(n_classes=3)
+        make = MODEL_FACTORIES[family]
+        payloads = {}
+        for jobs in (1, 4):
+            path = tmp_path / f"{family}_{jobs}.json"
+            dump_model(make(jobs).fit(X, y), path)
+            payloads[jobs] = path.read_bytes()
+        assert payloads[1] == payloads[4]
+
+    def test_n_jobs_minus_one_is_all_cores(self):
+        X, y = _dataset(n=120, n_classes=2)
+        reference = MODEL_FACTORIES["forest"](1).fit(X, y)
+        candidate = MODEL_FACTORIES["forest"](-1).fit(X, y)
+        assert np.array_equal(reference.predict_proba(X),
+                              candidate.predict_proba(X))
+
+    def test_bad_n_jobs_rejected_eagerly(self):
+        for family in MODEL_FACTORIES:
+            with pytest.raises(ValueError):
+                MODEL_FACTORIES[family](0)
+            with pytest.raises(ValueError):
+                MODEL_FACTORIES[family](-2)
+
+    def test_resolve_n_jobs(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(3) == 3
+        assert resolve_n_jobs(-1) >= 1
+
+
+class _CountingFactory:
+    """Model factory that counts how many models were ever built."""
+
+    def __init__(self):
+        self.builds = 0
+
+    def __call__(self):
+        self.builds += 1
+        return DecisionTreeClassifier(max_depth=2)
+
+
+class TestEagerFoldValidation:
+    """The empty-fold error must fire before any model is fitted."""
+
+    def test_stratified_raises_before_first_yield(self):
+        y = np.array([0, 0, 1, 1])  # both classes spread over folds 0-1
+        with pytest.raises(ValueError, match="came out empty"):
+            next(StratifiedKFold(n_splits=3, seed=0).split(y))
+
+    def test_group_kfold_eager(self):
+        # 3 groups over 3 folds is fine; the generator must not defer
+        # validation until iteration reaches a bad fold.
+        pairs = list(GroupKFold(3, seed=0).split(["a", "a", "b", "c"]))
+        assert len(pairs) == 3
+        for train, test in pairs:
+            assert test.size > 0 and train.size > 0
+
+    def test_cross_val_score_fits_nothing_on_doomed_split(self):
+        X = np.zeros((4, 2))
+        y = np.array([0, 0, 1, 1])
+        factory = _CountingFactory()
+        with pytest.raises(ValueError, match="came out empty"):
+            cross_val_score(factory, X, y, n_splits=3, seed=0)
+        assert factory.builds == 0
+
+
+class TestDeterministicDefaults:
+    """cross_val_score must be deterministic without an explicit seed."""
+
+    def test_default_seed_stratified(self):
+        X, y = _dataset(n=90, n_classes=2)
+        a = cross_val_score(lambda: DecisionTreeClassifier(max_depth=3),
+                            X, y, n_splits=3)
+        b = cross_val_score(lambda: DecisionTreeClassifier(max_depth=3),
+                            X, y, n_splits=3)
+        assert np.array_equal(a, b)
+
+    def test_default_seed_plain_kfold(self):
+        X, y = _dataset(n=90, n_classes=2)
+        a = cross_val_score(lambda: DecisionTreeClassifier(max_depth=3),
+                            X, y, n_splits=3, stratified=False)
+        b = cross_val_score(lambda: DecisionTreeClassifier(max_depth=3),
+                            X, y, n_splits=3, stratified=False)
+        assert np.array_equal(a, b)
+
+
+class _WeightRecorder:
+    """Fake model recording the sample_weight its fit() received."""
+
+    def __init__(self, log):
+        self._log = log
+
+    def fit(self, X, y, sample_weight=None):
+        self._log.append(None if sample_weight is None
+                         else np.asarray(sample_weight).copy())
+        self._majority = int(np.bincount(np.asarray(y)).argmax())
+        return self
+
+    def predict(self, X):
+        return np.full(len(X), self._majority)
+
+
+class TestScorerAndWeights:
+    def test_proba_scorer_reaches_predict_proba(self):
+        X, y = _dataset(n=150, n_classes=2)
+        scores = cross_val_score(
+            lambda: DecisionTreeClassifier(max_depth=4), X, y, n_splits=3,
+            scorer=make_scorer(auprc, needs_proba=True))
+        assert scores.shape == (3,)
+        assert (scores > 0.5).all()  # far better than the ~0.5 base rate
+
+    def test_legacy_label_scorer_still_works(self):
+        X, y = _dataset(n=90, n_classes=2)
+        scores = cross_val_score(
+            lambda: DecisionTreeClassifier(max_depth=3), X, y, n_splits=3,
+            scorer=lambda a, b: float(np.mean(np.asarray(a)
+                                              == np.asarray(b))))
+        assert (scores > 0.5).all()
+
+    def test_sample_weight_sliced_per_fold(self):
+        X = np.zeros((12, 2))
+        y = np.array([0, 1] * 6)
+        weight = np.arange(12, dtype=np.float64)
+        log = []
+        cross_val_score(lambda: _WeightRecorder(log), X, y, n_splits=3,
+                        seed=0, sample_weight=weight)
+        assert len(log) == 3
+        for received in log:
+            # each fold's model sees the training slice: 8 of the 12
+            # weights, all of them drawn from the original vector
+            assert received is not None
+            assert received.shape == (8,)
+            assert set(received.tolist()) <= set(weight.tolist())
+
+    def test_grid_search_threads_sample_weight_to_refit(self):
+        X = np.zeros((12, 2))
+        y = np.array([0, 1] * 6)
+        weight = np.arange(12, dtype=np.float64)
+        log = []
+        grid_search(lambda **kw: _WeightRecorder(log), {"unused": [0]},
+                    X, y, n_splits=3, seed=0, sample_weight=weight)
+        # 3 folds + the final refit, which sees the full weight vector
+        assert len(log) == 4
+        assert np.array_equal(log[-1], weight)
+
+
+class TestRankedTieBreak:
+    def test_ties_break_on_params(self):
+        result = GridSearchResult(
+            best_params={"a": 1}, best_score=0.5,
+            results={(("a", 2),): 0.5, (("a", 1),): 0.5, (("a", 3),): 0.9},
+            best_model=None)
+        ranked = result.ranked()
+        assert ranked[0] == ((("a", 3),), 0.9)
+        assert [params for params, _ in ranked[1:]] == [(("a", 1),),
+                                                        (("a", 2),)]
+
+    def test_mixed_type_params_do_not_crash(self):
+        result = GridSearchResult(
+            best_params={"d": None}, best_score=0.5,
+            results={(("d", None),): 0.5, (("d", 5),): 0.5},
+            best_model=None)
+        ranked = result.ranked()  # None vs 5 compare via repr, not <
+        assert len(ranked) == 2
+        assert ranked == sorted(ranked, key=lambda i: (-i[1], str(i[0])))
+
+
+def _tree_factory():
+    return DecisionTreeClassifier(max_depth=3)
+
+
+def _tree_factory_params(max_depth=2):
+    return DecisionTreeClassifier(max_depth=max_depth)
+
+
+class TestFoldParallelTier:
+    """n_jobs in CV/grid search never changes a score."""
+
+    def test_cross_val_score_jobs_invariant(self):
+        X, y = _dataset(n=120, n_classes=2)
+        serial = cross_val_score(_tree_factory, X, y, n_splits=4, seed=0)
+        parallel = cross_val_score(_tree_factory, X, y, n_splits=4, seed=0,
+                                   n_jobs=2)
+        assert np.array_equal(serial, parallel)
+
+    def test_lambda_factory_falls_back_to_serial(self):
+        X, y = _dataset(n=90, n_classes=2)
+        serial = cross_val_score(
+            lambda: DecisionTreeClassifier(max_depth=3), X, y,
+            n_splits=3, seed=0)
+        fallback = cross_val_score(
+            lambda: DecisionTreeClassifier(max_depth=3), X, y,
+            n_splits=3, seed=0, n_jobs=4)
+        assert np.array_equal(serial, fallback)
+
+    def test_grid_search_jobs_invariant(self):
+        X, y = _dataset(n=120, n_classes=2)
+        serial = grid_search(_tree_factory_params, {"max_depth": [1, 2, 3]},
+                             X, y, n_splits=3, seed=0)
+        parallel = grid_search(_tree_factory_params, {"max_depth": [1, 2, 3]},
+                               X, y, n_splits=3, seed=0, n_jobs=2)
+        assert serial.best_params == parallel.best_params
+        assert serial.best_score == parallel.best_score
+        assert serial.results == parallel.results
