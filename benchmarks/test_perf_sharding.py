@@ -1,0 +1,98 @@
+"""Perf smoke test of the sharded fleet serving engine.
+
+Streams the benchmark fleet's test split through a 4-shard
+``ShardedCordialEngine`` twice — all shards in-process (``n_jobs=1``)
+and fanned out over 4 worker processes (``n_jobs=4``) — and records both
+throughputs plus the speedup to a ``BENCH_sharding.json`` artifact.  The
+engines must agree decision for decision (the bit-invariance contract),
+and the fan-out must actually buy wall clock: parallelism is pointless
+if routing and IPC eat the win.
+
+Engine construction (process spawn + pipeline shipping) happens outside
+the timed window on both sides: the claim is steady-state serving
+throughput, not cold start.
+
+Tunables: ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_SEED`` (shared with the
+other benches via ``conftest``), ``REPRO_PERF_SHARDING_OUTPUT`` (default
+``BENCH_sharding.json``), ``REPRO_PERF_SHARDING_MIN_SPEEDUP`` (default
+1.0 — "4 workers beat 1").
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments.serve import bounded_shuffle
+from repro.serving import ShardedCordialEngine
+
+PERF_OUTPUT = os.environ.get("REPRO_PERF_SHARDING_OUTPUT",
+                             "BENCH_sharding.json")
+MIN_SPEEDUP = float(os.environ.get("REPRO_PERF_SHARDING_MIN_SPEEDUP", "1.0"))
+
+N_SHARDS = 4
+N_JOBS = 4
+MAX_SKEW = 3600.0
+
+
+def serve(engine, stream):
+    start = time.perf_counter()
+    for record in stream:
+        engine.submit(record)
+    outcome = engine.finish()
+    return outcome, time.perf_counter() - start
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < N_JOBS,
+                    reason=f"needs >= {N_JOBS} cores for a meaningful "
+                           "speedup measurement")
+def test_sharded_engine_speedup(context):
+    cordial = context.model("LightGBM")
+    _, test_banks = context.split
+    test_set = set(test_banks)
+    stream = bounded_shuffle(
+        [r for r in context.dataset.store if r.bank_key in test_set],
+        MAX_SKEW, seed=1)
+
+    serial_engine = ShardedCordialEngine(cordial, N_SHARDS, n_jobs=1,
+                                         max_skew=MAX_SKEW)
+    try:
+        serial, t_serial = serve(serial_engine, stream)
+    finally:
+        serial_engine.close()
+
+    parallel_engine = ShardedCordialEngine(cordial, N_SHARDS, n_jobs=N_JOBS,
+                                           max_skew=MAX_SKEW)
+    try:
+        parallel, t_parallel = serve(parallel_engine, stream)
+    finally:
+        parallel_engine.close()
+
+    speedup = t_serial / t_parallel
+    record = {
+        "events": len(stream),
+        "decisions": len(serial.decisions),
+        "n_shards": N_SHARDS,
+        "n_jobs": N_JOBS,
+        "serial_s": round(t_serial, 3),
+        "parallel_s": round(t_parallel, 3),
+        "events_per_s_serial": round(len(stream) / t_serial, 1),
+        "events_per_s_parallel": round(len(stream) / t_parallel, 1),
+        "speedup": round(speedup, 3),
+    }
+    with open(PERF_OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"\nsharded serving: {record}")
+
+    # The perf claim never compromises the equivalence contract.
+    serial_decisions = [d.to_obj() for d in serial.decisions]
+    parallel_decisions = [d.to_obj() for d in parallel.decisions]
+    assert serial_decisions == parallel_decisions
+    assert serial.stats == parallel.stats
+    assert serial.metrics == parallel.metrics
+    assert speedup > MIN_SPEEDUP, (
+        f"{N_JOBS}-worker fleet did not beat 1 worker: "
+        f"{t_parallel:.2f}s vs {t_serial:.2f}s "
+        f"(timings in {PERF_OUTPUT})")

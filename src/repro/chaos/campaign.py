@@ -92,8 +92,16 @@ def _summarize(service: CordialService, decisions: Sequence[Decision],
 def run_one(cordial: Cordial, stream: Sequence[ErrorRecord],
             truth: Dict[tuple, Sequence[Tuple[float, int]]],
             plan: ChaosPlan, run_seed: np.random.SeedSequence,
-            oracle: InvariantOracle, workdir: str, run_index: int) -> dict:
-    """One chaos run: perturb, serve with faults, judge; JSON-ready."""
+            oracle: InvariantOracle, workdir: str, run_index: int,
+            shards: Optional[int] = None) -> dict:
+    """One chaos run: perturb, serve with faults, judge; JSON-ready.
+
+    With ``shards`` the run serves through a
+    :class:`~repro.serving.engine.ShardedCordialEngine` (kill points
+    checkpoint and restart the whole fleet); decisions/ICR/state are
+    bit-identical to the single-service path, so the report layout,
+    digests, and invariant battery are unchanged.
+    """
     children = run_seed.spawn(len(plan.operators) + 1)
     operator_rngs = [np.random.default_rng(c) for c in children[:-1]]
     fault_rng = np.random.default_rng(children[-1])
@@ -106,15 +114,36 @@ def run_one(cordial: Cordial, stream: Sequence[ErrorRecord],
     else:
         kill_points = []
 
-    checkpoint_path = os.path.join(workdir, f"chaos-run-{run_index}.ckpt")
-    outcome = serve_with_faults(
-        _service_for(cordial, plan), perturbed, kill_points,
-        checkpoint_path, fault_rng, tamper_modes=plan.tamper_modes)
+    if shards is not None:
+        import shutil
+
+        from repro.chaos.faults import serve_engine_with_faults
+        from repro.serving.engine import ShardedCordialEngine
+
+        checkpoint_dir = os.path.join(workdir,
+                                      f"chaos-run-{run_index}.fleet")
+        engine = ShardedCordialEngine(cordial, shards, n_jobs=1,
+                                      spares_per_bank=plan.spares_per_bank,
+                                      max_skew=plan.max_skew)
+        try:
+            engine, outcome = serve_engine_with_faults(
+                engine, perturbed, kill_points, checkpoint_dir, fault_rng,
+                tamper_modes=plan.tamper_modes)
+        finally:
+            engine.close()
+            shutil.rmtree(checkpoint_dir, ignore_errors=True)
+        checkpoint_path = None
+    else:
+        checkpoint_path = os.path.join(workdir,
+                                       f"chaos-run-{run_index}.ckpt")
+        outcome = serve_with_faults(
+            _service_for(cordial, plan), perturbed, kill_points,
+            checkpoint_path, fault_rng, tamper_modes=plan.tamper_modes)
     icr = outcome.service.coverage(truth)
     scratch = os.path.join(workdir, f"chaos-run-{run_index}.oracle.ckpt")
     violations = oracle.check_run(outcome, icr, scratch)
     for path in (checkpoint_path, scratch):
-        if os.path.exists(path):
+        if path is not None and os.path.exists(path):
             os.remove(path)
     return {
         "run": run_index,
@@ -132,7 +161,8 @@ def run_one(cordial: Cordial, stream: Sequence[ErrorRecord],
 def run_campaign(cordial: Cordial, stream: Sequence[ErrorRecord],
                  truth: Dict[tuple, Sequence[Tuple[float, int]]],
                  plan: ChaosPlan, config: CampaignConfig, workdir: str,
-                 context: Optional[dict] = None, obs=None) -> dict:
+                 context: Optional[dict] = None, obs=None,
+                 shards: Optional[int] = None) -> dict:
     """Execute a full campaign; returns the byte-stable JSON report.
 
     Args:
@@ -145,6 +175,11 @@ def run_campaign(cordial: Cordial, stream: Sequence[ErrorRecord],
             in the report, so reports are location-independent).
         context: free-form labels merged into the report's config block
             (scale, model name, ...).
+        shards: when given, every chaos run serves through a sharded
+            fleet engine with this many bank-key shards (see
+            :func:`run_one`).  The clean baseline stays single-service —
+            the fleet is bit-identical to it, which is precisely the
+            property the campaign digests then witness.
         obs: optional :class:`~repro.obs.Observability` bundle, attached
             to the **clean baseline** serve only.  Per-run services stay
             unobserved on purpose: the ``drop_key`` tamper operator
@@ -168,7 +203,7 @@ def run_campaign(cordial: Cordial, stream: Sequence[ErrorRecord],
     runs = []
     for run_index, run_seed in enumerate(root.spawn(config.runs)):
         run = run_one(cordial, stream, truth, plan, run_seed, oracle,
-                      workdir, run_index)
+                      workdir, run_index, shards=shards)
         if obs is not None:
             obs.journal.event("run", run=run_index, ok=run["ok"],
                               violations=len(run["violations"]),
@@ -223,7 +258,8 @@ def run_chaos_campaign(scale: float = 0.08, seed: int = 11,
                        runs: int = 20, campaign_seed: int = 0,
                        jobs: int = 1, max_events: Optional[int] = None,
                        workdir: Optional[str] = None,
-                       obs_dir: Optional[str] = None) -> dict:
+                       obs_dir: Optional[str] = None,
+                       shards: Optional[int] = None) -> dict:
     """Generate, train, and run a campaign — the CLI entry's workhorse.
 
     Reuses the serve-replay plumbing: the same fleet generation, 70:30
@@ -236,6 +272,12 @@ def run_chaos_campaign(scale: float = 0.08, seed: int = 11,
             :func:`run_campaign`) and write the journal/trace/audit
             artifacts into this directory.  The campaign report itself
             is unchanged — it stays byte-stable and path-free.
+        shards: when given, chaos runs serve through the sharded fleet
+            engine (``cordial-repro chaos --shards N``).  Decision
+            digests, summaries, and the campaign digest match the
+            single-service campaign bit for bit; only the tamper-trial
+            entries differ (fleet trials damage shard files *and* the
+            manifest, labelled ``shard:``/``manifest:``).
     """
     import tempfile
 
@@ -249,6 +291,8 @@ def run_chaos_campaign(scale: float = 0.08, seed: int = 11,
         stream = stream[:max_events]
     context = {**meta, "scale": scale, "generator_seed": seed,
                "model_name": model_name}
+    if shards is not None:
+        context["shards"] = shards
     config = CampaignConfig(runs=runs, seed=campaign_seed)
     obs = None
     if obs_dir is not None:
@@ -262,12 +306,14 @@ def run_chaos_campaign(scale: float = 0.08, seed: int = 11,
     try:
         if workdir is not None:
             report = run_campaign(cordial, stream, truth, plan, config,
-                                  workdir, context=context, obs=obs)
+                                  workdir, context=context, obs=obs,
+                                  shards=shards)
         else:
             with tempfile.TemporaryDirectory(
                     prefix="cordial-chaos-") as scratch:
                 report = run_campaign(cordial, stream, truth, plan, config,
-                                      scratch, context=context, obs=obs)
+                                      scratch, context=context, obs=obs,
+                                      shards=shards)
     finally:
         if obs is not None:
             obs.export(obs_dir)

@@ -138,6 +138,126 @@ def run_tamper_trials(path: str, modes: Sequence[str],
     return trials
 
 
+def run_fleet_tamper_trials(directory: str, modes: Sequence[str],
+                            rng: np.random.Generator) -> List[TamperTrial]:
+    """Load-test a *fleet* checkpoint directory against tampering.
+
+    Each mode damages ``shard-00.ckpt.json`` **in place** (original bytes
+    restored afterwards) and attempts a full fleet load — the manifest
+    must not vouch for a shard file the service layer would reject.  A
+    final pair of trials damages the manifest itself (``truncate`` and
+    ``mangle_header`` only: the manifest has no ``"state"`` entry, so a
+    ``drop_key`` trial would "pass" without removing anything).  Trial
+    modes are prefixed ``shard:`` / ``manifest:`` in the report.
+    """
+    from repro.serving.checkpoint import (MANIFEST_FILE,
+                                          load_fleet_checkpoint,
+                                          shard_file_name)
+
+    def attempt(label: str) -> TamperTrial:
+        try:
+            load_fleet_checkpoint(directory)
+        except CheckpointCorruptionError as exc:
+            return TamperTrial(mode=label, detected=True,
+                               error=type(exc).__name__)
+        except Exception as exc:  # wrong type: a miss, not a crash
+            return TamperTrial(mode=label, detected=False,
+                               error=type(exc).__name__)
+        return TamperTrial(mode=label, detected=False, error="")
+
+    trials: List[TamperTrial] = []
+    shard_path = os.path.join(directory, shard_file_name(0))
+    for mode in modes:
+        with open(shard_path, "rb") as handle:
+            original = handle.read()
+        try:
+            tamper_checkpoint(shard_path, mode, rng, destination=shard_path)
+            trials.append(attempt(f"shard:{mode}"))
+        finally:
+            with open(shard_path, "wb") as handle:
+                handle.write(original)
+    manifest_path = os.path.join(directory, MANIFEST_FILE)
+    for mode in modes:
+        if mode == "drop_key":
+            continue
+        with open(manifest_path, "rb") as handle:
+            original = handle.read()
+        try:
+            tamper_checkpoint(manifest_path, mode, rng,
+                              destination=manifest_path)
+            trials.append(attempt(f"manifest:{mode}"))
+        finally:
+            with open(manifest_path, "wb") as handle:
+                handle.write(original)
+    return trials
+
+
+def _fleet_replay_snapshot(directory: str) -> dict:
+    """Merged ``IsolationReplay.state_dict()`` of a fleet checkpoint.
+
+    Gives the oracle's isolation-monotonicity invariant the same
+    single-ledger view it gets from a single-service checkpoint.
+    """
+    from repro.serving.checkpoint import load_fleet_checkpoint
+    from repro.serving.merge import merge_service_states
+    from repro.telemetry.metrics import EXPORT_VERSION
+
+    manifest, services = load_fleet_checkpoint(directory)
+    merged = merge_service_states(
+        [service.state_dict() for service in services],
+        manifest["router"], manifest["stats"],
+        {"version": EXPORT_VERSION,
+         "counters": dict(manifest["counters"]), "gauges": {}})
+    return merged["replay"]
+
+
+def serve_engine_with_faults(engine, stream: Sequence[Any],
+                             kill_points: Sequence[int],
+                             checkpoint_dir: str,
+                             rng: np.random.Generator,
+                             tamper_modes: Sequence[str] = ()
+                             ) -> Tuple[Any, ServeOutcome]:
+    """Fleet counterpart of :func:`serve_with_faults`.
+
+    At each kill point the *whole fleet* is checkpointed into
+    ``checkpoint_dir``, every worker is torn down, and a successor engine
+    restored from the directory serves on — the sharded crash/restart
+    path under chaos.  Returns ``(engine, outcome)``: the engine that
+    finished the stream (close it!), and a :class:`ServeOutcome` whose
+    ``service`` is the merged single-service view, so the invariant
+    oracle judges the fleet with the battery it already has.
+    """
+    from repro.serving.merge import merge_decisions
+
+    kills = sorted({int(k) for k in kill_points if 1 <= k <= len(stream)})
+    segments: List[List[Decision]] = []
+    trials: List[TamperTrial] = []
+    snapshots: List[dict] = []
+    restores = 0
+    for index, item in enumerate(stream, start=1):
+        engine.submit(item)
+        if kills and index == kills[0]:
+            kills.pop(0)
+            engine.checkpoint(checkpoint_dir)
+            segments.extend(engine.drain_segments())
+            snapshots.append(_fleet_replay_snapshot(checkpoint_dir))
+            if tamper_modes:
+                trials.extend(run_fleet_tamper_trials(
+                    checkpoint_dir, tamper_modes, rng))
+            engine.close()
+            engine = engine.restore_successor(checkpoint_dir)
+            restores += 1
+    outcome = engine.finish()
+    decisions = outcome.decisions
+    if segments:
+        decisions = merge_decisions(segments + [decisions])
+    snapshots.append(copy.deepcopy(outcome.service.replay.state_dict()))
+    return engine, ServeOutcome(
+        service=outcome.service, decisions=decisions,
+        restore_count=restores, tamper_trials=trials,
+        isolation_snapshots=snapshots)
+
+
 def serve_with_faults(service: CordialService, stream: Sequence[Any],
                       kill_points: Sequence[int], checkpoint_path: str,
                       rng: np.random.Generator,

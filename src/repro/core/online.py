@@ -54,6 +54,13 @@ class Decision:
         action: ``"row-spare"`` or ``"bank-spare"``.
         rows: rows newly isolated (empty for bank sparing).
         is_reprediction: True when this came from a post-trigger re-run.
+        sequence: sequence number of the *causing* released record.  A
+            released record causes at most one decision and sequences are
+            unique, so ``(timestamp, sequence)`` totally orders decisions
+            — the key the sharded fleet engine merges per-shard streams
+            on.  Deliberately excluded from :meth:`to_obj` (the canonical
+            JSON is unchanged, so decision digests stay stable) and from
+            equality; ``-1`` marks a decision built without one.
     """
 
     timestamp: float
@@ -62,6 +69,7 @@ class Decision:
     action: str
     rows: tuple
     is_reprediction: bool = False
+    sequence: int = field(default=-1, compare=False)
 
     def to_obj(self) -> dict:
         """JSON-ready rendering (canonical: used for equivalence checks)."""
@@ -245,7 +253,8 @@ class CordialService:
                     pattern=pattern.value)
             return [Decision(timestamp=trigger.timestamp,
                              bank_key=trigger.bank_key, pattern=pattern,
-                             action="bank-spare", rows=())]
+                             action="bank-spare", rows=(),
+                             sequence=trigger.history[-1].sequence)]
         self._pattern_of[trigger.bank_key] = pattern
         self._uer_rows[trigger.bank_key] = list(trigger.uer_rows)
         if self.incremental_features:
@@ -271,7 +280,8 @@ class CordialService:
                 budget_before=budget_before)
         return [Decision(timestamp=trigger.timestamp,
                          bank_key=trigger.bank_key, pattern=pattern,
-                         action="row-spare", rows=rows)]
+                         action="row-spare", rows=rows,
+                         sequence=trigger.history[-1].sequence)]
 
     def _on_subsequent_uer(self, record: ErrorRecord) -> Optional[Decision]:
         if not self.cordial.repredict_each_uer:
@@ -312,7 +322,8 @@ class CordialService:
                         bank_key=record.bank_key,
                         pattern=pattern,
                         action="row-spare", rows=rows,
-                        is_reprediction=True)
+                        is_reprediction=True,
+                        sequence=record.sequence)
 
     def _observe_row_decision(self, *, kind: str, timestamp: float,
                               bank_key: tuple, pattern: FailurePattern,

@@ -42,6 +42,14 @@ from repro.experiments.dag import DagTask, execute_dag
 SECTION_ORDER = ("E1", "E2", "E5/E6", "E7", "E3", "E4")
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for knobs that must be >= 1 (shards, jobs, offsets)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def _experiment_tasks(context: ExperimentContext, include_models: bool,
                       include_examples: bool) -> List[DagTask]:
     """The experiment DAG: analysis tasks are independent; E4 needs E3."""
@@ -124,7 +132,8 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
         scale=args.scale, seed=args.seed, model_name=args.model,
         max_skew=args.max_skew, shuffle=args.shuffle,
         shuffle_seed=args.shuffle_seed, jobs=args.jobs,
-        checkpoint_path=args.checkpoint, obs_dir=args.obs,
+        checkpoint_path=args.checkpoint, checkpoint_at=args.checkpoint_at,
+        shards=args.shards, obs_dir=args.obs,
         audit_attributions=args.audit_attributions)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -159,7 +168,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     report = run_chaos_campaign(
         scale=args.scale, seed=args.seed, model_name=args.model,
         plan=plan, runs=args.runs, campaign_seed=args.campaign_seed,
-        jobs=args.jobs, max_events=args.max_events, obs_dir=args.obs)
+        jobs=args.jobs, max_events=args.max_events, obs_dir=args.obs,
+        shards=args.shards)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -312,8 +322,19 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="shuffle_seed")
     p.add_argument("--checkpoint", type=str, default=None,
                    help="checkpoint/restore the service mid-stream "
-                        "through this file (exercises restart)")
-    p.add_argument("--jobs", type=int, default=1)
+                        "through this file (a directory with --shards; "
+                        "exercises restart)")
+    p.add_argument("--checkpoint-at", type=_positive_int, default=None,
+                   dest="checkpoint_at",
+                   help="take the --checkpoint snapshot after this many "
+                        "events (default: mid-stream; must lie within "
+                        "the stream)")
+    p.add_argument("--shards", type=_positive_int, default=None,
+                   help="serve through the sharded fleet engine with "
+                        "this many bank-key shards (decisions/ICR/"
+                        "metrics are identical for any value; --jobs "
+                        "sets the worker processes)")
+    p.add_argument("--jobs", type=_positive_int, default=1)
     p.add_argument("--output", type=str, default="serve_metrics.json",
                    help="where to write the metrics JSON report")
     p.add_argument("--obs", type=str, default=None, metavar="DIR",
@@ -352,6 +373,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--max-events", type=int, default=None,
                    dest="max_events",
                    help="truncate the test stream (smoke runs)")
+    c.add_argument("--shards", type=_positive_int, default=None,
+                   help="serve every chaos run through the sharded fleet "
+                        "engine with this many shards (kill points then "
+                        "restart the whole fleet)")
     c.add_argument("--jobs", type=int, default=1)
     c.add_argument("--output", type=str, default="chaos_report.json",
                    help="where to write the campaign JSON report")

@@ -39,15 +39,26 @@ def bounded_shuffle(records: Sequence[ErrorRecord], max_skew: float,
     arrives after an event more than ``max_skew`` newer — the exact
     disorder the collector's reorder buffer guarantees to absorb.
     Timestamps themselves are untouched.
+
+    Non-finite timestamps are rejected: NaN compares false against
+    everything, so a single poisoned value would silently scramble the
+    ``argsort`` ordering far beyond the skew bound.  The strict MCE
+    parser already refuses them at ingest; a shuffle harness fed one
+    got a malformed stream, not a shuffle request.
     """
     if max_skew <= 0:
         return list(records)
+    timestamps = np.asarray([r.timestamp for r in records], dtype=float)
+    if timestamps.size and not np.isfinite(timestamps).all():
+        bad = int(np.count_nonzero(~np.isfinite(timestamps)))
+        raise ValueError(
+            f"bounded_shuffle: {bad} record(s) carry non-finite "
+            "timestamps, which would silently poison the argsort "
+            "ordering; reject them upstream (the MCE parser does)")
     rng = np.random.default_rng(seed)
     half = 0.49 * max_skew
     jitter = rng.uniform(-half, half, size=len(records))
-    order = np.argsort(
-        np.asarray([r.timestamp for r in records]) + jitter,
-        kind="stable")
+    order = np.argsort(timestamps + jitter, kind="stable")
     return [records[i] for i in order]
 
 
@@ -65,7 +76,17 @@ def serve_stream(service: CordialService,
 
     Returns ``(service, decisions)`` — the service actually holding the
     final state (the restored one when a checkpoint was taken).
+
+    Raises ``ValueError`` when ``checkpoint_at`` lies outside the
+    stream: the restart path would silently never run, which is a
+    misconfiguration (the checkpoint you asked for does not exist), not
+    a degenerate no-op.
     """
+    if checkpoint_path is not None and checkpoint_at is not None:
+        if not 1 <= checkpoint_at <= len(records):
+            raise ValueError(
+                f"checkpoint_at={checkpoint_at} outside the stream "
+                f"(1..{len(records)}); the checkpoint would never fire")
     decisions: List[Decision] = []
     for index, record in enumerate(records):
         decisions.extend(service.ingest(record))
@@ -99,12 +120,15 @@ def build_report(service: CordialService, decisions: Sequence[Decision],
     """
     icr = service.replay.result(uer_rows_by_bank)
     actions = dict(service.stats.decisions_by_action)
+    dead = service.collector.dead_letter_counts
     trigger_decisions = [d for d in decisions if not d.is_reprediction]
     report = {
         "config": dict(config or {}),
         "summary": {
             "events_ingested": service.stats.events_ingested,
-            "events_dead_lettered": dict(service.collector.dead_letter_counts),
+            # Sorted like decisions_by_action below: quarantine order
+            # varies run to run, report bytes must not.
+            "events_dead_lettered": {k: dead[k] for k in sorted(dead)},
             "triggers_fired": service.stats.triggers_fired,
             "repredictions": service.stats.repredictions,
             "decisions_total": len(decisions),
@@ -192,11 +216,19 @@ def run_serve_replay(scale: float = 0.12, seed: int = 42,
                      spares_per_bank: int = 64, jobs: int = 1,
                      checkpoint_path: Optional[str] = None,
                      checkpoint_at: Optional[int] = None,
+                     shards: Optional[int] = None,
                      obs_dir: Optional[str] = None,
                      audit_attributions: bool = False) -> dict:
     """Generate, train, stream, and report — the full serve-replay run.
 
     Args:
+        shards: when given, serve through the sharded fleet engine
+            (``repro.serving``) with this many bank-key shards and
+            ``jobs`` worker processes; decisions, ICR, and the merged
+            metrics document are identical for any shard count (only
+            the timing block differs).  ``checkpoint_path`` then names
+            a fleet checkpoint *directory* (manifest + per-shard
+            files), and ``obs_dir`` grows per-shard subdirectories.
         obs_dir: when given, attach a full observability bundle and
             write its artifacts (journal, trace, audit trail, metrics,
             Prometheus exposition, summary) into this directory; the
@@ -209,7 +241,7 @@ def run_serve_replay(scale: float = 0.12, seed: int = 42,
     if shuffle:
         stream = bounded_shuffle(stream, max_skew, seed=shuffle_seed)
     if checkpoint_path is not None and checkpoint_at is None:
-        checkpoint_at = len(stream) // 2
+        checkpoint_at = max(1, len(stream) // 2)
 
     config = {
         "scale": scale,
@@ -223,6 +255,14 @@ def run_serve_replay(scale: float = 0.12, seed: int = 42,
         "stream_events": len(stream),
         "checkpointed_at": checkpoint_at if checkpoint_path else None,
     }
+    if shards is not None:
+        config["shards"] = shards
+        return _run_serve_replay_sharded(
+            cordial, stream, truth, config, shards=shards, jobs=jobs,
+            max_skew=max_skew, spares_per_bank=spares_per_bank,
+            checkpoint_path=checkpoint_path, checkpoint_at=checkpoint_at,
+            obs_dir=obs_dir, audit_attributions=audit_attributions,
+            seed=seed, shuffle_seed=shuffle_seed)
     metrics = MetricsRegistry()
     obs = None
     if obs_dir is not None:
@@ -247,4 +287,51 @@ def run_serve_replay(scale: float = 0.12, seed: int = 42,
     if obs is not None:
         artifacts = obs.export(obs_dir, metrics=service.metrics)
         report["obs"] = {"artifacts": artifacts, "summary": obs.summary()}
+    return report
+
+
+def _run_serve_replay_sharded(cordial, stream, truth, config, *,
+                              shards: int, jobs: int, max_skew: float,
+                              spares_per_bank: int,
+                              checkpoint_path: Optional[str],
+                              checkpoint_at: Optional[int],
+                              obs_dir: Optional[str],
+                              audit_attributions: bool,
+                              seed: int, shuffle_seed: int) -> dict:
+    """The ``--shards`` serve-replay path: fleet engine + merged report.
+
+    The merged service is a real :class:`CordialService`, so
+    :func:`build_report` runs on it unchanged; only the metrics block is
+    taken from the fleet merge (counters only — gauges and histograms
+    are per-shard wall-clock series with no shard-count-invariant
+    meaning), which is what makes the report byte-comparable across
+    shard counts modulo the timing block.
+    """
+    from repro.serving import ShardedCordialEngine, serve_stream_sharded
+
+    provenance = None
+    if obs_dir is not None:
+        provenance = build_provenance(
+            seeds={"generator": seed, "shuffle": shuffle_seed,
+                   "split": SPLIT_SEED},
+            config=config)
+    engine = ShardedCordialEngine(
+        cordial, n_shards=shards, n_jobs=jobs,
+        spares_per_bank=spares_per_bank, max_skew=max_skew,
+        obs_dir=obs_dir, obs_provenance=provenance,
+        obs_attributions=audit_attributions)
+    probe = TimingProbe(None)
+    try:
+        engine, outcome = serve_stream_sharded(
+            engine, stream, checkpoint_dir=checkpoint_path,
+            checkpoint_at=checkpoint_at if checkpoint_path else None)
+    finally:
+        engine.close()
+    timing = probe.finish(len(stream))
+
+    report = build_report(outcome.service, outcome.decisions, truth,
+                          config=config, timing=timing)
+    report["metrics"] = outcome.metrics
+    if outcome.obs is not None:
+        report["obs"] = outcome.obs
     return report

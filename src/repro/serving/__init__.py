@@ -1,0 +1,35 @@
+"""`repro.serving`: the sharded fleet-scale serving engine.
+
+Bank-level error locality makes Cordial's online path embarrassingly
+shardable: every record routes to its bank's shard by a stable hash
+(:mod:`~repro.serving.router`), each shard runs an independent
+:class:`~repro.core.online.CordialService`
+(:mod:`~repro.serving.workers`), and the coordinator merges decisions,
+stats, metrics, and state back into single-service form
+(:mod:`~repro.serving.merge`), with re-shardable fleet checkpoints
+(:mod:`~repro.serving.checkpoint`).  The whole fleet is bit-identical to
+one big service for any ``(n_shards, n_jobs)`` — both are pure
+wall-clock knobs (``tests/test_sharded_serving.py``).
+"""
+
+from repro.serving.checkpoint import (FLEET_CHECKPOINT_FORMAT,
+                                      FLEET_CHECKPOINT_VERSION, MANIFEST_FILE,
+                                      load_fleet_checkpoint,
+                                      load_fleet_manifest,
+                                      save_fleet_checkpoint, shard_file_name)
+from repro.serving.engine import (BATCH_SIZE, FleetOutcome,
+                                  ShardedCordialEngine, serve_stream_sharded)
+from repro.serving.merge import (merge_decisions, merge_metrics,
+                                 merge_service_states, merge_stats,
+                                 split_service_state)
+from repro.serving.router import FleetRouter, shard_of_bank
+from repro.serving.workers import ShardHost
+
+__all__ = [
+    "BATCH_SIZE", "FLEET_CHECKPOINT_FORMAT", "FLEET_CHECKPOINT_VERSION",
+    "FleetOutcome", "FleetRouter", "MANIFEST_FILE", "ShardHost",
+    "ShardedCordialEngine", "load_fleet_checkpoint", "load_fleet_manifest",
+    "merge_decisions", "merge_metrics", "merge_service_states",
+    "merge_stats", "save_fleet_checkpoint", "serve_stream_sharded",
+    "shard_file_name", "shard_of_bank", "split_service_state",
+]

@@ -1,0 +1,157 @@
+"""Fleet checkpoints: a manifest plus per-shard service checkpoint files.
+
+A sharded engine snapshots into a *directory*::
+
+    fleet.ckpt/
+      manifest.json        # cordial-fleet-checkpoint: topology + router
+                           # ledger + carried fleet stats/counters
+      shard-00.ckpt.json   # ordinary cordial-service-checkpoint files,
+      shard-01.ckpt.json   # self-contained (each embeds the pipeline)
+      ...
+
+The shard files are plain
+:func:`~repro.core.persistence.save_service_checkpoint` documents, so
+every existing tool that reads a service checkpoint reads a shard file
+unchanged, and the corruption taxonomy
+(:class:`~repro.core.persistence.CheckpointCorruptionError` for damage,
+:class:`~repro.ml.persist.ModelPersistenceError` for honest version
+skew) applies file by file.  Restoring re-routes bank state through
+:func:`~repro.serving.merge.split_service_state`, so the saved and
+restored shard counts are independent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from repro.core.persistence import (CheckpointCorruptionError,
+                                    ModelPersistenceError)
+
+FLEET_CHECKPOINT_FORMAT = "cordial-fleet-checkpoint"
+FLEET_CHECKPOINT_VERSION = 1
+SUPPORTED_FLEET_VERSIONS = (1,)
+
+MANIFEST_FILE = "manifest.json"
+
+
+def shard_file_name(shard_id: int) -> str:
+    """Canonical shard checkpoint file name inside the directory."""
+    return f"shard-{shard_id:02d}.ckpt.json"
+
+
+def save_fleet_checkpoint(directory: Union[str, Path],
+                          shard_documents: Sequence[dict],
+                          router_state: dict, stats: dict, counters: dict,
+                          config: dict) -> str:
+    """Write a fleet checkpoint directory; returns the manifest path.
+
+    Args:
+        shard_documents: one ``cordial-service-checkpoint`` document per
+            shard, in shard order.
+        router_state: :meth:`FleetRouter.state_dict` output.
+        stats: merged fleet :class:`ServiceStats` document (the restored
+            engine carries these totals forward).
+        counters: merged counters export document
+            (:func:`~repro.serving.merge.merge_metrics` output).
+        config: engine configuration (``spares_per_bank``, ``max_skew``,
+            ...) echoed into the manifest for the restore path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    names: List[str] = []
+    for shard_id, document in enumerate(shard_documents):
+        name = shard_file_name(shard_id)
+        with open(directory / name, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        names.append(name)
+    manifest = {
+        "format": FLEET_CHECKPOINT_FORMAT,
+        "version": FLEET_CHECKPOINT_VERSION,
+        "n_shards": len(shard_documents),
+        "shards": names,
+        "router": router_state,
+        "stats": stats,
+        "counters": counters,
+        "config": dict(config),
+    }
+    manifest_path = directory / MANIFEST_FILE
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+    return str(manifest_path)
+
+
+def load_fleet_manifest(directory: Union[str, Path]) -> dict:
+    """Read and validate a fleet-checkpoint manifest.
+
+    Error taxonomy mirrors ``service_from_document``: a garbled header,
+    unparseable JSON, or a manifest referencing a missing shard file is
+    :class:`CheckpointCorruptionError` (recovery code falls back to an
+    older checkpoint); an honest-but-unsupported integer version is
+    :class:`ModelPersistenceError`.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_FILE
+    if not manifest_path.exists():
+        raise CheckpointCorruptionError(
+            f"no {MANIFEST_FILE} under {directory} (not a fleet checkpoint, "
+            "or a truncated one)")
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointCorruptionError(
+            f"unreadable fleet manifest: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise CheckpointCorruptionError(
+            f"fleet manifest is {type(manifest).__name__}, not an object")
+    fmt = manifest.get("format")
+    if fmt != FLEET_CHECKPOINT_FORMAT:
+        raise CheckpointCorruptionError(
+            f"unrecognized fleet-checkpoint format: {fmt!r} "
+            "(damaged header?)")
+    version = manifest.get("version")
+    if version not in SUPPORTED_FLEET_VERSIONS:
+        if isinstance(version, int):
+            raise ModelPersistenceError(
+                f"unsupported fleet-checkpoint version: {version!r}")
+        raise CheckpointCorruptionError(
+            f"invalid fleet-checkpoint version: {version!r}")
+    try:
+        shards = list(manifest["shards"])
+        if int(manifest["n_shards"]) != len(shards):
+            raise CheckpointCorruptionError(
+                f"fleet manifest claims {manifest['n_shards']} shards but "
+                f"lists {len(shards)} files")
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointCorruptionError(
+            f"corrupt fleet manifest payload: {type(exc).__name__}: "
+            f"{exc}") from exc
+    for name in shards:
+        if os.path.basename(str(name)) != str(name):
+            raise CheckpointCorruptionError(
+                f"fleet manifest references a non-local shard file: {name!r}")
+        if not (directory / str(name)).exists():
+            raise CheckpointCorruptionError(
+                f"fleet manifest references missing shard file: {name!r}")
+    return manifest
+
+
+def load_fleet_checkpoint(directory: Union[str, Path]
+                          ) -> Tuple[dict, List["object"]]:
+    """Load ``(manifest, [shard CordialService, ...])`` from a directory.
+
+    Each shard file goes through
+    :func:`~repro.core.persistence.load_service_checkpoint`, so per-file
+    truncation/tampering surfaces as the same typed errors single-service
+    recovery already handles.
+    """
+    from repro.core.persistence import load_service_checkpoint
+
+    directory = Path(directory)
+    manifest = load_fleet_manifest(directory)
+    services = [load_service_checkpoint(directory / name)
+                for name in manifest["shards"]]
+    return manifest, services

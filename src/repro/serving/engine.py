@@ -1,0 +1,427 @@
+"""The sharded fleet serving engine: route, serve, merge, checkpoint.
+
+:class:`ShardedCordialEngine` scales the online serving path across
+worker processes while keeping the single-service contract bit for bit:
+
+* records are routed by stable bank-key hash
+  (:mod:`repro.serving.router`), so each shard's service sees exactly
+  the sub-stream one big service would have seen for its banks;
+* ingest is dispatched in batches over persistent workers
+  (:mod:`repro.serving.workers`); the fitted pipeline crosses to each
+  worker once, as a persistence document;
+* decisions come back as per-shard segments and are merged into the
+  global ``(timestamp, sequence)`` emission order
+  (:mod:`repro.serving.merge`), and the per-shard states union into one
+  real :class:`~repro.core.online.CordialService`, so reports, ICR
+  scoring, and the chaos oracle run on the fleet unchanged;
+* :meth:`checkpoint` writes a manifest + per-shard checkpoint directory
+  (:mod:`repro.serving.checkpoint`) that :meth:`restore` can load onto a
+  *different* shard count by re-routing bank state.
+
+Decisions, ICR, spare budgets, and checkpoint-restored state are
+bit-identical for any ``(n_shards, n_jobs)`` — both knobs are pure
+wall-clock levers (``tests/test_sharded_serving.py`` locks this down).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.online import CordialService, Decision
+from repro.core.pipeline import Cordial
+from repro.ml.parallel import resolve_n_jobs
+from repro.serving.checkpoint import (load_fleet_checkpoint,
+                                      save_fleet_checkpoint)
+from repro.serving.merge import (merge_decisions, merge_metrics,
+                                 merge_service_states, merge_stats,
+                                 split_service_state)
+from repro.serving.router import FleetRouter
+from repro.serving.workers import ShardHost, worker_main
+from repro.telemetry.events import ErrorRecord
+from repro.telemetry.metrics import EXPORT_VERSION
+
+#: Records buffered per shard before a batch crosses to its worker.
+BATCH_SIZE = 256
+
+
+@dataclass
+class FleetOutcome:
+    """What a finished fleet run hands back to the caller.
+
+    Attributes:
+        decisions: the globally ordered decision stream.
+        service: a real ``CordialService`` holding the merged fleet
+            state — reports, coverage queries, and checkpoints work on
+            it exactly as on a single-service run.
+        stats: the merged :class:`ServiceStats` document.
+        metrics: the merged counters export document (gauges/histograms
+            dropped — they have no shard-count-invariant meaning).
+        obs: per-shard observability blocks plus fleet roll-up, when the
+            engine ran observed.
+    """
+
+    decisions: List[Decision]
+    service: CordialService
+    stats: dict
+    metrics: dict
+    obs: Optional[dict] = field(default=None)
+
+
+class _LocalWorker:
+    """In-process worker (``n_workers == 1``): the host runs inline."""
+
+    def __init__(self, cordial: Cordial, config: dict,
+                 shard_ids: Sequence[int], obs_spec: Optional[dict]) -> None:
+        self._host = ShardHost(cordial, config, shard_ids, obs_spec)
+
+    def load(self, shard_id: int, state: dict) -> None:
+        self._host.load(shard_id, state)
+
+    def batch(self, shard_id: int, records: List[ErrorRecord]) -> None:
+        self._host.batch(shard_id, records)
+
+    def checkpoint(self) -> Dict[int, dict]:
+        return self._host.checkpoint()
+
+    def finish(self) -> Dict[int, dict]:
+        return self._host.finish()
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessWorker:
+    """A spawned worker process driven over a duplex pipe."""
+
+    def __init__(self, pipeline_document: dict, config: dict,
+                 shard_ids: Sequence[int], obs_spec: Optional[dict]) -> None:
+        context = multiprocessing.get_context("spawn")
+        self._conn, child = context.Pipe()
+        self._process = context.Process(target=worker_main, args=(child,),
+                                        daemon=True)
+        self._process.start()
+        child.close()
+        self._send(("init", {"pipeline": pipeline_document,
+                             "config": config,
+                             "shard_ids": list(shard_ids),
+                             "obs": obs_spec}))
+
+    def _send(self, message) -> None:
+        try:
+            self._conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise RuntimeError(
+                "shard worker died (pipe closed while sending "
+                f"{message[0]!r})") from exc
+
+    def _ask(self, message) -> Dict[int, dict]:
+        self._send(message)
+        try:
+            kind, payload = self._conn.recv()
+        except EOFError as exc:
+            raise RuntimeError(
+                f"shard worker died before replying to {message[0]!r}"
+            ) from exc
+        if kind == "error":
+            raise RuntimeError(f"shard worker failed:\n{payload}")
+        return payload
+
+    def load(self, shard_id: int, state: dict) -> None:
+        self._send(("load", shard_id, state))
+
+    def batch(self, shard_id: int, records: List[ErrorRecord]) -> None:
+        self._send(("batch", shard_id, records))
+
+    def checkpoint(self) -> Dict[int, dict]:
+        return self._ask(("checkpoint",))
+
+    def finish(self) -> Dict[int, dict]:
+        return self._ask(("finish",))
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=10)
+        if self._process.is_alive():  # pragma: no cover - hung worker
+            self._process.terminate()
+            self._process.join(timeout=5)
+        self._conn.close()
+
+
+class ShardedCordialEngine:
+    """Coordinator of a sharded fleet of ``CordialService`` shards.
+
+    Args:
+        cordial: a fitted pipeline; shipped to each worker once.
+        n_shards: bank-key partitions.  Decisions/ICR/state are
+            identical for any value; more shards expose more
+            parallelism.
+        n_jobs: worker processes (``ml.parallel.resolve_n_jobs``
+            semantics; capped at ``n_shards``).  ``1`` runs every shard
+            in-process — a pure wall-clock knob, never a results knob.
+        spares_per_bank / max_skew: per-shard service configuration
+            (the router shares ``max_skew`` for its global watermark).
+        obs_dir: when given, every shard journals into
+            ``obs_dir/shard-NN`` (restored engines under
+            ``obs_dir/epoch-NN/shard-NN`` — a journal file must never be
+            re-opened by a second writer mid-run).
+    """
+
+    def __init__(self, cordial: Cordial, n_shards: int, n_jobs: int = 1,
+                 spares_per_bank: int = 64, max_skew: float = 0.0,
+                 obs_dir: Optional[str] = None,
+                 obs_provenance: Optional[dict] = None,
+                 obs_attributions: bool = False,
+                 batch_size: int = BATCH_SIZE, epoch: int = 0) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.cordial = cordial
+        self.n_shards = n_shards
+        self.n_jobs = n_jobs
+        self.n_workers = min(resolve_n_jobs(n_jobs), n_shards)
+        self.spares_per_bank = spares_per_bank
+        self.max_skew = max_skew
+        self.obs_dir = obs_dir
+        self.obs_provenance = obs_provenance
+        self.obs_attributions = obs_attributions
+        self.epoch = epoch
+        self.router = FleetRouter(n_shards, max_skew=max_skew)
+        self._batch_size = batch_size
+        self._events_submitted = 0
+        self._carried_stats: Optional[dict] = None
+        self._carried_counters: Optional[Dict[str, float]] = None
+        self._segments: List[List[Decision]] = []
+        self._buffers: Dict[int, List[ErrorRecord]] = {
+            shard_id: [] for shard_id in range(n_shards)}
+
+        config = {"spares_per_bank": spares_per_bank, "max_skew": max_skew}
+        obs_spec = None
+        if obs_dir is not None:
+            directory = (obs_dir if epoch == 0
+                         else os.path.join(obs_dir, f"epoch-{epoch:02d}"))
+            obs_spec = {"directory": directory,
+                        "provenance": dict(obs_provenance or {}),
+                        "attributions": obs_attributions}
+        shard_ids_of = [
+            [shard_id for shard_id in range(n_shards)
+             if shard_id % self.n_workers == worker]
+            for worker in range(self.n_workers)]
+        if self.n_workers == 1:
+            self._workers: List = [
+                _LocalWorker(cordial, config, shard_ids_of[0], obs_spec)]
+        else:
+            from repro.core.persistence import pipeline_to_document
+
+            document = pipeline_to_document(cordial)
+            self._workers = [
+                _ProcessWorker(document, config, shard_ids, obs_spec)
+                for shard_ids in shard_ids_of]
+        self._worker_of = {shard_id: self._workers[shard_id % self.n_workers]
+                           for shard_id in range(n_shards)}
+
+    # -- streaming -----------------------------------------------------------
+    def submit(self, record: ErrorRecord) -> None:
+        """Route one event to its shard (or the quarantine ledger)."""
+        self._events_submitted += 1
+        shard_id = self.router.route(record)
+        if shard_id is None:
+            return
+        buffered = self._buffers[shard_id]
+        buffered.append(record)
+        if len(buffered) >= self._batch_size:
+            self._dispatch(shard_id)
+
+    def _dispatch(self, shard_id: int) -> None:
+        buffered = self._buffers[shard_id]
+        if buffered:
+            self._worker_of[shard_id].batch(shard_id, buffered)
+            self._buffers[shard_id] = []
+
+    def _dispatch_all(self) -> None:
+        for shard_id in range(self.n_shards):
+            self._dispatch(shard_id)
+
+    # -- checkpointing -------------------------------------------------------
+    def checkpoint(self, directory: str) -> str:
+        """Snapshot the fleet into a checkpoint directory (mid-stream).
+
+        Returns the manifest path.  Decision segments drained at the
+        snapshot stay with the engine and are merged at :meth:`finish`
+        (or handed over via :meth:`drain_segments` on a restart).
+        """
+        self._dispatch_all()
+        shard_documents: List[Optional[dict]] = [None] * self.n_shards
+        for worker in self._workers:
+            for shard_id, entry in sorted(worker.checkpoint().items()):
+                shard_documents[shard_id] = entry["document"]
+                self._segments.append(entry["decisions"])
+        shard_states = [document["state"] for document in shard_documents]
+        stats = merge_stats([state["stats"] for state in shard_states],
+                            self._events_submitted,
+                            carried=self._carried_stats)
+        counters = merge_metrics(
+            [state["metrics"] for state in shard_states],
+            self.router.dead_letter_counts, stats["events_ingested"],
+            carried_counters=self._carried_counters)
+        config = {"spares_per_bank": self.spares_per_bank,
+                  "max_skew": self.max_skew}
+        return save_fleet_checkpoint(directory, shard_documents,
+                                     self.router.state_dict(), stats,
+                                     counters["counters"], config)
+
+    def drain_segments(self) -> List[List[Decision]]:
+        """Take ownership of the decision segments drained so far."""
+        segments = self._segments
+        self._segments = []
+        return segments
+
+    @classmethod
+    def restore(cls, directory: str, n_shards: Optional[int] = None,
+                n_jobs: int = 1, obs_dir: Optional[str] = None,
+                obs_provenance: Optional[dict] = None,
+                obs_attributions: bool = False,
+                batch_size: int = BATCH_SIZE,
+                epoch: int = 1) -> "ShardedCordialEngine":
+        """Restore a fleet from a checkpoint directory.
+
+        ``n_shards`` defaults to the saved topology but may differ: the
+        shard states are merged and re-split by the stable bank hash, so
+        a fleet saved at 4 shards restores onto 2 (or 8) with
+        bit-identical downstream behaviour.
+        """
+        manifest, services = load_fleet_checkpoint(directory)
+        if n_shards is None:
+            n_shards = int(manifest["n_shards"])
+        merged_state = merge_service_states(
+            [service.state_dict() for service in services],
+            manifest["router"], manifest["stats"],
+            {"version": EXPORT_VERSION,
+             "counters": dict(manifest["counters"]), "gauges": {}})
+        config = manifest["config"]
+        engine = cls(services[0].cordial, n_shards, n_jobs=n_jobs,
+                     spares_per_bank=int(config["spares_per_bank"]),
+                     max_skew=float(config["max_skew"]), obs_dir=obs_dir,
+                     obs_provenance=obs_provenance,
+                     obs_attributions=obs_attributions,
+                     batch_size=batch_size, epoch=epoch)
+        engine.router.load_state_dict(manifest["router"])
+        engine._carried_stats = dict(manifest["stats"])
+        engine._carried_counters = dict(manifest["counters"])
+        for shard_id, state in enumerate(
+                split_service_state(merged_state, n_shards)):
+            engine._worker_of[shard_id].load(shard_id, state)
+        return engine
+
+    def restore_successor(self, directory: str) -> "ShardedCordialEngine":
+        """The restarted engine that resumes from ``directory``.
+
+        Carries this engine's topology and observability configuration
+        forward (the successor journals under the next epoch directory).
+        Close this engine first; its undrained segments should be taken
+        with :meth:`drain_segments` before the handoff.
+        """
+        return ShardedCordialEngine.restore(
+            directory, n_shards=self.n_shards, n_jobs=self.n_jobs,
+            obs_dir=self.obs_dir, obs_provenance=self.obs_provenance,
+            obs_attributions=self.obs_attributions,
+            batch_size=self._batch_size, epoch=self.epoch + 1)
+
+    # -- completion ----------------------------------------------------------
+    def finish(self) -> FleetOutcome:
+        """Flush every shard, merge, and return the fleet outcome."""
+        self._dispatch_all()
+        shard_states: List[Optional[dict]] = [None] * self.n_shards
+        obs_blocks: Dict[str, dict] = {}
+        for worker in self._workers:
+            for shard_id, entry in sorted(worker.finish().items()):
+                self._segments.append(entry["decisions"])
+                shard_states[shard_id] = entry["state"]
+                if "obs" in entry:
+                    obs_blocks[f"shard-{shard_id:02d}"] = entry["obs"]
+        decisions = merge_decisions(self._segments)
+        self._segments = []
+        stats = merge_stats([state["stats"] for state in shard_states],
+                            self._events_submitted,
+                            carried=self._carried_stats)
+        metrics = merge_metrics(
+            [state["metrics"] for state in shard_states],
+            self.router.dead_letter_counts, stats["events_ingested"],
+            carried_counters=self._carried_counters)
+        merged_state = merge_service_states(shard_states,
+                                            self.router.state_dict(),
+                                            stats, metrics)
+        service = CordialService(self.cordial,
+                                 spares_per_bank=self.spares_per_bank,
+                                 max_skew=self.max_skew)
+        service.load_state_dict(merged_state)
+        obs = None
+        if obs_blocks:
+            obs = {
+                "shards": obs_blocks,
+                "merged": {
+                    "journal_events_total": sum(
+                        block["summary"]["journal"]["events_journalled"]
+                        for block in obs_blocks.values()),
+                    "audit_records_total": sum(
+                        block["summary"]["audit"]["records"]
+                        for block in obs_blocks.values()),
+                },
+            }
+        return FleetOutcome(decisions=decisions, service=service,
+                            stats=stats, metrics=metrics, obs=obs)
+
+    def close(self) -> None:
+        """Stop every worker (idempotent)."""
+        for worker in self._workers:
+            worker.close()
+
+    def __enter__(self) -> "ShardedCordialEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve_stream_sharded(engine: ShardedCordialEngine,
+                         records: Sequence[ErrorRecord],
+                         checkpoint_dir: Optional[str] = None,
+                         checkpoint_at: Optional[int] = None):
+    """Feed ``records`` through a fleet engine (submit + finish).
+
+    When ``checkpoint_dir`` and ``checkpoint_at`` are given, the fleet
+    is snapshotted after ``checkpoint_at`` events, the engine is torn
+    down, and a *restored* engine serves the remainder — the sharded
+    crash/restart path, mirroring ``serve_stream``.  Raises
+    ``ValueError`` when ``checkpoint_at`` lies outside the stream (a
+    checkpoint that silently never fires is a misconfiguration, not a
+    run).
+
+    Returns ``(engine, outcome)`` — the engine actually finishing the
+    stream, and a :class:`FleetOutcome` whose ``decisions`` span the
+    whole run (pre- and post-restart segments globally merged).
+    """
+    if checkpoint_dir is not None and checkpoint_at is not None:
+        if not 1 <= checkpoint_at <= len(records):
+            raise ValueError(
+                f"checkpoint_at={checkpoint_at} outside the stream "
+                f"(1..{len(records)}); the checkpoint would never fire")
+    early_segments: List[List[Decision]] = []
+    for index, record in enumerate(records):
+        engine.submit(record)
+        if checkpoint_dir is not None and checkpoint_at == index + 1:
+            engine.checkpoint(checkpoint_dir)
+            early_segments.extend(engine.drain_segments())
+            engine.close()
+            engine = engine.restore_successor(checkpoint_dir)
+    outcome = engine.finish()
+    if early_segments:
+        outcome.decisions = merge_decisions(
+            early_segments + [outcome.decisions])
+    return engine, outcome

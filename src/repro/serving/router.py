@@ -1,0 +1,163 @@
+"""Deterministic bank-key routing for the sharded fleet engine.
+
+Bank-level error locality (the paper's Section III observation the whole
+method rests on) means every bank's stream is independent: no feature,
+trigger, or sparing decision ever crosses a bank boundary.  The serving
+path therefore shards *by bank key* — every record of a bank lands on
+the same shard, so each shard's :class:`~repro.core.online.CordialService`
+sees exactly the sub-stream a single service would have seen for those
+banks, and per-bank state never needs to move.
+
+Two design rules keep the fleet bit-identical to one big service:
+
+* **stable hashing** — :func:`shard_of_bank` uses BLAKE2s over the
+  canonical bank-key rendering, never Python's seed-randomised ``hash``,
+  so the bank→shard map is a pure function of ``(bank_key, n_shards)``
+  across processes, restarts, and machines;
+* **coordinator-owned quarantine** — the router performs the collector's
+  ingest checks (malformed / non-finite / late) against the *global*
+  watermark before routing, reproducing
+  :meth:`~repro.telemetry.collector.BMCCollector.ingest` byte for byte
+  (same check order, same reason constants, same detail strings).  Shard
+  collectors then never quarantine: their local watermark only ever
+  trails the global one, so a record the router accepted can never be
+  late on its shard.  The fleet's dead-letter ledger lives here, in one
+  place, and merges trivially.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, List, Optional
+
+from repro.telemetry.collector import (REASON_LATE, REASON_MALFORMED,
+                                       DeadLetter)
+from repro.telemetry.events import ErrorRecord
+
+
+def shard_of_bank(bank_key: tuple, n_shards: int) -> int:
+    """The shard owning ``bank_key`` — stable across processes and runs.
+
+    BLAKE2s over the comma-joined integer rendering of the key; Python's
+    built-in ``hash`` is seed-randomised per process and would scatter
+    the same bank to different shards on every restart.
+    """
+    rendered = ",".join(str(int(part)) for part in bank_key)
+    digest = hashlib.blake2s(rendered.encode("ascii"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big") % n_shards
+
+
+class FleetRouter:
+    """Routes records to shards; owns the fleet-global quarantine.
+
+    Args:
+        n_shards: number of shards records are partitioned across.
+        max_skew: tolerated timestamp disorder (must match the shard
+            services' collectors — the router's watermark is the fleet's
+            single source of truth for lateness).
+        max_dead_letters: bounded evidence window, mirroring
+            :class:`~repro.telemetry.collector.BMCCollector`.
+    """
+
+    def __init__(self, n_shards: int, max_skew: float = 0.0,
+                 max_dead_letters: int = 1_000) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if max_skew < 0:
+            raise ValueError("max_skew must be >= 0")
+        self.n_shards = n_shards
+        self.max_skew = max_skew
+        self.max_dead_letters = max_dead_letters
+        self._max_timestamp = float("-inf")
+        self.dead_letters: List[DeadLetter] = []
+        self.dead_letter_counts: Dict[str, int] = {}
+
+    @property
+    def watermark(self) -> float:
+        """Events with timestamps below this are late (dead-lettered)."""
+        return self._max_timestamp - self.max_skew
+
+    def quarantine(self, reason: str, detail: str,
+                   timestamp: Optional[float] = None,
+                   record: Optional[ErrorRecord] = None) -> None:
+        """Record one dead-lettered input (bounded list, exact counts)."""
+        self.dead_letter_counts[reason] = (
+            self.dead_letter_counts.get(reason, 0) + 1)
+        if len(self.dead_letters) < self.max_dead_letters:
+            self.dead_letters.append(DeadLetter(
+                reason=reason, detail=detail, timestamp=timestamp,
+                record=record))
+
+    def route(self, record: ErrorRecord) -> Optional[int]:
+        """Shard id for ``record``, or ``None`` when it was quarantined.
+
+        The checks run in the exact order of ``BMCCollector.ingest`` and
+        produce the exact detail strings, so the fleet's dead-letter
+        ledger is byte-identical to a single service's.
+        """
+        if not isinstance(record, ErrorRecord):
+            self.quarantine(REASON_MALFORMED,
+                            f"not an ErrorRecord: {type(record).__name__}")
+            return None
+        if not math.isfinite(record.timestamp):
+            self.quarantine(
+                REASON_MALFORMED,
+                f"non-finite timestamp: {record.timestamp} "
+                f"(sequence {record.sequence})")
+            return None
+        if record.timestamp < self.watermark:
+            self.quarantine(
+                REASON_LATE,
+                f"timestamp {record.timestamp} behind watermark "
+                f"{self.watermark}",
+                timestamp=record.timestamp, record=record)
+            return None
+        if record.timestamp > self._max_timestamp:
+            self._max_timestamp = record.timestamp
+        return shard_of_bank(record.bank_key, self.n_shards)
+
+    # -- checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-ready router state (deterministic layout).
+
+        ``n_shards`` is deliberately *not* part of the state: a fleet
+        checkpoint restores onto any shard count by re-routing bank
+        state, and the ledger/watermark are shard-count-invariant.
+        """
+        from repro.telemetry.mcelog import record_to_obj
+
+        return {
+            "max_skew": self.max_skew,
+            "max_dead_letters": self.max_dead_letters,
+            "max_timestamp": (None if self._max_timestamp == float("-inf")
+                              else self._max_timestamp),
+            "dead_letters": [
+                {"reason": d.reason, "detail": d.detail,
+                 "timestamp": d.timestamp,
+                 "record": (None if d.record is None
+                            else record_to_obj(d.record))}
+                for d in self.dead_letters
+            ],
+            "dead_letter_counts": {k: self.dead_letter_counts[k]
+                                   for k in sorted(self.dead_letter_counts)},
+        }
+
+    def load_state_dict(self, state: dict) -> "FleetRouter":
+        """Restore state captured by :meth:`state_dict`."""
+        from repro.telemetry.mcelog import record_from_obj
+
+        self.max_skew = float(state["max_skew"])
+        self.max_dead_letters = int(state["max_dead_letters"])
+        self._max_timestamp = (float("-inf")
+                               if state["max_timestamp"] is None
+                               else float(state["max_timestamp"]))
+        self.dead_letters = [
+            DeadLetter(reason=d["reason"], detail=d["detail"],
+                       timestamp=d["timestamp"],
+                       record=(None if d["record"] is None
+                               else record_from_obj(d["record"])))
+            for d in state["dead_letters"]
+        ]
+        self.dead_letter_counts = dict(state["dead_letter_counts"])
+        return self
