@@ -89,22 +89,56 @@ def _summarize(service: CordialService, decisions: Sequence[Decision],
     }
 
 
+def _supervision_schedule(plan: ChaosPlan, stream_length: int, shards: int,
+                          rng: np.random.Generator) -> Tuple[List[int],
+                                                             List[Any]]:
+    """Draw poison positions and per-shard worker faults for one run.
+
+    All draws come from the run's dedicated supervision RNG child, in a
+    fixed order (poison first), so the schedule is as reproducible as
+    the operator streams.
+    """
+    from repro.chaos.faults import WORKER_FAULT_MODES, WorkerFault
+
+    positions: List[int] = []
+    if plan.poison_per_run and stream_length > 1:
+        count = min(plan.poison_per_run, stream_length - 1)
+        positions = sorted(int(p) for p in rng.choice(
+            np.arange(1, stream_length), size=count, replace=False))
+    faults: List[Any] = []
+    mode_names = sorted(WORKER_FAULT_MODES)
+    for _ in range(plan.worker_faults_per_run):
+        faults.append(WorkerFault(
+            at_event=int(rng.integers(1, max(2, stream_length + 1))),
+            shard=int(rng.integers(0, shards)),
+            mode=mode_names[int(rng.integers(0, len(mode_names)))]))
+    return positions, faults
+
+
 def run_one(cordial: Cordial, stream: Sequence[ErrorRecord],
             truth: Dict[tuple, Sequence[Tuple[float, int]]],
             plan: ChaosPlan, run_seed: np.random.SeedSequence,
             oracle: InvariantOracle, workdir: str, run_index: int,
-            shards: Optional[int] = None) -> dict:
+            shards: Optional[int] = None, engine_jobs: int = 1) -> dict:
     """One chaos run: perturb, serve with faults, judge; JSON-ready.
 
     With ``shards`` the run serves through a
     :class:`~repro.serving.engine.ShardedCordialEngine` (kill points
     checkpoint and restart the whole fleet); decisions/ICR/state are
     bit-identical to the single-service path, so the report layout,
-    digests, and invariant battery are unchanged.
+    digests, and invariant battery are unchanged.  When the plan asks
+    for worker faults or poison records (and ``shards`` is set), the
+    engine runs *supervised*: the stream is additionally disturbed by
+    scheduled worker crashes/hangs/garbage and planted poison records,
+    an undisturbed twin run serves the poison-free twin stream, and the
+    oracle's ``supervision`` check requires the two to end
+    byte-identical (modulo the poison dead-letter ledger).
     """
-    children = run_seed.spawn(len(plan.operators) + 1)
-    operator_rngs = [np.random.default_rng(c) for c in children[:-1]]
-    fault_rng = np.random.default_rng(children[-1])
+    children = run_seed.spawn(len(plan.operators) + 2)
+    operator_rngs = [np.random.default_rng(c)
+                     for c in children[:len(plan.operators)]]
+    fault_rng = np.random.default_rng(children[len(plan.operators)])
+    supervision_rng = np.random.default_rng(children[-1])
 
     perturbed, applied = perturb_stream(stream, plan, operator_rngs)
     if plan.kills_per_run and len(perturbed) > 1:
@@ -113,6 +147,9 @@ def run_one(cordial: Cordial, stream: Sequence[ErrorRecord],
             np.arange(1, len(perturbed)), size=count, replace=False))
     else:
         kill_points = []
+    supervise = shards is not None and (plan.worker_faults_per_run > 0
+                                        or plan.poison_per_run > 0)
+    supervised_extra: Optional[dict] = None
 
     if shards is not None:
         import shutil
@@ -120,19 +157,68 @@ def run_one(cordial: Cordial, stream: Sequence[ErrorRecord],
         from repro.chaos.faults import serve_engine_with_faults
         from repro.serving.engine import ShardedCordialEngine
 
+        supervisor_config = None
+        worker_faults: List[Any] = []
+        twin = perturbed
+        planted = 0
+        poison_positions: List[int] = []
+        if supervise:
+            from repro.chaos.operators import plant_poison
+            from repro.serving.supervisor import SupervisorConfig
+
+            poison_positions, worker_faults = _supervision_schedule(
+                plan, len(perturbed), shards, supervision_rng)
+            perturbed, twin, planted = plant_poison(perturbed,
+                                                    poison_positions)
+            supervisor_config = SupervisorConfig(
+                max_restarts=(2 * planted + len(worker_faults) + 4),
+                batch_timeout=5.0, snapshot_every=8, poison_threshold=2,
+                backoff_base=0.0)
+
         checkpoint_dir = os.path.join(workdir,
                                       f"chaos-run-{run_index}.fleet")
-        engine = ShardedCordialEngine(cordial, shards, n_jobs=1,
+        engine = ShardedCordialEngine(cordial, shards, n_jobs=engine_jobs,
                                       spares_per_bank=plan.spares_per_bank,
-                                      max_skew=plan.max_skew)
+                                      max_skew=plan.max_skew,
+                                      supervisor=supervisor_config)
         try:
             engine, outcome = serve_engine_with_faults(
                 engine, perturbed, kill_points, checkpoint_dir, fault_rng,
-                tamper_modes=plan.tamper_modes)
+                tamper_modes=plan.tamper_modes,
+                worker_faults=worker_faults)
         finally:
             engine.close()
             shutil.rmtree(checkpoint_dir, ignore_errors=True)
         checkpoint_path = None
+
+        if supervise:
+            twin_engine = ShardedCordialEngine(
+                cordial, shards, n_jobs=1,
+                spares_per_bank=plan.spares_per_bank,
+                max_skew=plan.max_skew)
+            try:
+                from repro.serving.engine import serve_stream_sharded
+
+                twin_engine, twin_outcome = serve_stream_sharded(
+                    twin_engine, twin)
+            finally:
+                twin_engine.close()
+            twin_icr = twin_outcome.service.coverage(truth)
+            supervised_extra = {
+                "supervised": True,
+                "poison_positions": poison_positions,
+                "poison_planted": planted,
+                "worker_faults": [f.to_obj() for f in worker_faults],
+                "twin_decisions_digest": decisions_digest(
+                    twin_outcome.decisions),
+                "supervision_violations": [
+                    v.to_obj() for v in oracle.check_supervision(
+                        outcome.service.state_dict(),
+                        twin_outcome.service.state_dict(),
+                        outcome.decisions, twin_outcome.decisions,
+                        outcome.service.coverage(truth), twin_icr,
+                        poison_planted=planted)],
+            }
     else:
         checkpoint_path = os.path.join(workdir,
                                        f"chaos-run-{run_index}.ckpt")
@@ -141,11 +227,12 @@ def run_one(cordial: Cordial, stream: Sequence[ErrorRecord],
             checkpoint_path, fault_rng, tamper_modes=plan.tamper_modes)
     icr = outcome.service.coverage(truth)
     scratch = os.path.join(workdir, f"chaos-run-{run_index}.oracle.ckpt")
-    violations = oracle.check_run(outcome, icr, scratch)
+    violation_objs = [v.to_obj()
+                      for v in oracle.check_run(outcome, icr, scratch)]
     for path in (checkpoint_path, scratch):
         if path is not None and os.path.exists(path):
             os.remove(path)
-    return {
+    report = {
         "run": run_index,
         "operators": applied,
         "kill_points": kill_points,
@@ -153,16 +240,20 @@ def run_one(cordial: Cordial, stream: Sequence[ErrorRecord],
         "tamper_trials": [t.to_obj() for t in outcome.tamper_trials],
         "summary": _summarize(outcome.service, outcome.decisions, icr),
         "decisions_digest": decisions_digest(outcome.decisions),
-        "violations": [v.to_obj() for v in violations],
-        "ok": not violations,
     }
+    if supervised_extra is not None:
+        violation_objs += supervised_extra.pop("supervision_violations")
+        report.update(supervised_extra)
+    report["violations"] = violation_objs
+    report["ok"] = not violation_objs
+    return report
 
 
 def run_campaign(cordial: Cordial, stream: Sequence[ErrorRecord],
                  truth: Dict[tuple, Sequence[Tuple[float, int]]],
                  plan: ChaosPlan, config: CampaignConfig, workdir: str,
                  context: Optional[dict] = None, obs=None,
-                 shards: Optional[int] = None) -> dict:
+                 shards: Optional[int] = None, engine_jobs: int = 1) -> dict:
     """Execute a full campaign; returns the byte-stable JSON report.
 
     Args:
@@ -203,7 +294,8 @@ def run_campaign(cordial: Cordial, stream: Sequence[ErrorRecord],
     runs = []
     for run_index, run_seed in enumerate(root.spawn(config.runs)):
         run = run_one(cordial, stream, truth, plan, run_seed, oracle,
-                      workdir, run_index, shards=shards)
+                      workdir, run_index, shards=shards,
+                      engine_jobs=engine_jobs)
         if obs is not None:
             obs.journal.event("run", run=run_index, ok=run["ok"],
                               violations=len(run["violations"]),
@@ -259,7 +351,8 @@ def run_chaos_campaign(scale: float = 0.08, seed: int = 11,
                        jobs: int = 1, max_events: Optional[int] = None,
                        workdir: Optional[str] = None,
                        obs_dir: Optional[str] = None,
-                       shards: Optional[int] = None) -> dict:
+                       shards: Optional[int] = None,
+                       engine_jobs: int = 1) -> dict:
     """Generate, train, and run a campaign — the CLI entry's workhorse.
 
     Reuses the serve-replay plumbing: the same fleet generation, 70:30
@@ -307,13 +400,14 @@ def run_chaos_campaign(scale: float = 0.08, seed: int = 11,
         if workdir is not None:
             report = run_campaign(cordial, stream, truth, plan, config,
                                   workdir, context=context, obs=obs,
-                                  shards=shards)
+                                  shards=shards, engine_jobs=engine_jobs)
         else:
             with tempfile.TemporaryDirectory(
                     prefix="cordial-chaos-") as scratch:
                 report = run_campaign(cordial, stream, truth, plan, config,
                                       scratch, context=context, obs=obs,
-                                      shards=shards)
+                                      shards=shards,
+                                      engine_jobs=engine_jobs)
     finally:
         if obs is not None:
             obs.export(obs_dir)

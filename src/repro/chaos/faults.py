@@ -33,6 +33,43 @@ from repro.core.persistence import (CheckpointCorruptionError,
 #: Supported checkpoint tampering modes.
 TAMPER_MODES = ("truncate", "mangle_header", "drop_key")
 
+#: Per-shard worker fault operators -> the engine's in-band chaos modes
+#: (:data:`repro.serving.supervisor.FAULT_MODES`).
+WORKER_FAULT_MODES = {
+    "worker_crash": "crash",   # worker process dies mid-stream
+    "worker_hang": "hang",     # worker stops replying (deadline trips)
+    "pipe_garbage": "garbage",  # worker writes an undecodable reply
+}
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scheduled per-shard worker fault.
+
+    Attributes:
+        at_event: 1-based ingest count after which the fault is injected.
+        shard: target shard id (the supervisor recovers that shard's
+            worker slot).
+        mode: operator name, a key of :data:`WORKER_FAULT_MODES`.
+    """
+
+    at_event: int
+    shard: int
+    mode: str
+
+    def __post_init__(self) -> None:
+        if self.mode not in WORKER_FAULT_MODES:
+            raise ValueError(
+                f"unknown worker fault mode: {self.mode!r} "
+                f"(known: {sorted(WORKER_FAULT_MODES)})")
+        if self.at_event < 1:
+            raise ValueError("at_event must be >= 1")
+
+    def to_obj(self) -> dict:
+        """JSON-ready rendering."""
+        return {"at_event": self.at_event, "shard": self.shard,
+                "mode": self.mode}
+
 
 @dataclass(frozen=True)
 class TamperTrial:
@@ -215,27 +252,36 @@ def serve_engine_with_faults(engine, stream: Sequence[Any],
                              kill_points: Sequence[int],
                              checkpoint_dir: str,
                              rng: np.random.Generator,
-                             tamper_modes: Sequence[str] = ()
+                             tamper_modes: Sequence[str] = (),
+                             worker_faults: Sequence[WorkerFault] = ()
                              ) -> Tuple[Any, ServeOutcome]:
     """Fleet counterpart of :func:`serve_with_faults`.
 
     At each kill point the *whole fleet* is checkpointed into
     ``checkpoint_dir``, every worker is torn down, and a successor engine
     restored from the directory serves on — the sharded crash/restart
-    path under chaos.  Returns ``(engine, outcome)``: the engine that
-    finished the stream (close it!), and a :class:`ServeOutcome` whose
-    ``service`` is the merged single-service view, so the invariant
-    oracle judges the fleet with the battery it already has.
+    path under chaos.  ``worker_faults`` additionally injects per-shard
+    worker faults (crash/hang/garbage) at their scheduled ingest points;
+    the engine must be supervised for those to be survivable.  Returns
+    ``(engine, outcome)``: the engine that finished the stream (close
+    it!), and a :class:`ServeOutcome` whose ``service`` is the merged
+    single-service view, so the invariant oracle judges the fleet with
+    the battery it already has.
     """
     from repro.serving.merge import merge_decisions
 
     kills = sorted({int(k) for k in kill_points if 1 <= k <= len(stream)})
+    pending_faults: dict = {}
+    for fault in worker_faults:
+        pending_faults.setdefault(int(fault.at_event), []).append(fault)
     segments: List[List[Decision]] = []
     trials: List[TamperTrial] = []
     snapshots: List[dict] = []
     restores = 0
     for index, item in enumerate(stream, start=1):
         engine.submit(item)
+        for fault in pending_faults.pop(index, []):
+            engine.inject_fault(fault.shard, WORKER_FAULT_MODES[fault.mode])
         if kills and index == kills[0]:
             kills.pop(0)
             engine.checkpoint(checkpoint_dir)

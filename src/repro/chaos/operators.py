@@ -198,6 +198,89 @@ def op_burst(stream: Stream, rng: np.random.Generator,
     return out, applied
 
 
+class PoisonDetonation(RuntimeError):
+    """Raised when a poison record's ``sequence`` field is read."""
+
+
+class PoisonRecord(ErrorRecord):
+    """An :class:`ErrorRecord` that kills whatever stages it.
+
+    The record passes every router check — ``isinstance``, finite
+    timestamp, watermark — because routing reads only ``timestamp`` and
+    ``bank_key``.  But ``sequence`` is a detonating property: the first
+    reader raises :class:`PoisonDetonation`.  In the serving path that
+    reader is ``BMCCollector.ingest`` building its reorder-heap key, so
+    the poison reliably kills the shard *worker* that stages it (local
+    or process — the instance pickles through ``__dict__``, bypassing
+    the descriptor, and detonates identically on the far side), while
+    the coordinator that merely routed it survives.  This is the
+    supervision harness's model of a record that crashes the service
+    code itself rather than failing validation.
+    """
+
+    @property
+    def sequence(self) -> int:
+        raise PoisonDetonation(
+            "poison record detonated (timestamp "
+            f"{self.__dict__.get('timestamp')!r})")
+
+    @sequence.setter
+    def sequence(self, value: int) -> None:
+        # The frozen-dataclass __init__ assigns fields via
+        # object.__setattr__, which dispatches to this data descriptor.
+        self.__dict__["sequence"] = value
+
+    def __repr__(self) -> str:  # the dataclass repr would detonate
+        return (f"PoisonRecord(timestamp="
+                f"{self.__dict__.get('timestamp')!r}, address="
+                f"{self.__dict__.get('address')!r})")
+
+
+def make_poison(record: ErrorRecord, timestamp: float) -> PoisonRecord:
+    """A poison twin of ``record``: same bank (same shard routing), with
+    the caller-chosen timestamp (see :func:`plant_poison`)."""
+    return PoisonRecord(timestamp=float(timestamp),
+                        sequence=int(record.sequence),
+                        address=record.address,
+                        error_type=record.error_type,
+                        bit_count=record.bit_count,
+                        detector=record.detector)
+
+
+def plant_poison(stream: Stream,
+                 positions: List[int]) -> Tuple[Stream, Stream, int]:
+    """Replace records at ``positions`` with poison twins.
+
+    Returns ``(faulted, twin, planted)``: the faulted stream carries the
+    poison records; the twin stream simply omits those positions.  A
+    supervised run of the faulted stream must end byte-identical to an
+    undisturbed run of the twin (modulo the ``"poison"`` dead-letter
+    entries): the poison detonates before touching any shard state, and
+    its timestamp is pinned to the *running maximum* timestamp of the
+    records before it — exactly on the router's high-water mark, so it is
+    accepted (never ``"late"``) yet moves no watermark, and every routing
+    decision after it is identical in both streams.  Positions whose
+    prefix holds no record yet (nothing to pin the timestamp to), or that
+    hold a non-record item, are skipped in *both* streams.
+    """
+    chosen = {int(p) for p in positions}
+    faulted: Stream = []
+    twin: Stream = []
+    planted = 0
+    running_max = float("-inf")
+    for index, item in enumerate(stream):
+        if (index in chosen and is_error_record(item)
+                and math.isfinite(running_max)):
+            faulted.append(make_poison(item, running_max))
+            planted += 1
+            continue
+        faulted.append(item)
+        twin.append(item)
+        if is_error_record(item) and math.isfinite(item.timestamp):
+            running_max = max(running_max, item.timestamp)
+    return faulted, twin, planted
+
+
 #: Operator registry: plan names -> implementations.
 OPERATORS: Dict[str, Callable[..., Tuple[Stream, int]]] = {
     "drop": op_drop,

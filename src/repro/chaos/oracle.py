@@ -30,12 +30,20 @@ after every run:
 ``bounded_divergence``
     Decisions and ICR stay within the plan's tolerance of the
     clean-stream run — chaos may degrade the service, not derail it.
+``supervision``
+    A supervised fleet run disturbed by worker crashes/hangs/garbage and
+    poison records ends **byte-identical** to the undisturbed run of its
+    twin stream: same decisions, same ICR, same merged state — the only
+    permitted difference is the poison records' own ``"poison"``
+    dead-letter accounting, which this check strips before comparing.
 """
 
 from __future__ import annotations
 
+import copy
+import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.chaos.faults import ServeOutcome
 from repro.chaos.plan import ChaosPlan
@@ -73,6 +81,35 @@ def _isolation_entries(snapshot: dict) -> Dict[tuple, float]:
     for bank, when in snapshot["spared_banks"]:
         entries[("bank", tuple(bank))] = float(when)
     return entries
+
+
+def strip_poison_accounting(state: dict) -> dict:
+    """A deep copy of a merged ``state_dict`` minus poison accounting.
+
+    A supervised run of a poisoned stream differs from its twin (the
+    stream with the poison positions removed) in exactly four places, all
+    bookkeeping for the poison records themselves: the coordinator
+    counted their submissions (``stats.events_ingested`` and the merged
+    ``collector.events_ingested`` counter) and quarantined them under
+    reason ``"poison"`` (the dead-letter list/counts and the
+    ``collector.dead_letters{reason=poison}`` counter series).  Undo
+    those and the states must match byte for byte.
+    """
+    from repro.telemetry.collector import REASON_POISON
+    from repro.telemetry.metrics import _series_key
+
+    state = copy.deepcopy(state)
+    collector = state["collector"]
+    planted = collector["dead_letter_counts"].pop(REASON_POISON, 0)
+    collector["dead_letters"] = [
+        entry for entry in collector["dead_letters"]
+        if entry["reason"] != REASON_POISON]
+    state["stats"]["events_ingested"] -= planted
+    counters = state["metrics"]["counters"]
+    counters["collector.events_ingested"] -= planted
+    counters.pop(_series_key("collector.dead_letters",
+                             {"reason": REASON_POISON}), None)
+    return state
 
 
 class InvariantOracle:
@@ -254,6 +291,63 @@ class InvariantOracle:
                 "bounded_divergence",
                 f"ICR drifted to {icr:.4f} from clean {self.clean.icr:.4f} "
                 f"(allowed +/-{self.plan.max_icr_divergence})"))
+        return violations
+
+    def check_supervision(self, faulted_state: dict, twin_state: dict,
+                          faulted_decisions: Sequence[Any],
+                          twin_decisions: Sequence[Any],
+                          faulted_icr: float, twin_icr: float,
+                          poison_planted: int = 0
+                          ) -> List[InvariantViolation]:
+        """Faulted supervised run == undisturbed twin, byte for byte.
+
+        ``faulted_state``/``twin_state`` are merged ``state_dict()``
+        documents.  ``poison_planted`` poison records are expected in the
+        faulted run's dead-letter ledger under reason ``"poison"`` (and
+        nowhere else); their accounting is normalized away with
+        :func:`strip_poison_accounting`, after which every field must
+        match exactly.
+        """
+        violations: List[InvariantViolation] = []
+        if len(faulted_decisions) != len(twin_decisions):
+            violations.append(InvariantViolation(
+                "supervision",
+                f"decision count diverged: faulted run emitted "
+                f"{len(faulted_decisions)}, twin emitted "
+                f"{len(twin_decisions)}"))
+        else:
+            for index, (ours, theirs) in enumerate(
+                    zip(faulted_decisions, twin_decisions)):
+                if ours.to_obj() != theirs.to_obj():
+                    violations.append(InvariantViolation(
+                        "supervision",
+                        f"decision {index} diverged: "
+                        f"{ours.to_obj()} vs twin {theirs.to_obj()}"))
+                    break
+        if faulted_icr != twin_icr:
+            violations.append(InvariantViolation(
+                "supervision",
+                f"ICR diverged: faulted {faulted_icr!r} "
+                f"vs twin {twin_icr!r}"))
+        counted = faulted_state["collector"]["dead_letter_counts"].get(
+            "poison", 0)
+        if counted != poison_planted:
+            violations.append(InvariantViolation(
+                "supervision",
+                f"poison ledger mismatch: {poison_planted} poison records "
+                f"planted, {counted} quarantined"))
+        normalized = strip_poison_accounting(faulted_state)
+        if normalized != twin_state:
+            diverged = sorted(
+                key for key in set(normalized) | set(twin_state)
+                if json.dumps(normalized.get(key), sort_keys=True,
+                              default=str)
+                != json.dumps(twin_state.get(key), sort_keys=True,
+                              default=str))
+            violations.append(InvariantViolation(
+                "supervision",
+                "merged state diverged from the twin run after poison "
+                f"normalization (differing sections: {diverged})"))
         return violations
 
     # -- the full battery ----------------------------------------------------

@@ -56,6 +56,14 @@ class ChaosPlan:
         spares_per_bank: row-sparing budget of the service under test.
         kills_per_run: checkpoint/kill/restore faults injected at
             randomized ingest points in each run (0 disables).
+        worker_faults_per_run: per-shard worker faults (crash / hang /
+            pipe garbage, drawn uniformly) injected at randomized ingest
+            points in each *supervised sharded* run (0 disables; ignored
+            without ``--shards`` + supervision).
+        poison_per_run: poison records planted at randomized stream
+            positions in each supervised sharded run — each must be
+            bisected out and quarantined under reason ``"poison"``
+            without disturbing any other output (0 disables).
         tamper_modes: at each kill point, one tampered copy of the
             checkpoint per mode is load-tested; the oracle requires every
             trial to fail with the typed ``CheckpointCorruptionError``.
@@ -69,6 +77,8 @@ class ChaosPlan:
     max_skew: float = 3600.0
     spares_per_bank: int = 64
     kills_per_run: int = 0
+    worker_faults_per_run: int = 0
+    poison_per_run: int = 0
     tamper_modes: Tuple[str, ...] = ("truncate", "mangle_header", "drop_key")
     max_icr_divergence: float = 0.25
     max_decision_divergence: float = 0.5
@@ -80,6 +90,10 @@ class ChaosPlan:
             raise ValueError("max_skew must be >= 0")
         if self.kills_per_run < 0:
             raise ValueError("kills_per_run must be >= 0")
+        if self.worker_faults_per_run < 0:
+            raise ValueError("worker_faults_per_run must be >= 0")
+        if self.poison_per_run < 0:
+            raise ValueError("poison_per_run must be >= 0")
         from repro.chaos.faults import TAMPER_MODES
         for mode in self.tamper_modes:
             if mode not in TAMPER_MODES:
@@ -93,6 +107,8 @@ class ChaosPlan:
             "max_skew": self.max_skew,
             "spares_per_bank": self.spares_per_bank,
             "kills_per_run": self.kills_per_run,
+            "worker_faults_per_run": self.worker_faults_per_run,
+            "poison_per_run": self.poison_per_run,
             "tamper_modes": list(self.tamper_modes),
             "max_icr_divergence": self.max_icr_divergence,
             "max_decision_divergence": self.max_decision_divergence,
@@ -102,8 +118,8 @@ class ChaosPlan:
     def from_dict(cls, obj: Mapping[str, Any]) -> "ChaosPlan":
         """Inverse of :meth:`to_dict` (used by the CLI's ``--plan``)."""
         known = {"operators", "max_skew", "spares_per_bank", "kills_per_run",
-                 "tamper_modes", "max_icr_divergence",
-                 "max_decision_divergence"}
+                 "worker_faults_per_run", "poison_per_run", "tamper_modes",
+                 "max_icr_divergence", "max_decision_divergence"}
         unknown = set(obj) - known
         if unknown:
             raise ValueError(f"unknown plan fields: {sorted(unknown)}")

@@ -1,6 +1,6 @@
 """Operator CLI: the fleet workflow from log files alone.
 
-Five subcommands covering the deployment loop:
+Six subcommands covering the deployment loop:
 
 * ``generate`` — synthesise a fleet and write its MCE log to disk;
 * ``train``    — train a Cordial pipeline *from a log file* (bank pattern
@@ -8,6 +8,9 @@ Five subcommands covering the deployment loop:
   history — no generator ground truth needed) and save it as JSON;
 * ``predict``  — load a saved pipeline, replay a log, and print/emit the
   isolation decisions;
+* ``serve``    — replay a log through the *online* sharded fleet engine
+  (``repro.serving``), optionally under shard supervision, and emit the
+  decision stream plus merged stats/metrics;
 * ``evaluate`` — split a log 7:3, train, score pattern/block/ICR
   metrics, and write a markdown report;
 * ``analyze``  — run the empirical-study battery (Tables I-II, Figures
@@ -150,6 +153,53 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Replay a log through the sharded fleet engine; emit decisions.
+
+    Unlike ``predict`` (offline trigger replay), this drives the full
+    *online* serving path — reorder buffer, quarantine, isolation replay
+    — through ``repro.serving``, optionally under shard supervision
+    (``--supervise``), and writes the decision stream plus merged
+    stats/metrics as JSON.  Decisions are byte-identical for any
+    ``--shards`` / ``--jobs`` combination, supervised or not.
+    """
+    from repro.serving import (ShardedCordialEngine, SupervisorConfig,
+                               serve_stream_sharded)
+
+    cordial = load_cordial(args.pipeline)
+    store = _load_store(args.log)
+    supervisor = None
+    if args.supervise:
+        supervisor = SupervisorConfig(
+            max_restarts=args.max_restarts,
+            batch_timeout=args.batch_timeout,
+            poison_threshold=args.poison_threshold,
+            snapshot_every=args.snapshot_every)
+    engine = ShardedCordialEngine(cordial, n_shards=args.shards,
+                                  n_jobs=args.jobs, max_skew=args.max_skew,
+                                  supervisor=supervisor)
+    try:
+        engine, outcome = serve_stream_sharded(engine, list(store))
+    finally:
+        engine.close()
+    payload = {
+        "decisions": [d.to_obj() for d in outcome.decisions],
+        "stats": outcome.stats,
+        "metrics": outcome.metrics,
+    }
+    if engine.supervisor_metrics is not None:
+        payload["supervision"] = engine.supervisor_metrics.as_dict()
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    mode = "supervised" if supervisor is not None else "unsupervised"
+    print(f"served {len(store):,} events through {args.shards} shard(s) "
+          f"({mode}): {len(outcome.decisions)} decisions, "
+          f"{outcome.stats['triggers_fired']} triggers")
+    print(f"decisions written to {args.output}")
+    return 0
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """Split a log 7:3, train, evaluate, and write a markdown report."""
     from repro.core.pipeline import evaluate_neighbor_baseline
@@ -243,6 +293,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable decisions")
     p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("serve", help="replay a log through the online "
+                       "fleet engine (optionally supervised)")
+    p.add_argument("--pipeline", required=True)
+    p.add_argument("--log", required=True)
+    p.add_argument("--output", default="serve_decisions.json",
+                   help="decision/stats JSON destination")
+    p.add_argument("--shards", type=_positive_int, default=1,
+                   help="bank-key shards (decisions identical for any)")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes (1 = in-process)")
+    p.add_argument("--max-skew", type=float, default=0.0, dest="max_skew",
+                   help="reorder-buffer window in seconds")
+    p.add_argument("--supervise", action="store_true",
+                   help="run the fleet under the shard supervisor "
+                        "(crash detection, deterministic restart, poison "
+                        "quarantine, degraded failover)")
+    p.add_argument("--max-restarts", type=int, default=3,
+                   dest="max_restarts",
+                   help="restart budget per worker before degraded "
+                        "failover")
+    p.add_argument("--batch-timeout", type=float, default=30.0,
+                   dest="batch_timeout",
+                   help="seconds of worker silence before hang detection")
+    p.add_argument("--poison-threshold", type=_positive_int, default=2,
+                   dest="poison_threshold",
+                   help="same-batch kills before poison bisection")
+    p.add_argument("--snapshot-every", type=_positive_int, default=8,
+                   dest="snapshot_every",
+                   help="batches between supervisor replay snapshots")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("evaluate", help="train+evaluate over a log and "
                        "write a markdown report")

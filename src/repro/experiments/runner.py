@@ -128,13 +128,20 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
     """Stream a generated fleet through the online service; dump metrics."""
     from repro.experiments.serve import run_serve_replay
 
+    if args.supervise and args.shards is None:
+        raise SystemExit("--supervise needs --shards (supervision is a "
+                         "fleet property)")
     report = run_serve_replay(
         scale=args.scale, seed=args.seed, model_name=args.model,
         max_skew=args.max_skew, shuffle=args.shuffle,
         shuffle_seed=args.shuffle_seed, jobs=args.jobs,
         checkpoint_path=args.checkpoint, checkpoint_at=args.checkpoint_at,
         shards=args.shards, obs_dir=args.obs,
-        audit_attributions=args.audit_attributions)
+        audit_attributions=args.audit_attributions,
+        supervise=args.supervise, max_restarts=args.max_restarts,
+        batch_timeout=args.batch_timeout,
+        poison_threshold=args.poison_threshold,
+        snapshot_every=args.snapshot_every)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -165,11 +172,21 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     else:
         plan = default_plan(kills_per_run=args.kills_per_run,
                             intensity=args.intensity)
+    if args.worker_faults_per_run or args.poison_per_run:
+        import dataclasses
+
+        if args.shards is None:
+            raise SystemExit("--worker-faults-per-run/--poison-per-run "
+                             "need --shards (supervision is a fleet "
+                             "property)")
+        plan = dataclasses.replace(
+            plan, worker_faults_per_run=args.worker_faults_per_run,
+            poison_per_run=args.poison_per_run)
     report = run_chaos_campaign(
         scale=args.scale, seed=args.seed, model_name=args.model,
         plan=plan, runs=args.runs, campaign_seed=args.campaign_seed,
         jobs=args.jobs, max_events=args.max_events, obs_dir=args.obs,
-        shards=args.shards)
+        shards=args.shards, engine_jobs=args.engine_jobs)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -178,6 +195,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
           f"{report['config']['stream_events']:,} events "
           f"({len(plan.operators)} operators, "
           f"{plan.kills_per_run} kills/run)")
+    if plan.worker_faults_per_run or plan.poison_per_run:
+        print(f"  supervised fleet: {plan.worker_faults_per_run} worker "
+              f"faults/run, {plan.poison_per_run} poison records/run "
+              f"(every run checked byte-identical to its twin)")
     print(f"  clean ICR {report['clean']['summary']['icr']:.2%}, "
           f"campaign digest {report['campaign_digest'][:16]}...")
     if report["dead_letters_total"]:
@@ -341,6 +362,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write observability artifacts (run journal, "
                         "trace, audit trail, Prometheus metrics) into "
                         "this directory")
+    p.add_argument("--supervise", action="store_true",
+                   help="run the fleet under the shard supervisor "
+                        "(requires --shards): crash detection, "
+                        "deterministic restart, poison quarantine, "
+                        "degraded failover — output stays byte-identical")
+    p.add_argument("--max-restarts", type=int, default=3,
+                   dest="max_restarts",
+                   help="per-worker restart budget before degraded "
+                        "failover (with --supervise)")
+    p.add_argument("--batch-timeout", type=float, default=30.0,
+                   dest="batch_timeout",
+                   help="seconds a worker may go silent before it is "
+                        "declared hung (with --supervise)")
+    p.add_argument("--poison-threshold", type=_positive_int, default=2,
+                   dest="poison_threshold",
+                   help="kills by the same batch before the supervisor "
+                        "bisects for a poison record (with --supervise)")
+    p.add_argument("--snapshot-every", type=_positive_int, default=8,
+                   dest="snapshot_every",
+                   help="batches between supervisor replay snapshots "
+                        "(with --supervise)")
     p.add_argument("--audit-attributions", action="store_true",
                    dest="audit_attributions",
                    help="record per-feature attributions for every "
@@ -378,6 +420,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "engine with this many shards (kill points then "
                         "restart the whole fleet)")
     c.add_argument("--jobs", type=int, default=1)
+    c.add_argument("--engine-jobs", type=_positive_int, default=1,
+                   dest="engine_jobs",
+                   help="worker processes per sharded chaos engine "
+                        "(1 = in-process workers; with --shards)")
+    c.add_argument("--worker-faults-per-run", type=int, default=0,
+                   dest="worker_faults_per_run",
+                   help="per-shard worker faults (crash/hang/garbage) "
+                        "injected per run; engages the shard supervisor "
+                        "and the byte-identical twin check "
+                        "(requires --shards)")
+    c.add_argument("--poison-per-run", type=int, default=0,
+                   dest="poison_per_run",
+                   help="poison records planted per run, each bisected "
+                        "out and quarantined by the supervisor "
+                        "(requires --shards)")
     c.add_argument("--output", type=str, default="chaos_report.json",
                    help="where to write the campaign JSON report")
     c.add_argument("--obs", type=str, default=None, metavar="DIR",

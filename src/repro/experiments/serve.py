@@ -218,7 +218,10 @@ def run_serve_replay(scale: float = 0.12, seed: int = 42,
                      checkpoint_at: Optional[int] = None,
                      shards: Optional[int] = None,
                      obs_dir: Optional[str] = None,
-                     audit_attributions: bool = False) -> dict:
+                     audit_attributions: bool = False,
+                     supervise: bool = False, max_restarts: int = 3,
+                     batch_timeout: float = 30.0, poison_threshold: int = 2,
+                     snapshot_every: int = 8) -> dict:
     """Generate, train, stream, and report — the full serve-replay run.
 
     Args:
@@ -229,6 +232,14 @@ def run_serve_replay(scale: float = 0.12, seed: int = 42,
             the timing block differs).  ``checkpoint_path`` then names
             a fleet checkpoint *directory* (manifest + per-shard
             files), and ``obs_dir`` grows per-shard subdirectories.
+        supervise: run the fleet under a
+            :class:`~repro.serving.supervisor.ShardSupervisor` (requires
+            ``shards``): worker failures are detected, workers restarted
+            deterministically, poison records quarantined, and exhausted
+            shards failed over to in-process execution — with output
+            still byte-identical.  ``max_restarts`` / ``batch_timeout``
+            / ``poison_threshold`` / ``snapshot_every`` tune the policy;
+            the report gains a ``supervision`` counters block.
         obs_dir: when given, attach a full observability bundle and
             write its artifacts (journal, trace, audit trail, metrics,
             Prometheus exposition, summary) into this directory; the
@@ -236,6 +247,9 @@ def run_serve_replay(scale: float = 0.12, seed: int = 42,
         audit_attributions: record per-feature attributions for every
             flagged block in the audit trail (slow; implies ``obs_dir``).
     """
+    if supervise and shards is None:
+        raise ValueError("supervision requires a sharded fleet "
+                         "(--supervise needs --shards)")
     cordial, stream, truth, meta = prepare_serving_run(
         scale=scale, seed=seed, model_name=model_name, jobs=jobs)
     if shuffle:
@@ -257,12 +271,26 @@ def run_serve_replay(scale: float = 0.12, seed: int = 42,
     }
     if shards is not None:
         config["shards"] = shards
+        supervisor = None
+        if supervise:
+            from repro.serving import SupervisorConfig
+
+            supervisor = SupervisorConfig(
+                max_restarts=max_restarts, batch_timeout=batch_timeout,
+                poison_threshold=poison_threshold,
+                snapshot_every=snapshot_every)
+            config["supervise"] = {
+                "max_restarts": max_restarts,
+                "batch_timeout": batch_timeout,
+                "poison_threshold": poison_threshold,
+                "snapshot_every": snapshot_every,
+            }
         return _run_serve_replay_sharded(
             cordial, stream, truth, config, shards=shards, jobs=jobs,
             max_skew=max_skew, spares_per_bank=spares_per_bank,
             checkpoint_path=checkpoint_path, checkpoint_at=checkpoint_at,
             obs_dir=obs_dir, audit_attributions=audit_attributions,
-            seed=seed, shuffle_seed=shuffle_seed)
+            seed=seed, shuffle_seed=shuffle_seed, supervisor=supervisor)
     metrics = MetricsRegistry()
     obs = None
     if obs_dir is not None:
@@ -297,7 +325,8 @@ def _run_serve_replay_sharded(cordial, stream, truth, config, *,
                               checkpoint_at: Optional[int],
                               obs_dir: Optional[str],
                               audit_attributions: bool,
-                              seed: int, shuffle_seed: int) -> dict:
+                              seed: int, shuffle_seed: int,
+                              supervisor=None) -> dict:
     """The ``--shards`` serve-replay path: fleet engine + merged report.
 
     The merged service is a real :class:`CordialService`, so
@@ -319,7 +348,7 @@ def _run_serve_replay_sharded(cordial, stream, truth, config, *,
         cordial, n_shards=shards, n_jobs=jobs,
         spares_per_bank=spares_per_bank, max_skew=max_skew,
         obs_dir=obs_dir, obs_provenance=provenance,
-        obs_attributions=audit_attributions)
+        obs_attributions=audit_attributions, supervisor=supervisor)
     probe = TimingProbe(None)
     try:
         engine, outcome = serve_stream_sharded(
@@ -332,6 +361,11 @@ def _run_serve_replay_sharded(cordial, stream, truth, config, *,
     report = build_report(outcome.service, outcome.decisions, truth,
                           config=config, timing=timing)
     report["metrics"] = outcome.metrics
+    if engine.supervisor_metrics is not None:
+        # Coordinator-side supervision counters live outside the merged
+        # registry so the merged metrics stay byte-identical under
+        # faults; the report carries them as their own block.
+        report["supervision"] = engine.supervisor_metrics.as_dict()
     if outcome.obs is not None:
         report["obs"] = outcome.obs
     return report

@@ -44,7 +44,8 @@ JOURNAL_VERSION = 1
 #: Every event type the journal emits (the schema contract of
 #: ``docs/OBSERVABILITY.md``).
 EVENT_TYPES = ("ingest", "release", "quarantine", "trigger",
-               "reprediction", "isolation", "checkpoint", "run", "campaign")
+               "reprediction", "isolation", "checkpoint", "run", "campaign",
+               "supervision")
 
 
 def git_sha(cwd: Optional[str] = None) -> Optional[str]:
@@ -197,6 +198,13 @@ class RunJournal:
     def checkpoint(self, kind: str, at_event: int) -> None:
         """A service snapshot was saved (``kind="save"``) or restored."""
         self.event("checkpoint", kind=kind, at_event=int(at_event))
+
+    def supervision(self, action: str, worker: int,
+                    shards: Tuple[int, ...] = (), detail: str = "") -> None:
+        """One shard-supervision transition (failure / restart / poison /
+        degraded — see :mod:`repro.serving.supervisor`)."""
+        self.event("supervision", action=action, worker=int(worker),
+                   shards=[int(s) for s in shards], detail=detail)
 
     # -- queries -------------------------------------------------------------
     @property

@@ -23,13 +23,22 @@ from repro.serving.merge import (merge_decisions, merge_metrics,
                                  merge_service_states, merge_stats,
                                  split_service_state)
 from repro.serving.router import FleetRouter, shard_of_bank
+from repro.serving.supervisor import (DEFAULT_BATCH_TIMEOUT, FAILURE_CRASH,
+                                      FAILURE_HANG, FAILURE_KINDS,
+                                      FAILURE_PROTOCOL, FAULT_MODES,
+                                      ShardFailureError, ShardSupervisor,
+                                      SupervisorConfig, backoff_delay)
 from repro.serving.workers import ShardHost
 
 __all__ = [
-    "BATCH_SIZE", "FLEET_CHECKPOINT_FORMAT", "FLEET_CHECKPOINT_VERSION",
-    "FleetOutcome", "FleetRouter", "MANIFEST_FILE", "ShardHost",
-    "ShardedCordialEngine", "load_fleet_checkpoint", "load_fleet_manifest",
-    "merge_decisions", "merge_metrics", "merge_service_states",
-    "merge_stats", "save_fleet_checkpoint", "serve_stream_sharded",
-    "shard_file_name", "shard_of_bank", "split_service_state",
+    "BATCH_SIZE", "DEFAULT_BATCH_TIMEOUT", "FAILURE_CRASH", "FAILURE_HANG",
+    "FAILURE_KINDS", "FAILURE_PROTOCOL", "FAULT_MODES",
+    "FLEET_CHECKPOINT_FORMAT", "FLEET_CHECKPOINT_VERSION",
+    "FleetOutcome", "FleetRouter", "MANIFEST_FILE", "ShardFailureError",
+    "ShardHost", "ShardSupervisor", "ShardedCordialEngine",
+    "SupervisorConfig", "backoff_delay", "load_fleet_checkpoint",
+    "load_fleet_manifest", "merge_decisions", "merge_metrics",
+    "merge_service_states", "merge_stats", "save_fleet_checkpoint",
+    "serve_stream_sharded", "shard_file_name", "shard_of_bank",
+    "split_service_state",
 ]

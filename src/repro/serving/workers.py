@@ -113,6 +113,22 @@ class ShardHost:
             }
         return out
 
+    def snapshot(self) -> Dict[int, dict]:
+        """Supervision baseline: every shard's state dict + drained segment.
+
+        Lighter than :meth:`checkpoint` (no persistence document, no
+        journal event) — this is the supervisor's recovery point, not an
+        operator-visible checkpoint, and it must leave no trace a clean
+        run would lack.
+        """
+        out: Dict[int, dict] = {}
+        for shard_id in sorted(self.services):
+            out[shard_id] = {
+                "state": self.services[shard_id].state_dict(),
+                "decisions": self._drain(shard_id),
+            }
+        return out
+
     def finish(self) -> Dict[int, dict]:
         """Flush every shard and return its final segment + state (+obs)."""
         out: Dict[int, dict] = {}
@@ -147,17 +163,30 @@ def worker_main(conn) -> None:
         ("load", shard_id, state)
         ("batch", shard_id, [records...])          # no reply
         ("checkpoint",)  → ("checkpoint", {sid: {...}})
+        ("snapshot",)    → ("snapshot", {sid: {...}})
         ("finish",)      → ("finish", {sid: {...}})
+        ("ping", token)  → ("pong", token)
+        ("chaos", mode)                            # test-only fault hook
         ("stop",)
         any failure      → ("error", traceback text)
 
     The pipeline crosses the pipe once, as its persistence document
     (parsed with :func:`pipeline_from_document`), never per batch.
+
+    The ``chaos`` message exists for the supervision harness:
+    ``"crash"`` hard-exits the process mid-protocol, ``"hang"`` makes
+    the worker swallow every further message without replying (the
+    coordinator's ``batch_timeout`` deadline must catch it), and
+    ``"garbage"`` emits an unprompted non-protocol object into the pipe
+    (the coordinator must classify it as a protocol failure).
     """
     host: Optional[ShardHost] = None
+    hanging = False
     try:
         while True:
             message = conn.recv()
+            if hanging:
+                continue
             kind = message[0]
             if kind == "init":
                 from repro.core.persistence import pipeline_from_document
@@ -172,8 +201,22 @@ def worker_main(conn) -> None:
                 host.batch(message[1], message[2])
             elif kind == "checkpoint":
                 conn.send(("checkpoint", host.checkpoint()))
+            elif kind == "snapshot":
+                conn.send(("snapshot", host.snapshot()))
             elif kind == "finish":
                 conn.send(("finish", host.finish()))
+            elif kind == "ping":
+                conn.send(("pong", message[1]))
+            elif kind == "chaos":
+                mode = message[1]
+                if mode == "crash":
+                    os._exit(13)
+                elif mode == "hang":
+                    hanging = True
+                elif mode == "garbage":
+                    conn.send("!!pipe-garbage!!")
+                else:  # pragma: no cover - protocol misuse
+                    raise ValueError(f"unknown chaos mode: {mode!r}")
             elif kind == "stop":
                 break
             else:  # pragma: no cover - protocol misuse

@@ -53,6 +53,11 @@ REASON_MALFORMED = "malformed"
 #: :meth:`BMCCollector.ingest`, and ingest failures were parseable — the
 #: two quarantine paths can never both claim the same input.
 REASON_CORRUPT = "corrupt"
+#: Dead-letter reason used by the shard supervisor for records that
+#: reproducibly kill their worker (:mod:`repro.serving.supervisor`);
+#: quarantined on the coordinator's router ledger, never by a shard
+#: collector, so the counting disjointness above carries over.
+REASON_POISON = "poison"
 
 
 @dataclass(frozen=True)
